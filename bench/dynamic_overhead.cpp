@@ -1,0 +1,88 @@
+// Reproduces the §5 measurement plan: "quantify the runtime overhead by the
+// dynamic analysis ... measure the runtime and memory increase". Each
+// corpus program runs once plain and once under the full dynamic analysis
+// (profiler: execution counts, inclusive costs, observed dependences); the
+// profile's extra heap bytes are reported as a counter.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/interpreter.hpp"
+#include "analysis/profiler.hpp"
+#include "corpus/corpus.hpp"
+#include "lang/sema.hpp"
+
+namespace {
+
+using namespace patty;
+
+const lang::Program& program_for(const corpus::CorpusProgram& source) {
+  static std::map<std::string, std::unique_ptr<lang::Program>> cache;
+  auto it = cache.find(source.name);
+  if (it == cache.end()) {
+    DiagnosticSink diags;
+    auto parsed = lang::parse_and_check(source.source, diags);
+    if (!parsed) throw std::runtime_error(diags.to_string());
+    it = cache.emplace(source.name, std::move(parsed)).first;
+  }
+  return *it->second;
+}
+
+void run_plain(benchmark::State& state, const corpus::CorpusProgram& source) {
+  const lang::Program& program = program_for(source);
+  for (auto _ : state) {
+    analysis::Interpreter interp(program);
+    benchmark::DoNotOptimize(interp.run_main());
+  }
+}
+
+void run_profiled(benchmark::State& state,
+                  const corpus::CorpusProgram& source) {
+  const lang::Program& program = program_for(source);
+  std::size_t footprint = 0;
+  for (auto _ : state) {
+    analysis::Profiler profiler(program);
+    analysis::Interpreter interp(program, &profiler);
+    benchmark::DoNotOptimize(interp.run_main());
+    footprint = profiler.memory_footprint();
+  }
+  state.counters["profile_bytes"] =
+      benchmark::Counter(static_cast<double>(footprint));
+}
+
+void BM_AviStream_Plain(benchmark::State& state) {
+  run_plain(state, corpus::avistream());
+}
+void BM_AviStream_DynamicAnalysis(benchmark::State& state) {
+  run_profiled(state, corpus::avistream());
+}
+void BM_RayTracer_Plain(benchmark::State& state) {
+  run_plain(state, corpus::raytracer());
+}
+void BM_RayTracer_DynamicAnalysis(benchmark::State& state) {
+  run_profiled(state, corpus::raytracer());
+}
+void BM_Matrix_Plain(benchmark::State& state) {
+  run_plain(state, corpus::matrix());
+}
+void BM_Matrix_DynamicAnalysis(benchmark::State& state) {
+  run_profiled(state, corpus::matrix());
+}
+void BM_DesktopSearch_Plain(benchmark::State& state) {
+  run_plain(state, corpus::desktop_search());
+}
+void BM_DesktopSearch_DynamicAnalysis(benchmark::State& state) {
+  run_profiled(state, corpus::desktop_search());
+}
+
+BENCHMARK(BM_AviStream_Plain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AviStream_DynamicAnalysis)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RayTracer_Plain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RayTracer_DynamicAnalysis)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Matrix_Plain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Matrix_DynamicAnalysis)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DesktopSearch_Plain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DesktopSearch_DynamicAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Reproduces Figure 5a: "Desired Features of Parallelization Tools" — mean
+// desirability with lower/upper quartiles for nine candidate features, as
+// answered by the manual control group, plus which features each tool
+// already provides (paper: Patty 5/9 incl. 3 of the top five; Parallel
+// Studio 2/9 incl. 1 of the top five).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "study_common.hpp"
+
+int main() {
+  using namespace patty;
+  using namespace patty::bench;
+  const study::StudyOutcome outcome = run_study();
+
+  Table table({"Feature", "mean", "q25", "q75", "Patty", "intel"});
+  std::vector<std::pair<double, const study::Feature*>> ranked;
+  for (const study::Feature& f : outcome.features) {
+    table.add_row({f.name, fmt(mean(f.desirability)),
+                   fmt(quantile(f.desirability, 0.25)),
+                   fmt(quantile(f.desirability, 0.75)),
+                   f.patty_has ? "yes" : "-", f.intel_has ? "yes" : "-"});
+    ranked.push_back({mean(f.desirability), &f});
+  }
+  std::printf("Figure 5a — Desired features (manual group, n=3)\n%s\n",
+              table.str().c_str());
+
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  int patty_total = 0, intel_total = 0, patty_top5 = 0, intel_top5 = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].second->patty_has) {
+      ++patty_total;
+      if (i < 5) ++patty_top5;
+    }
+    if (ranked[i].second->intel_has) {
+      ++intel_total;
+      if (i < 5) ++intel_top5;
+    }
+  }
+  std::printf("Coverage: Patty %d/9 (%d of top five) — paper: 5/9 (3 of top "
+              "five)\n",
+              patty_total, patty_top5);
+  std::printf("Coverage: intel %d/9 (%d of top five) — paper: 2/9 (1 of top "
+              "five, runtime distribution)\n",
+              intel_total, intel_top5);
+  return 0;
+}

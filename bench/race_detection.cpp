@@ -1,0 +1,127 @@
+// Reproduces the correctness-validation claim of §2.1 / [22]: generated
+// parallel unit tests are small, so the CHESS-style explorer covers their
+// interleavings exhaustively and locates parallel errors "with a high
+// detection accuracy within several minutes". Runs a battery of seeded-race
+// and race-free model tests and reports detection accuracy, schedules
+// explored, and wall time.
+
+#include <chrono>
+#include <cstdio>
+
+#include "race/explorer.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using patty::race::ExploreOptions;
+using patty::race::ExploreResult;
+using patty::race::TaskContext;
+using patty::race::TaskFn;
+
+struct ModelTest {
+  const char* name;
+  bool seeded_race;  // ground truth
+  std::vector<TaskFn> tasks;
+};
+
+std::vector<ModelTest> make_battery() {
+  std::vector<ModelTest> battery;
+
+  // Replicated stage writing a shared heap cell without a lock (what the
+  // detector prevents by marking such stages non-replicable).
+  battery.push_back({"replicated-stage-shared-write", true,
+                     {[](TaskContext& c) { c.write("cell", 1); },
+                      [](TaskContext& c) { c.write("cell", 2); }}});
+
+  // Unsynchronized read-modify-write accumulator.
+  auto racy_acc = [](TaskContext& c) {
+    const auto v = c.read("acc");
+    c.write("acc", v + 1);
+  };
+  battery.push_back({"racy-accumulator", true, {racy_acc, racy_acc}});
+
+  // Reader of a flag that the writer publishes without synchronization.
+  battery.push_back({"unsynchronized-flag", true,
+                     {[](TaskContext& c) {
+                        c.write("data", 42);
+                        c.write("ready", 1);
+                      },
+                      [](TaskContext& c) {
+                        if (c.read("ready") == 1) c.read("data");
+                      }}});
+
+  // Lock-protected accumulator (race-free).
+  auto locked_acc = [](TaskContext& c) {
+    c.lock("m");
+    const auto v = c.read("acc");
+    c.write("acc", v + 1);
+    c.unlock("m");
+  };
+  battery.push_back({"locked-accumulator", false, {locked_acc, locked_acc}});
+
+  // Disjoint elements (the data-parallel pattern).
+  battery.push_back({"disjoint-elements", false,
+                     {[](TaskContext& c) { c.write("e0", 7); },
+                      [](TaskContext& c) { c.write("e1", 8); }}});
+
+  // Pipeline hand-off through a locked one-slot buffer (race-free).
+  battery.push_back(
+      {"locked-pipeline-handoff", false,
+       {[](TaskContext& c) {
+          c.lock("buf");
+          c.write("slot", 5);
+          c.write("full", 1);
+          c.unlock("buf");
+        },
+        [](TaskContext& c) {
+          while (true) {
+            c.lock("buf");
+            const auto full = c.read("full");
+            if (full == 1) {
+              c.read("slot");
+              c.unlock("buf");
+              return;
+            }
+            c.unlock("buf");
+            c.yield();
+          }
+        }}});
+  return battery;
+}
+
+}  // namespace
+
+int main() {
+  using patty::Table;
+  const auto battery = make_battery();
+
+  ExploreOptions options;
+  options.preemption_bound = 3;
+  options.max_schedules = 1200;
+
+  Table table({"model test", "seeded race", "explorer verdict", "schedules",
+               "exhausted", "correct"});
+  int correct = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const ModelTest& test : battery) {
+    const ExploreResult result = patty::race::explore(test.tasks, options);
+    const bool found = !result.races.empty();
+    const bool ok = found == test.seeded_race;
+    correct += ok ? 1 : 0;
+    table.add_row({test.name, test.seeded_race ? "yes" : "no",
+                   found ? "RACE" : "clean",
+                   std::to_string(result.schedules_explored),
+                   result.exhausted ? "yes" : "capped", ok ? "yes" : "NO"});
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("CHESS-style race detection on generated-test models "
+              "(preemption bound %d)\n%s\n",
+              options.preemption_bound, table.str().c_str());
+  std::printf("Detection accuracy: %d/%zu in %.2f s (paper [22]: high "
+              "accuracy within several minutes)\n",
+              correct, battery.size(), secs);
+  return correct == static_cast<int>(battery.size()) ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#pragma once
+// Shared helpers for the user-study bench binaries: run the simulation and
+// slice sessions/questionnaires per group.
+
+#include <functional>
+#include <vector>
+
+#include "study/study.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace patty::bench {
+
+inline study::StudyOutcome run_study() {
+  study::StudySimulator simulator;
+  return simulator.run();
+}
+
+inline std::vector<double> session_metric(
+    const study::StudyOutcome& outcome, study::Group group,
+    const std::function<double(const study::Session&)>& extract) {
+  std::vector<double> values;
+  for (const study::Session& s : outcome.sessions)
+    if (s.participant.group == group) values.push_back(extract(s));
+  return values;
+}
+
+inline std::vector<double> questionnaire_metric(
+    const study::StudyOutcome& outcome, study::Group group,
+    const std::function<double(const study::Questionnaire&)>& extract) {
+  std::vector<double> values;
+  for (std::size_t i = 0; i < outcome.sessions.size(); ++i)
+    if (outcome.sessions[i].participant.group == group)
+      values.push_back(extract(outcome.questionnaires[i]));
+  return values;
+}
+
+/// "mean, sd" cell like the paper's tables.
+inline std::string mean_sd_cell(const std::vector<double>& values) {
+  return fmt(mean(values)) + ", " + fmt(sample_stddev(values));
+}
+
+}  // namespace patty::bench

@@ -1,0 +1,94 @@
+// Correctness validation (§2.1): generated parallel unit tests are executed
+// on the CHESS-style interleaving explorer. This example shows both halves:
+//  * the generated unit tests of a detected pipeline, including the
+//    OrderPreservation probe (the paper: whether an order violation
+//    compromises semantics is undecidable, so it is *tested*), and
+//  * the explorer hunting a seeded race in a model of a replicated stage
+//    that writes shared state without synchronization.
+
+#include <cstdio>
+
+#include "analysis/semantic_model.hpp"
+#include "corpus/corpus.hpp"
+#include "lang/sema.hpp"
+#include "patterns/detector.hpp"
+#include "race/explorer.hpp"
+#include "transform/testgen.hpp"
+
+int main() {
+  using namespace patty;
+
+  // --- Half 1: generated parallel unit tests on a real candidate. ---------
+  const corpus::CorpusProgram& app = corpus::desktop_search();
+  DiagnosticSink diags;
+  auto program = lang::parse_and_check(app.source, diags);
+  if (!program) return 1;
+  auto model = analysis::SemanticModel::build(*program);
+  auto detection = patterns::detect_all(*model);
+  auto tests = transform::generate_unit_tests(detection.candidates);
+
+  std::printf("Generated parallel unit tests for %s:\n", app.name.c_str());
+  for (const auto& t : tests) {
+    const transform::TestOutcome outcome =
+        transform::run_unit_test(*program, t, 3);
+    std::printf("  %-60s %s\n", t.name.c_str(),
+                outcome.passed ? "PASS" : outcome.detail.c_str());
+  }
+
+  // --- Half 2: systematic interleaving exploration. -----------------------
+  std::printf("\nSeeded race: replicated stage appending to a shared output "
+              "without order restoration.\n");
+  auto worker = [](int elem) {
+    return [elem](race::TaskContext& ctx) {
+      // fetch_add models the unsynchronized 'next free slot' cursor.
+      const std::int64_t pos = ctx.fetch_add("cursor", 1);
+      ctx.write("out" + std::to_string(pos), elem);
+      ctx.check(pos != 0 || elem == 10, "element order violated");
+    };
+  };
+  race::ExploreOptions options;
+  options.preemption_bound = 3;
+  const race::ExploreResult seeded =
+      race::explore({worker(10), worker(20)}, options);
+  std::printf("  schedules explored: %zu (exhausted: %s)\n",
+              seeded.schedules_explored, seeded.exhausted ? "yes" : "no");
+  std::printf("  races found: %zu, assertion failures: %zu, distinct final "
+              "states: %zu\n",
+              seeded.races.size(), seeded.assertion_failures.size(),
+              seeded.distinct_final_states);
+  for (const auto& r : seeded.races)
+    std::printf("    race on '%s' between tasks %d and %d (%s)\n",
+                r.var.c_str(), r.task_a, r.task_b,
+                r.write_write ? "write-write" : "read-write");
+
+  std::printf("\nFixed version: lock-protected sequencing (OrderPreservation "
+              "on).\n");
+  auto ordered = [](int elem, int seq) {
+    return [elem, seq](race::TaskContext& ctx) {
+      while (true) {
+        ctx.lock("m");
+        if (ctx.read("next") == seq) {
+          ctx.write("out" + std::to_string(seq), elem);
+          ctx.write("next", seq + 1);
+          ctx.unlock("m");
+          return;
+        }
+        ctx.unlock("m");
+        ctx.yield();
+      }
+    };
+  };
+  race::ExploreOptions bounded = options;
+  bounded.max_schedules = 400;
+  const race::ExploreResult fixed =
+      race::explore({ordered(10, 0), ordered(20, 1)}, bounded);
+  std::printf("  schedules explored: %zu, races: %zu, distinct final states: "
+              "%zu\n",
+              fixed.schedules_explored, fixed.races.size(),
+              fixed.distinct_final_states);
+
+  const bool ok = !seeded.races.empty() && fixed.races.empty() &&
+                  fixed.distinct_final_states == 1;
+  std::printf("\nrace hunt outcome: %s\n", ok ? "as expected" : "UNEXPECTED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Automatic parallelization (operation mode 1) on the user-study benchmark:
+// the 13-class ray tracer. Prints what the study's task asked for — "all
+// source code locations that are appropriate candidates for parallel
+// execution" — with runtime shares, pattern types and tuning parameters,
+// and cross-checks them against the ground truth.
+
+#include <cstdio>
+
+#include "analysis/semantic_model.hpp"
+#include "corpus/corpus.hpp"
+#include "lang/sema.hpp"
+#include "patterns/detector.hpp"
+
+int main() {
+  using namespace patty;
+  const corpus::CorpusProgram& rt = corpus::raytracer();
+  std::printf("Study benchmark: %s — %zu LoC\n\n", rt.name.c_str(), rt.loc());
+
+  DiagnosticSink diags;
+  auto program = lang::parse_and_check(rt.source, diags);
+  if (!program) {
+    std::fprintf(stderr, "%s", diags.to_string().c_str());
+    return 1;
+  }
+  std::printf("classes: %zu\n", program->classes.size());
+
+  auto model = analysis::SemanticModel::build(*program);
+  auto detection = patterns::detect_all(*model);
+
+  std::printf("\nCandidates (ranked by runtime share):\n");
+  for (const patterns::Candidate& c : detection.candidates) {
+    std::printf("  line %3u  %-18s  runtime %5.1f%%  %s\n",
+                c.anchor->range.begin.line, pattern_kind_name(c.kind),
+                100.0 * c.runtime_share, c.reason.c_str());
+    for (const rt::TuningParameter& p : c.tuning)
+      std::printf("            tuning: %s = %lld\n", p.name.c_str(),
+                  static_cast<long long>(p.value));
+  }
+
+  std::printf("\nRejected loops:\n");
+  for (const patterns::RejectedLoop& r : detection.rejected) {
+    std::printf("  line %3u  (%s) %s\n", r.loop->range.begin.line,
+                r.rule.c_str(), r.reason.c_str());
+  }
+
+  const corpus::DetectionScore score = corpus::score_program(rt, true);
+  std::printf("\nAgainst ground truth: %d/3 locations found, %d false "
+              "positives (trap %s)\n",
+              score.true_positives, score.false_positives,
+              score.false_positives == 0 ? "rejected" : "ACCEPTED");
+  std::printf("The paper's study: Patty group 3.0/3, Parallel Studio 2.25/3, "
+              "manual 2.0/3 with false positives.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "analysis/callgraph.hpp"
+
+#include <algorithm>
+
+namespace patty::analysis {
+
+CallGraph build_call_graph(const lang::Program& program) {
+  CallGraph g;
+  for (const auto& cls : program.classes) {
+    for (const auto& m : cls->methods) {
+      g.index_of[m.get()] = static_cast<int>(g.methods.size());
+      g.methods.push_back(m.get());
+    }
+  }
+  g.callees.resize(g.methods.size());
+  g.callers.resize(g.methods.size());
+
+  for (std::size_t i = 0; i < g.methods.size(); ++i) {
+    const lang::MethodDecl* m = g.methods[i];
+    std::vector<int>& out = g.callees[i];
+    lang::for_each_expr(*m->body, [&](const lang::Expr& e) {
+      const lang::MethodDecl* callee = nullptr;
+      if (e.kind == lang::ExprKind::Call) {
+        callee = e.as<lang::Call>().resolved;
+      } else if (e.kind == lang::ExprKind::New) {
+        const lang::New& n = e.as<lang::New>();
+        if (n.resolved) callee = n.resolved->find_method("init");
+      }
+      if (!callee) return;
+      const int idx = g.index(callee);
+      if (idx >= 0 && std::find(out.begin(), out.end(), idx) == out.end()) {
+        out.push_back(idx);
+        g.callers[static_cast<std::size_t>(idx)].push_back(static_cast<int>(i));
+      }
+    });
+  }
+  return g;
+}
+
+std::unordered_set<const lang::MethodDecl*> CallGraph::reachable(
+    const lang::MethodDecl* root) const {
+  std::unordered_set<const lang::MethodDecl*> result;
+  const int start = index(root);
+  if (start < 0) return result;
+  std::vector<int> work = {start};
+  result.insert(root);
+  while (!work.empty()) {
+    const int n = work.back();
+    work.pop_back();
+    for (int c : callees[static_cast<std::size_t>(n)]) {
+      const lang::MethodDecl* m = methods[static_cast<std::size_t>(c)];
+      if (result.insert(m).second) work.push_back(c);
+    }
+  }
+  return result;
+}
+
+bool CallGraph::is_recursive(const lang::MethodDecl* m) const {
+  const int start = index(m);
+  if (start < 0) return false;
+  // Reachable from any direct callee back to m.
+  std::vector<int> work = callees[static_cast<std::size_t>(start)];
+  std::unordered_set<int> seen(work.begin(), work.end());
+  while (!work.empty()) {
+    const int n = work.back();
+    work.pop_back();
+    if (n == start) return true;
+    for (int c : callees[static_cast<std::size_t>(n)]) {
+      if (seen.insert(c).second) work.push_back(c);
+    }
+  }
+  return false;
+}
+
+}  // namespace patty::analysis

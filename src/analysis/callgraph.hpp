@@ -1,0 +1,35 @@
+#pragma once
+// Static call graph: which methods (possibly) call which. MiniOO has no
+// virtual dispatch, so resolution is exact. Third input to the semantic
+// model; also drives the effect-summary fixed point and recursion checks.
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace patty::analysis {
+
+struct CallGraph {
+  std::vector<const lang::MethodDecl*> methods;
+  std::unordered_map<const lang::MethodDecl*, int> index_of;
+  std::vector<std::vector<int>> callees;  // adjacency by index
+  std::vector<std::vector<int>> callers;
+
+  [[nodiscard]] int index(const lang::MethodDecl* m) const {
+    auto it = index_of.find(m);
+    return it == index_of.end() ? -1 : it->second;
+  }
+
+  /// All methods transitively reachable from `root` (including root).
+  [[nodiscard]] std::unordered_set<const lang::MethodDecl*> reachable(
+      const lang::MethodDecl* root) const;
+
+  /// True if `m` can (transitively) call itself.
+  [[nodiscard]] bool is_recursive(const lang::MethodDecl* m) const;
+};
+
+CallGraph build_call_graph(const lang::Program& program);
+
+}  // namespace patty::analysis

@@ -1,0 +1,174 @@
+#include "analysis/cfg.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace patty::analysis {
+
+using lang::Stmt;
+using lang::StmtKind;
+
+namespace {
+
+class Builder {
+ public:
+  Cfg build(const lang::MethodDecl& method) {
+    cfg_.entry = add_node(nullptr);
+    cfg_.exit = add_node(nullptr);
+    // `frontier` is the set of nodes whose control falls through to the
+    // next statement in sequence.
+    std::vector<int> frontier = {cfg_.entry};
+    frontier = lower_block(*method.body, frontier);
+    for (int n : frontier) link(n, cfg_.exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  int add_node(const Stmt* st) {
+    const int idx = static_cast<int>(cfg_.nodes.size());
+    cfg_.nodes.push_back(CfgNode{st, {}, {}});
+    if (st) cfg_.index_of[st] = idx;
+    return idx;
+  }
+
+  void link(int from, int to) {
+    cfg_.nodes[static_cast<std::size_t>(from)].succs.push_back(to);
+    cfg_.nodes[static_cast<std::size_t>(to)].preds.push_back(from);
+  }
+
+  std::vector<int> lower_block(const lang::Block& block,
+                               std::vector<int> frontier) {
+    for (const auto& s : block.stmts) frontier = lower(*s, std::move(frontier));
+    return frontier;
+  }
+
+  /// Lower one statement; `frontier` are the nodes that flow into it.
+  /// Returns the nodes that flow out of it sequentially.
+  std::vector<int> lower(const Stmt& st, std::vector<int> frontier) {
+    switch (st.kind) {
+      case StmtKind::Annotation:
+        return frontier;  // transparent
+      case StmtKind::Block:
+        return lower_block(st.as<lang::Block>(), std::move(frontier));
+      case StmtKind::VarDecl:
+      case StmtKind::Assign:
+      case StmtKind::ExprStmt: {
+        const int node = add_node(&st);
+        for (int f : frontier) link(f, node);
+        return {node};
+      }
+      case StmtKind::If: {
+        const auto& i = st.as<lang::If>();
+        const int cond = add_node(&st);
+        for (int f : frontier) link(f, cond);
+        std::vector<int> out = lower(*i.then_branch, {cond});
+        if (i.else_branch) {
+          std::vector<int> else_out = lower(*i.else_branch, {cond});
+          out.insert(out.end(), else_out.begin(), else_out.end());
+        } else {
+          out.push_back(cond);  // fall through when condition is false
+        }
+        return out;
+      }
+      case StmtKind::While: {
+        const auto& w = st.as<lang::While>();
+        const int head = add_node(&st);
+        for (int f : frontier) link(f, head);
+        break_targets_.emplace_back();
+        continue_targets_.emplace_back();
+        std::vector<int> body_out = lower(*w.body, {head});
+        for (int n : body_out) link(n, head);
+        for (int n : continue_targets_.back()) link(n, head);
+        std::vector<int> out = std::move(break_targets_.back());
+        break_targets_.pop_back();
+        continue_targets_.pop_back();
+        out.push_back(head);  // loop exit when condition is false
+        return out;
+      }
+      case StmtKind::For: {
+        const auto& f = st.as<lang::For>();
+        std::vector<int> into = std::move(frontier);
+        if (f.init) into = lower(*f.init, std::move(into));
+        const int head = add_node(&st);  // condition check
+        for (int n : into) link(n, head);
+        break_targets_.emplace_back();
+        continue_targets_.emplace_back();
+        std::vector<int> body_out = lower(*f.body, {head});
+        std::vector<int> step_in = std::move(body_out);
+        for (int n : continue_targets_.back()) step_in.push_back(n);
+        if (f.step) step_in = lower(*f.step, std::move(step_in));
+        for (int n : step_in) link(n, head);
+        std::vector<int> out = std::move(break_targets_.back());
+        break_targets_.pop_back();
+        continue_targets_.pop_back();
+        out.push_back(head);
+        return out;
+      }
+      case StmtKind::Foreach: {
+        const auto& fe = st.as<lang::Foreach>();
+        const int head = add_node(&st);
+        for (int f : frontier) link(f, head);
+        break_targets_.emplace_back();
+        continue_targets_.emplace_back();
+        std::vector<int> body_out = lower(*fe.body, {head});
+        for (int n : body_out) link(n, head);
+        for (int n : continue_targets_.back()) link(n, head);
+        std::vector<int> out = std::move(break_targets_.back());
+        break_targets_.pop_back();
+        continue_targets_.pop_back();
+        out.push_back(head);
+        return out;
+      }
+      case StmtKind::Return: {
+        const int node = add_node(&st);
+        for (int f : frontier) link(f, node);
+        link(node, cfg_.exit);
+        return {};  // nothing falls through
+      }
+      case StmtKind::Break: {
+        const int node = add_node(&st);
+        for (int f : frontier) link(f, node);
+        if (break_targets_.empty()) fatal("break outside loop reached CFG");
+        break_targets_.back().push_back(node);
+        return {};
+      }
+      case StmtKind::Continue: {
+        const int node = add_node(&st);
+        for (int f : frontier) link(f, node);
+        if (continue_targets_.empty()) fatal("continue outside loop reached CFG");
+        continue_targets_.back().push_back(node);
+        return {};
+      }
+    }
+    fatal("unknown statement kind in CFG builder");
+  }
+
+  Cfg cfg_;
+  std::vector<std::vector<int>> break_targets_;
+  std::vector<std::vector<int>> continue_targets_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const lang::MethodDecl& method) {
+  Builder b;
+  return b.build(method);
+}
+
+std::vector<bool> reachable_from_entry(const Cfg& cfg) {
+  std::vector<bool> seen(cfg.size(), false);
+  std::vector<int> work = {cfg.entry};
+  seen[static_cast<std::size_t>(cfg.entry)] = true;
+  while (!work.empty()) {
+    const int n = work.back();
+    work.pop_back();
+    for (int s : cfg.nodes[static_cast<std::size_t>(n)].succs) {
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace patty::analysis

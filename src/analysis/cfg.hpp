@@ -1,0 +1,41 @@
+#pragma once
+// Intra-method control-flow graph over statements. One of the four inputs
+// to the paper's semantic model (CFG x data dependences x call graph x
+// runtime information).
+//
+// Nodes are leaf/control statements (annotations are transparent). Two
+// synthetic nodes, entry and exit, bracket the method.
+
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace patty::analysis {
+
+struct CfgNode {
+  const lang::Stmt* stmt = nullptr;  // null for entry/exit
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = -1;
+  int exit = -1;
+  std::unordered_map<const lang::Stmt*, int> index_of;
+
+  [[nodiscard]] std::size_t size() const { return nodes.size(); }
+  [[nodiscard]] int node_for(const lang::Stmt* st) const {
+    auto it = index_of.find(st);
+    return it == index_of.end() ? -1 : it->second;
+  }
+};
+
+/// Build the CFG of a method body.
+Cfg build_cfg(const lang::MethodDecl& method);
+
+/// Nodes reachable from the entry (by index).
+std::vector<bool> reachable_from_entry(const Cfg& cfg);
+
+}  // namespace patty::analysis

@@ -1,0 +1,166 @@
+#include "analysis/dependence.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace patty::analysis {
+
+const char* dep_kind_name(DepKind kind) {
+  switch (kind) {
+    case DepKind::True: return "true";
+    case DepKind::Anti: return "anti";
+    case DepKind::Output: return "output";
+  }
+  return "?";
+}
+
+std::string Dep::str() const {
+  std::string s = std::string(dep_kind_name(kind)) + " dep s" +
+                  std::to_string(from_id) + " -> s" + std::to_string(to_id);
+  if (carried) {
+    s += " (carried";
+    if (distance > 0) s += ", distance " + std::to_string(distance);
+    s += ")";
+  }
+  if (!note.empty()) s += " on " + note;
+  return s;
+}
+
+std::vector<const lang::Stmt*> loop_body_statements(const lang::Stmt& loop) {
+  const lang::Stmt* body = nullptr;
+  switch (loop.kind) {
+    case lang::StmtKind::For: body = loop.as<lang::For>().body.get(); break;
+    case lang::StmtKind::While: body = loop.as<lang::While>().body.get(); break;
+    case lang::StmtKind::Foreach:
+      body = loop.as<lang::Foreach>().body.get();
+      break;
+    default:
+      fatal("loop_body_statements on non-loop statement");
+  }
+  std::vector<const lang::Stmt*> out;
+  if (body->kind == lang::StmtKind::Block) {
+    for (const auto& s : body->as<lang::Block>().stmts) {
+      if (s->kind != lang::StmtKind::Annotation) out.push_back(s.get());
+    }
+  } else if (body->kind != lang::StmtKind::Annotation) {
+    out.push_back(body);
+  }
+  return out;
+}
+
+std::set<int> body_declared_slots(
+    const std::vector<const lang::Stmt*>& body_stmts) {
+  std::set<int> slots;
+  for (const lang::Stmt* top : body_stmts) {
+    lang::for_each_stmt(*top, [&](const lang::Stmt& st) {
+      if (st.kind == lang::StmtKind::VarDecl)
+        slots.insert(st.as<lang::VarDecl>().slot);
+      if (st.kind == lang::StmtKind::Foreach)
+        slots.insert(st.as<lang::Foreach>().slot);
+      if (st.kind == lang::StmtKind::For) {
+        const auto& f = st.as<lang::For>();
+        if (f.init && f.init->kind == lang::StmtKind::VarDecl)
+          slots.insert(f.init->as<lang::VarDecl>().slot);
+      }
+    });
+  }
+  return slots;
+}
+
+int owning_body_statement(const std::vector<const lang::Stmt*>& body_stmts,
+                          int stmt_id) {
+  for (const lang::Stmt* top : body_stmts) {
+    bool found = false;
+    lang::for_each_stmt(*top, [&](const lang::Stmt& st) {
+      if (st.id == stmt_id) found = true;
+    });
+    if (found) return top->id;
+  }
+  return -1;
+}
+
+namespace {
+
+std::string describe_overlap(const std::set<AbsLoc>& locs,
+                             const lang::MethodDecl* context) {
+  std::string out;
+  for (const AbsLoc& l : locs) {
+    if (!out.empty()) out += ", ";
+    out += l.pretty(context);
+  }
+  return out;
+}
+
+std::set<AbsLoc> intersect(const std::set<AbsLoc>& a,
+                           const std::set<AbsLoc>& b) {
+  std::set<AbsLoc> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+}  // namespace
+
+std::vector<Dep> static_loop_dependences(
+    const std::vector<const lang::Stmt*>& body_stmts,
+    const EffectAnalysis& effects, const lang::MethodDecl* context) {
+  std::vector<EffectSet> sets;
+  sets.reserve(body_stmts.size());
+  for (const lang::Stmt* st : body_stmts) sets.push_back(effects.stmt_effects(*st));
+
+  // Scalar privatization: anti/output conflicts that exist only through a
+  // local declared inside the body do not cross iterations.
+  const std::set<int> privatized = body_declared_slots(body_stmts);
+  auto without_privatized = [&](std::set<AbsLoc> locs) {
+    for (auto it = locs.begin(); it != locs.end();) {
+      if (it->kind == AbsLoc::Kind::Local && privatized.count(it->slot))
+        it = locs.erase(it);
+      else
+        ++it;
+    }
+    return locs;
+  };
+
+  std::vector<Dep> deps;
+  auto add = [&](int from, int to, DepKind kind, bool carried,
+                 std::set<AbsLoc> locs) {
+    // Carried dependences never arise through privatized per-iteration
+    // temporaries (true deps through them are impossible by scoping).
+    if (carried) locs = without_privatized(std::move(locs));
+    if (locs.empty()) return;
+    Dep d;
+    d.from_id = body_stmts[static_cast<std::size_t>(from)]->id;
+    d.to_id = body_stmts[static_cast<std::size_t>(to)]->id;
+    d.kind = kind;
+    d.carried = carried;
+    if (locs.size() == 1 && locs.begin()->kind == AbsLoc::Kind::Local) {
+      d.via_local = true;
+      d.local_slot = locs.begin()->slot;
+    }
+    d.note = describe_overlap(locs, context);
+    deps.push_back(std::move(d));
+  };
+
+  const int n = static_cast<int>(body_stmts.size());
+  for (int i = 0; i < n; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    // Self-carried true dependence (accumulator pattern).
+    add(i, i, DepKind::True, /*carried=*/true,
+        intersect(sets[si].writes, sets[si].reads));
+    for (int j = i + 1; j < n; ++j) {
+      const auto sj = static_cast<std::size_t>(j);
+      // Intra-iteration (forward) dependences.
+      add(i, j, DepKind::True, false, intersect(sets[si].writes, sets[sj].reads));
+      add(i, j, DepKind::Anti, false, intersect(sets[si].reads, sets[sj].writes));
+      add(i, j, DepKind::Output, false,
+          intersect(sets[si].writes, sets[sj].writes));
+      // Loop-carried (backward) dependences.
+      add(j, i, DepKind::True, true, intersect(sets[sj].writes, sets[si].reads));
+      add(j, i, DepKind::Anti, true, intersect(sets[sj].reads, sets[si].writes));
+      add(j, i, DepKind::Output, true,
+          intersect(sets[sj].writes, sets[si].writes));
+    }
+  }
+  return deps;
+}
+
+}  // namespace patty::analysis

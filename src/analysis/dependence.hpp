@@ -1,0 +1,64 @@
+#pragma once
+// Data-dependence representation shared by the static analysis (pessimistic,
+// type-based may-alias) and the dynamic profile (optimistic, observed).
+// The pattern detectors consume both: the paper's "optimistic
+// parallelization" uses dynamic dependences where profiling covered the
+// loop and falls back to static ones elsewhere.
+
+#include <string>
+#include <vector>
+
+#include "analysis/effects.hpp"
+#include "lang/ast.hpp"
+
+namespace patty::analysis {
+
+enum class DepKind : std::uint8_t { True, Anti, Output };
+
+const char* dep_kind_name(DepKind kind);
+
+struct Dep {
+  int from_id = -1;  // statement id of the source (the earlier access)
+  int to_id = -1;    // statement id of the sink
+  DepKind kind = DepKind::True;
+  bool carried = false;       // crosses loop iterations
+  std::int64_t distance = 0;  // iteration distance (dynamic; 0 = unknown/static)
+  /// When the conflicting location is a local variable: its slot. Used for
+  /// scalar privatization — carried anti/output dependences through locals
+  /// declared inside the loop body are artifacts of slot reuse (each
+  /// iteration conceptually owns a fresh instance) and are discounted.
+  bool via_local = false;
+  int local_slot = -1;
+  std::string note;           // human-readable location description
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Static dependence analysis over the top-level statements of a loop body.
+///
+/// For statements Si, Sj (i < j in body order) with effect sets Ei, Ej:
+///   intra-iteration: Wi∩Rj true, Ri∩Wj anti, Wi∩Wj output (i -> j)
+///   loop-carried:    Wj∩Ri true, Rj∩Wi anti, Wj∩Wi output (j -> i)
+///   self-carried:    Wi∩Ri true dependence of Si on itself (accumulators)
+///
+/// Lexical scoping guarantees locals declared inside the body cannot be
+/// read by earlier statements, so carried dependences through per-iteration
+/// temporaries do not arise.
+std::vector<Dep> static_loop_dependences(
+    const std::vector<const lang::Stmt*>& body_stmts,
+    const EffectAnalysis& effects, const lang::MethodDecl* context);
+
+/// Top-level statements of a loop body in program order (annotations
+/// excluded; a non-block body yields one element).
+std::vector<const lang::Stmt*> loop_body_statements(const lang::Stmt& loop);
+
+/// The body statement (by id) that a nested statement belongs to, or -1.
+int owning_body_statement(const std::vector<const lang::Stmt*>& body_stmts,
+                          int stmt_id);
+
+/// Local slots declared inside the loop body (candidates for scalar
+/// privatization: VarDecl and nested Foreach loop variables).
+std::set<int> body_declared_slots(
+    const std::vector<const lang::Stmt*>& body_stmts);
+
+}  // namespace patty::analysis

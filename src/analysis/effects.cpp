@@ -1,0 +1,339 @@
+#include "analysis/effects.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace patty::analysis {
+
+using lang::ExprKind;
+using lang::StmtKind;
+
+std::string AbsLoc::key() const {
+  switch (kind) {
+    case Kind::Local: return "L:" + std::to_string(slot);
+    case Kind::Field: return "F:" + cls + ":" + std::to_string(field);
+    case Kind::Elements: return "E:" + type_sig;
+    case Kind::ListShape: return "S:" + type_sig;
+    case Kind::Io: return "IO";
+  }
+  return "?";
+}
+
+std::string AbsLoc::pretty(const lang::MethodDecl* context) const {
+  switch (kind) {
+    case Kind::Local: {
+      if (context && slot >= 0 &&
+          slot < static_cast<int>(context->slot_names.size()) &&
+          !context->slot_names[static_cast<std::size_t>(slot)].empty())
+        return "local " + context->slot_names[static_cast<std::size_t>(slot)];
+      return "local #" + std::to_string(slot);
+    }
+    case Kind::Field: return "field " + cls + "#" + std::to_string(field);
+    case Kind::Elements: return "elements of " + type_sig;
+    case Kind::ListShape: return "shape of " + type_sig;
+    case Kind::Io: return "output stream";
+  }
+  return "?";
+}
+
+AbsLoc AbsLoc::local(int slot) {
+  AbsLoc l;
+  l.kind = Kind::Local;
+  l.slot = slot;
+  return l;
+}
+AbsLoc AbsLoc::field_loc(std::string cls, int index) {
+  AbsLoc l;
+  l.kind = Kind::Field;
+  l.cls = std::move(cls);
+  l.field = index;
+  return l;
+}
+AbsLoc AbsLoc::elements(std::string type_sig) {
+  AbsLoc l;
+  l.kind = Kind::Elements;
+  l.type_sig = std::move(type_sig);
+  return l;
+}
+AbsLoc AbsLoc::list_shape(std::string type_sig) {
+  AbsLoc l;
+  l.kind = Kind::ListShape;
+  l.type_sig = std::move(type_sig);
+  return l;
+}
+AbsLoc AbsLoc::io() {
+  AbsLoc l;
+  l.kind = Kind::Io;
+  return l;
+}
+
+void EffectSet::merge(const EffectSet& other) {
+  reads.insert(other.reads.begin(), other.reads.end());
+  writes.insert(other.writes.begin(), other.writes.end());
+}
+
+namespace {
+bool intersects(const std::set<AbsLoc>& a, const std::set<AbsLoc>& b) {
+  // Sets are ordered by key; linear merge scan.
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) ++ia;
+    else ++ib;
+  }
+  return false;
+}
+}  // namespace
+
+bool EffectSet::writes_intersect_reads(const EffectSet& other) const {
+  return intersects(writes, other.reads);
+}
+
+bool EffectSet::writes_intersect_writes(const EffectSet& other) const {
+  return intersects(writes, other.writes);
+}
+
+std::set<AbsLoc> EffectSet::write_read_overlap(const EffectSet& other) const {
+  std::set<AbsLoc> out;
+  std::set_intersection(writes.begin(), writes.end(), other.reads.begin(),
+                        other.reads.end(), std::inserter(out, out.begin()));
+  return out;
+}
+
+EffectAnalysis::EffectAnalysis(const lang::Program& program,
+                               const CallGraph& cg)
+    : program_(program), cg_(cg) {
+  compute_summaries();
+}
+
+const EffectSet& EffectAnalysis::method_summary(
+    const lang::MethodDecl* m) const {
+  auto it = summaries_.find(m);
+  if (it == summaries_.end()) fatal("no effect summary for method");
+  return it->second;
+}
+
+void EffectAnalysis::compute_summaries() {
+  // Initialize empty, iterate to fixed point (terminates: sets only grow and
+  // the abstract location universe is finite).
+  for (const lang::MethodDecl* m : cg_.methods) summaries_[m];
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const lang::MethodDecl* m : cg_.methods) {
+      EffectSet fresh;
+      collect_stmt(*m->body, fresh, /*include_locals=*/false);
+      EffectSet& current = summaries_[m];
+      const std::size_t before = current.reads.size() + current.writes.size();
+      current.merge(fresh);
+      if (current.reads.size() + current.writes.size() != before)
+        changed = true;
+    }
+  }
+}
+
+EffectSet EffectAnalysis::stmt_effects(const lang::Stmt& st) const {
+  EffectSet out;
+  collect_stmt(st, out, /*include_locals=*/true);
+  return out;
+}
+
+EffectSet EffectAnalysis::expr_effects(const lang::Expr& e) const {
+  EffectSet out;
+  collect_expr(e, out, /*include_locals=*/true);
+  return out;
+}
+
+void EffectAnalysis::collect_stmt(const lang::Stmt& st, EffectSet& out,
+                                  bool include_locals) const {
+  switch (st.kind) {
+    case StmtKind::Block:
+      for (const auto& s : st.as<lang::Block>().stmts)
+        collect_stmt(*s, out, include_locals);
+      break;
+    case StmtKind::VarDecl: {
+      const auto& d = st.as<lang::VarDecl>();
+      if (d.init) collect_expr(*d.init, out, include_locals);
+      if (include_locals) out.writes.insert(AbsLoc::local(d.slot));
+      break;
+    }
+    case StmtKind::Assign: {
+      const auto& a = st.as<lang::Assign>();
+      collect_expr(*a.value, out, include_locals);
+      write_target(*a.target, out, include_locals);
+      break;
+    }
+    case StmtKind::ExprStmt:
+      collect_expr(*st.as<lang::ExprStmt>().expr, out, include_locals);
+      break;
+    case StmtKind::If: {
+      const auto& i = st.as<lang::If>();
+      collect_expr(*i.cond, out, include_locals);
+      collect_stmt(*i.then_branch, out, include_locals);
+      if (i.else_branch) collect_stmt(*i.else_branch, out, include_locals);
+      break;
+    }
+    case StmtKind::While: {
+      const auto& w = st.as<lang::While>();
+      collect_expr(*w.cond, out, include_locals);
+      collect_stmt(*w.body, out, include_locals);
+      break;
+    }
+    case StmtKind::For: {
+      const auto& f = st.as<lang::For>();
+      if (f.init) collect_stmt(*f.init, out, include_locals);
+      if (f.cond) collect_expr(*f.cond, out, include_locals);
+      if (f.step) collect_stmt(*f.step, out, include_locals);
+      collect_stmt(*f.body, out, include_locals);
+      break;
+    }
+    case StmtKind::Foreach: {
+      const auto& f = st.as<lang::Foreach>();
+      collect_expr(*f.iterable, out, include_locals);
+      if (f.iterable->type)
+        out.reads.insert(AbsLoc::list_shape(f.iterable->type->str()));
+      if (include_locals) out.writes.insert(AbsLoc::local(f.slot));
+      collect_stmt(*f.body, out, include_locals);
+      break;
+    }
+    case StmtKind::Return: {
+      const auto& r = st.as<lang::Return>();
+      if (r.value) collect_expr(*r.value, out, include_locals);
+      break;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Annotation:
+      break;
+  }
+}
+
+void EffectAnalysis::write_target(const lang::Expr& target, EffectSet& out,
+                                  bool include_locals) const {
+  switch (target.kind) {
+    case ExprKind::VarRef: {
+      const auto& ref = target.as<lang::VarRef>();
+      if (ref.is_local()) {
+        if (include_locals) out.writes.insert(AbsLoc::local(ref.slot));
+      } else {
+        out.writes.insert(AbsLoc::field_loc(
+            ref.owner_class ? ref.owner_class->name : "?", ref.field_index));
+      }
+      break;
+    }
+    case ExprKind::FieldAccess: {
+      const auto& fa = target.as<lang::FieldAccess>();
+      collect_expr(*fa.object, out, include_locals);
+      const std::string cls = fa.object->type ? fa.object->type->str() : "?";
+      out.writes.insert(AbsLoc::field_loc(cls, fa.field_index));
+      break;
+    }
+    case ExprKind::IndexAccess: {
+      const auto& ix = target.as<lang::IndexAccess>();
+      collect_expr(*ix.base, out, include_locals);
+      collect_expr(*ix.index, out, include_locals);
+      const std::string sig = ix.base->type ? ix.base->type->str() : "?";
+      out.writes.insert(AbsLoc::elements(sig));
+      break;
+    }
+    default:
+      fatal("invalid assignment target in effect analysis");
+  }
+}
+
+void EffectAnalysis::collect_expr(const lang::Expr& e, EffectSet& out,
+                                  bool include_locals) const {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::DoubleLit:
+    case ExprKind::BoolLit:
+    case ExprKind::StringLit:
+    case ExprKind::NullLit:
+      break;
+    case ExprKind::VarRef: {
+      const auto& ref = e.as<lang::VarRef>();
+      if (ref.is_local()) {
+        if (include_locals) out.reads.insert(AbsLoc::local(ref.slot));
+      } else {
+        out.reads.insert(AbsLoc::field_loc(
+            ref.owner_class ? ref.owner_class->name : "?", ref.field_index));
+      }
+      break;
+    }
+    case ExprKind::FieldAccess: {
+      const auto& fa = e.as<lang::FieldAccess>();
+      collect_expr(*fa.object, out, include_locals);
+      const std::string cls = fa.object->type ? fa.object->type->str() : "?";
+      out.reads.insert(AbsLoc::field_loc(cls, fa.field_index));
+      break;
+    }
+    case ExprKind::IndexAccess: {
+      const auto& ix = e.as<lang::IndexAccess>();
+      collect_expr(*ix.base, out, include_locals);
+      collect_expr(*ix.index, out, include_locals);
+      const std::string sig = ix.base->type ? ix.base->type->str() : "?";
+      out.reads.insert(AbsLoc::elements(sig));
+      break;
+    }
+    case ExprKind::Call: {
+      const auto& c = e.as<lang::Call>();
+      if (c.receiver) collect_expr(*c.receiver, out, include_locals);
+      for (const auto& a : c.args) collect_expr(*a, out, include_locals);
+      if (c.resolved) {
+        auto it = summaries_.find(c.resolved);
+        if (it != summaries_.end()) out.merge(it->second);
+      } else {
+        // Builtin effects.
+        switch (c.builtin) {
+          case lang::Builtin::Print:
+            out.writes.insert(AbsLoc::io());
+            break;
+          case lang::Builtin::Push: {
+            const std::string sig =
+                c.args[0]->type ? c.args[0]->type->str() : "?";
+            out.writes.insert(AbsLoc::list_shape(sig));
+            break;
+          }
+          case lang::Builtin::Len: {
+            const lang::TypePtr& t = c.args[0]->type;
+            if (t && t->kind == lang::Type::Kind::List)
+              out.reads.insert(AbsLoc::list_shape(t->str()));
+            break;
+          }
+          default:
+            break;  // pure builtins
+        }
+      }
+      break;
+    }
+    case ExprKind::New: {
+      const auto& n = e.as<lang::New>();
+      for (const auto& a : n.args) collect_expr(*a, out, include_locals);
+      if (n.resolved) {
+        if (const lang::MethodDecl* ctor = n.resolved->find_method("init")) {
+          auto it = summaries_.find(ctor);
+          if (it != summaries_.end()) out.merge(it->second);
+        }
+      }
+      break;
+    }
+    case ExprKind::NewArray: {
+      const auto& n = e.as<lang::NewArray>();
+      if (n.size) collect_expr(*n.size, out, include_locals);
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& b = e.as<lang::Binary>();
+      collect_expr(*b.lhs, out, include_locals);
+      collect_expr(*b.rhs, out, include_locals);
+      break;
+    }
+    case ExprKind::Unary:
+      collect_expr(*e.as<lang::Unary>().operand, out, include_locals);
+      break;
+  }
+}
+
+}  // namespace patty::analysis

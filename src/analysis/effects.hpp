@@ -1,0 +1,91 @@
+#pragma once
+// Static read/write effect analysis.
+//
+// Abstract locations approximate runtime memory:
+//   Local(slot)            one local variable of the analyzed method
+//   Field(Class, index)    any instance of Class, that field (type-based
+//                          may-alias: two expressions of the same class type
+//                          may reference the same object)
+//   Elements(type-string)  any element of any array/list of that type
+//   ListShape(type-string) the length/backing of any list of that type
+//                          (written by push(), read by len()/foreach)
+//   Io                     the output stream (print)
+//
+// This is the pessimistic half of the paper's model; the optimistic half is
+// the dynamic dependence profile. Method effects on non-local state are
+// summarized with a fixed point over the call graph, so statement-level
+// effect queries see through calls.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/callgraph.hpp"
+#include "lang/ast.hpp"
+
+namespace patty::analysis {
+
+struct AbsLoc {
+  enum class Kind : std::uint8_t { Local, Field, Elements, ListShape, Io };
+  Kind kind = Kind::Local;
+  int slot = -1;          // Local
+  std::string cls;        // Field: class name
+  int field = -1;         // Field: index
+  std::string type_sig;   // Elements / ListShape: container type string
+
+  [[nodiscard]] std::string key() const;
+  [[nodiscard]] std::string pretty(const lang::MethodDecl* context) const;
+
+  friend bool operator<(const AbsLoc& a, const AbsLoc& b) {
+    return a.key() < b.key();
+  }
+  friend bool operator==(const AbsLoc& a, const AbsLoc& b) {
+    return a.key() == b.key();
+  }
+
+  static AbsLoc local(int slot);
+  static AbsLoc field_loc(std::string cls, int index);
+  static AbsLoc elements(std::string type_sig);
+  static AbsLoc list_shape(std::string type_sig);
+  static AbsLoc io();
+};
+
+struct EffectSet {
+  std::set<AbsLoc> reads;
+  std::set<AbsLoc> writes;
+
+  void merge(const EffectSet& other);
+  [[nodiscard]] bool writes_intersect_reads(const EffectSet& other) const;
+  [[nodiscard]] bool writes_intersect_writes(const EffectSet& other) const;
+  /// Locations written by this set and read by `other`.
+  [[nodiscard]] std::set<AbsLoc> write_read_overlap(const EffectSet& other) const;
+};
+
+class EffectAnalysis {
+ public:
+  EffectAnalysis(const lang::Program& program, const CallGraph& cg);
+
+  /// Effects of executing one statement subtree (locals included).
+  EffectSet stmt_effects(const lang::Stmt& st) const;
+
+  /// Effects of evaluating an expression (locals included).
+  EffectSet expr_effects(const lang::Expr& e) const;
+
+  /// Non-local summary of a method (fields/elements/io only).
+  const EffectSet& method_summary(const lang::MethodDecl* m) const;
+
+ private:
+  void compute_summaries();
+  void collect_expr(const lang::Expr& e, EffectSet& out,
+                    bool include_locals) const;
+  void collect_stmt(const lang::Stmt& st, EffectSet& out,
+                    bool include_locals) const;
+  void write_target(const lang::Expr& target, EffectSet& out,
+                    bool include_locals) const;
+
+  const lang::Program& program_;
+  const CallGraph& cg_;
+  std::map<const lang::MethodDecl*, EffectSet> summaries_;
+};
+
+}  // namespace patty::analysis

@@ -1,0 +1,232 @@
+#include "analysis/profiler.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace patty::analysis {
+
+namespace {
+
+/// Build stmt-id -> statement and stmt-id -> parent-id maps for a program.
+void index_program(const lang::Program& program,
+                   std::unordered_map<int, const lang::Stmt*>& by_id,
+                   std::unordered_map<int, int>& parent_of) {
+  struct Walker {
+    std::unordered_map<int, const lang::Stmt*>& by_id;
+    std::unordered_map<int, int>& parent_of;
+
+    void walk(const lang::Stmt& st, int parent) {
+      by_id[st.id] = &st;
+      parent_of[st.id] = parent;
+      switch (st.kind) {
+        case lang::StmtKind::Block:
+          for (const auto& s : st.as<lang::Block>().stmts) walk(*s, st.id);
+          break;
+        case lang::StmtKind::If: {
+          const auto& i = st.as<lang::If>();
+          walk(*i.then_branch, st.id);
+          if (i.else_branch) walk(*i.else_branch, st.id);
+          break;
+        }
+        case lang::StmtKind::While:
+          walk(*st.as<lang::While>().body, st.id);
+          break;
+        case lang::StmtKind::For: {
+          const auto& f = st.as<lang::For>();
+          if (f.init) walk(*f.init, st.id);
+          if (f.step) walk(*f.step, st.id);
+          walk(*f.body, st.id);
+          break;
+        }
+        case lang::StmtKind::Foreach:
+          walk(*st.as<lang::Foreach>().body, st.id);
+          break;
+        default:
+          break;
+      }
+    }
+  };
+  Walker w{by_id, parent_of};
+  for (const auto& cls : program.classes)
+    for (const auto& m : cls->methods) w.walk(*m->body, -1);
+}
+
+}  // namespace
+
+Profiler::Profiler(const lang::Program& program) : program_(program) {
+  index_program(program_, stmt_by_id_, parent_of_);
+}
+
+std::vector<std::pair<int, std::int64_t>> Profiler::loop_snapshot() const {
+  std::vector<std::pair<int, std::int64_t>> snap;
+  snap.reserve(loop_stack_.size());
+  for (const LoopFrame& f : loop_stack_)
+    snap.emplace_back(f.loop->id, f.iteration);
+  return snap;
+}
+
+void Profiler::charge_chain(std::uint64_t amount) {
+  total_cost_ += amount;
+  // Attribute to the current statement, its static ancestors, and every
+  // call site on the stack (with their static ancestors): inclusive cost.
+  std::set<int> charged;  // a statement may appear twice via recursion
+  auto charge_up = [&](const lang::Stmt* st) {
+    int id = st ? st->id : -1;
+    while (id >= 0) {
+      if (charged.insert(id).second)
+        stmt_profiles_[id].inclusive_cost += amount;
+      auto it = parent_of_.find(id);
+      id = it == parent_of_.end() ? -1 : it->second;
+    }
+  };
+  charge_up(current_stmt_);
+  for (const lang::Stmt* site : call_site_stack_) charge_up(site);
+}
+
+void Profiler::on_stmt(const lang::Stmt& stmt) {
+  current_stmt_ = &stmt;
+  stmt_profiles_[stmt.id].exec_count += 1;
+  charge_chain(1);
+}
+
+void Profiler::on_work(std::uint64_t cost) { charge_chain(cost); }
+
+void Profiler::record_dep(const Access& from, const lang::Stmt& to,
+                          DepKind kind, const MemLoc& loc) {
+  if (!from.stmt) return;
+  const std::int64_t slot =
+      loc.kind == MemLoc::Kind::Local ? loc.index : -1;
+  // Compare the writer's loop snapshot with the current stack: shared
+  // prefix of active loops determines carried-ness per loop.
+  const auto current = loop_snapshot();
+  const std::size_t common = std::min(current.size(), from.loop_iters.size());
+  for (std::size_t d = 0; d < common; ++d) {
+    if (current[d].first != from.loop_iters[d].first) break;
+    const int loop_id = current[d].first;
+    const std::int64_t delta = current[d].second - from.loop_iters[d].second;
+    if (delta < 0) break;  // different loop execution; ignore
+    auto key =
+        std::make_tuple(from.stmt->id, to.id, static_cast<int>(kind), slot);
+    DepAcc& acc = loop_deps_[loop_id][key];
+    if (delta > 0) {
+      acc.carried = true;
+      if (!acc.has_distance || delta < acc.min_distance) {
+        acc.min_distance = delta;
+        acc.has_distance = true;
+      }
+    }
+    deps_dirty_ = true;
+  }
+}
+
+void Profiler::on_read(const MemLoc& loc, const lang::Stmt& stmt) {
+  auto it = last_writer_.find(loc);
+  if (it != last_writer_.end())
+    record_dep(it->second, stmt, DepKind::True, loc);
+  last_reader_[loc] = Access{&stmt, loop_snapshot()};
+}
+
+void Profiler::on_write(const MemLoc& loc, const lang::Stmt& stmt) {
+  auto rit = last_reader_.find(loc);
+  if (rit != last_reader_.end() && rit->second.stmt != &stmt)
+    record_dep(rit->second, stmt, DepKind::Anti, loc);
+  auto wit = last_writer_.find(loc);
+  if (wit != last_writer_.end())
+    record_dep(wit->second, stmt, DepKind::Output, loc);
+  last_writer_[loc] = Access{&stmt, loop_snapshot()};
+}
+
+void Profiler::on_loop_enter(const lang::Stmt& loop) {
+  loop_stack_.push_back({&loop, -1});
+  LoopProfile& p = loops_[loop.id];
+  p.loop = &loop;
+  p.entries += 1;
+}
+
+void Profiler::on_loop_iteration(const lang::Stmt& loop, std::int64_t iter) {
+  if (!loop_stack_.empty() && loop_stack_.back().loop == &loop)
+    loop_stack_.back().iteration = iter;
+  loops_[loop.id].total_iterations += 1;
+}
+
+void Profiler::on_loop_exit(const lang::Stmt& loop) {
+  if (!loop_stack_.empty() && loop_stack_.back().loop == &loop)
+    loop_stack_.pop_back();
+}
+
+void Profiler::on_branch(const lang::Stmt& if_stmt, bool taken) {
+  BranchProfile& b = branches_[if_stmt.id];
+  if (taken) b.taken += 1;
+  else b.not_taken += 1;
+}
+
+void Profiler::on_call(const lang::MethodDecl& callee,
+                       const lang::Stmt* call_site) {
+  call_counts_[&callee] += 1;
+  call_site_stack_.push_back(call_site);
+}
+
+void Profiler::on_return(const lang::MethodDecl& callee) {
+  (void)callee;
+  if (!call_site_stack_.empty()) call_site_stack_.pop_back();
+}
+
+const Profiler::StmtProfile& Profiler::stmt_profile(int stmt_id) const {
+  static const StmtProfile empty;
+  auto it = stmt_profiles_.find(stmt_id);
+  return it == stmt_profiles_.end() ? empty : it->second;
+}
+
+double Profiler::runtime_share(int stmt_id) const {
+  if (total_cost_ == 0) return 0.0;
+  return static_cast<double>(stmt_profile(stmt_id).inclusive_cost) /
+         static_cast<double>(total_cost_);
+}
+
+void Profiler::finalize_deps() const {
+  if (!deps_dirty_) return;
+  for (auto& [loop_id, dep_map] : const_cast<Profiler*>(this)->loop_deps_) {
+    LoopProfile& p = loops_[loop_id];
+    p.deps.clear();
+    for (const auto& [key, acc] : dep_map) {
+      Dep d;
+      d.from_id = std::get<0>(key);
+      d.to_id = std::get<1>(key);
+      d.kind = static_cast<DepKind>(std::get<2>(key));
+      d.carried = acc.carried;
+      d.distance = acc.has_distance ? acc.min_distance : 0;
+      if (std::get<3>(key) >= 0) {
+        d.via_local = true;
+        d.local_slot = static_cast<int>(std::get<3>(key));
+      }
+      p.deps.push_back(std::move(d));
+    }
+  }
+  deps_dirty_ = false;
+}
+
+const Profiler::LoopProfile* Profiler::loop_profile(int loop_stmt_id) const {
+  finalize_deps();
+  auto it = loops_.find(loop_stmt_id);
+  return it == loops_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Profiler::call_count(const lang::MethodDecl* m) const {
+  auto it = call_counts_.find(m);
+  return it == call_counts_.end() ? 0 : it->second;
+}
+
+std::size_t Profiler::memory_footprint() const {
+  std::size_t bytes = 0;
+  bytes += stmt_profiles_.size() * (sizeof(int) + sizeof(StmtProfile) + 16);
+  bytes += (last_writer_.size() + last_reader_.size()) *
+           (sizeof(MemLoc) + sizeof(Access) + 32);
+  for (const auto& [id, deps] : loop_deps_) {
+    (void)id;
+    bytes += deps.size() *
+             (sizeof(std::tuple<int, int, int, std::int64_t>) + sizeof(DepAcc));
+  }
+  bytes += branches_.size() * (sizeof(int) + sizeof(BranchProfile) + 16);
+  return bytes;
+}
+
+}  // namespace patty::analysis

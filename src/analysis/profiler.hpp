@@ -1,0 +1,122 @@
+#pragma once
+// Dynamic-analysis tracer: the runtime half of the paper's semantic model.
+// One profiled execution yields, per statement, execution counts and
+// inclusive cost (runtime share), and per loop, trip counts plus the
+// *observed* data dependences (optimistic: only dependences that actually
+// occurred under the given input data). Branch outcomes feed the
+// path-coverage input synthesis for generated parallel unit tests.
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "analysis/tracer.hpp"
+#include "lang/ast.hpp"
+
+namespace patty::analysis {
+
+class Profiler : public Tracer {
+ public:
+  explicit Profiler(const lang::Program& program);
+
+  // Tracer interface -------------------------------------------------------
+  void on_stmt(const lang::Stmt& stmt) override;
+  void on_work(std::uint64_t cost) override;
+  void on_read(const MemLoc& loc, const lang::Stmt& stmt) override;
+  void on_write(const MemLoc& loc, const lang::Stmt& stmt) override;
+  void on_loop_enter(const lang::Stmt& loop) override;
+  void on_loop_iteration(const lang::Stmt& loop, std::int64_t iter) override;
+  void on_loop_exit(const lang::Stmt& loop) override;
+  void on_branch(const lang::Stmt& if_stmt, bool taken) override;
+  void on_call(const lang::MethodDecl& callee,
+               const lang::Stmt* call_site) override;
+  void on_return(const lang::MethodDecl& callee) override;
+
+  // Results ----------------------------------------------------------------
+  struct StmtProfile {
+    std::uint64_t exec_count = 0;
+    std::uint64_t inclusive_cost = 0;  // own cost + nested + callees
+  };
+
+  struct LoopProfile {
+    const lang::Stmt* loop = nullptr;
+    std::uint64_t entries = 0;
+    std::uint64_t total_iterations = 0;
+    /// Observed dependences, deduplicated; distance is the minimum seen.
+    std::vector<Dep> deps;
+  };
+
+  struct BranchProfile {
+    std::uint64_t taken = 0;
+    std::uint64_t not_taken = 0;
+  };
+
+  [[nodiscard]] const StmtProfile& stmt_profile(int stmt_id) const;
+  [[nodiscard]] std::uint64_t total_cost() const { return total_cost_; }
+  /// Fraction of total cost attributed to this statement (inclusive).
+  [[nodiscard]] double runtime_share(int stmt_id) const;
+  /// Loop profile, or nullptr if the loop never executed.
+  [[nodiscard]] const LoopProfile* loop_profile(int loop_stmt_id) const;
+  [[nodiscard]] const std::map<int, LoopProfile>& loops() const {
+    finalize_deps();
+    return loops_;
+  }
+  [[nodiscard]] const std::map<int, BranchProfile>& branches() const {
+    return branches_;
+  }
+  [[nodiscard]] std::uint64_t call_count(const lang::MethodDecl* m) const;
+
+  /// Approximate additional heap bytes held by the profile (overhead bench).
+  [[nodiscard]] std::size_t memory_footprint() const;
+
+ private:
+  struct LoopFrame {
+    const lang::Stmt* loop;
+    std::int64_t iteration = -1;
+  };
+  struct Access {
+    const lang::Stmt* stmt = nullptr;
+    // (loop stmt id, iteration) snapshot of the active-loop stack.
+    std::vector<std::pair<int, std::int64_t>> loop_iters;
+  };
+  struct DepAcc {
+    bool carried = false;
+    std::int64_t min_distance = 0;
+    bool has_distance = false;
+  };
+
+  void record_dep(const Access& from, const lang::Stmt& to, DepKind kind,
+                  const MemLoc& loc);
+  std::vector<std::pair<int, std::int64_t>> loop_snapshot() const;
+  void charge_chain(std::uint64_t amount);
+  void finalize_deps() const;
+
+  const lang::Program& program_;
+  std::unordered_map<int, const lang::Stmt*> stmt_by_id_;
+  std::unordered_map<int, int> parent_of_;  // stmt id -> parent stmt id (-1 top)
+
+  std::unordered_map<int, StmtProfile> stmt_profiles_;
+  // Mutable so const accessors can lazily fold loop_deps_ into deps vectors.
+  mutable std::map<int, LoopProfile> loops_;
+  // (from, to, kind, local-slot-or-minus-one) -> carried/distance info,
+  // per loop. The slot component supports scalar privatization downstream.
+  std::map<int, std::map<std::tuple<int, int, int, std::int64_t>, DepAcc>>
+      loop_deps_;
+  mutable bool deps_dirty_ = false;
+  std::map<int, BranchProfile> branches_;
+  std::unordered_map<const lang::MethodDecl*, std::uint64_t> call_counts_;
+
+  std::vector<LoopFrame> loop_stack_;
+  std::vector<const lang::Stmt*> call_site_stack_;
+  const lang::Stmt* current_stmt_ = nullptr;
+  std::uint64_t total_cost_ = 0;
+
+  std::unordered_map<MemLoc, Access, MemLocHash> last_writer_;
+  std::unordered_map<MemLoc, Access, MemLocHash> last_reader_;
+};
+
+/// Finalize: move accumulated dep maps into LoopProfile::deps. Called
+/// automatically by accessors; idempotent.
+}  // namespace patty::analysis

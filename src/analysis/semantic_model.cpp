@@ -1,0 +1,151 @@
+#include "analysis/semantic_model.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace patty::analysis {
+
+std::unique_ptr<SemanticModel> SemanticModel::build(
+    const lang::Program& program, Options options) {
+  auto model = std::unique_ptr<SemanticModel>(new SemanticModel());
+  model->program_ = &program;
+  model->call_graph_ = build_call_graph(program);
+  model->effects_ =
+      std::make_unique<EffectAnalysis>(program, model->call_graph_);
+
+  // Index statements and owning methods.
+  for (const auto& cls : program.classes) {
+    for (const auto& m : cls->methods) {
+      lang::for_each_stmt(*m->body, [&](const lang::Stmt& st) {
+        model->stmt_by_id_[st.id] = &st;
+        model->method_by_stmt_id_[st.id] = m.get();
+      });
+    }
+  }
+  model->collect_loops();
+
+  if (options.run_dynamic) {
+    model->profiler_ = std::make_unique<Profiler>(program);
+    Interpreter interp(program, model->profiler_.get(), options.interp);
+    interp.run_main();  // throws RuntimeError on failure
+  }
+  return model;
+}
+
+void SemanticModel::collect_loops() {
+  for (const auto& cls : program_->classes) {
+    for (const auto& m : cls->methods) {
+      // Depth-first walk tracking loop nesting depth.
+      struct Walker {
+        std::vector<LoopInfo>& out;
+        const lang::MethodDecl* method;
+        void walk(const lang::Stmt& st, int depth) {
+          const bool is_loop = st.kind == lang::StmtKind::For ||
+                               st.kind == lang::StmtKind::While ||
+                               st.kind == lang::StmtKind::Foreach;
+          if (is_loop) out.push_back({&st, method, depth});
+          const int next = depth + (is_loop ? 1 : 0);
+          switch (st.kind) {
+            case lang::StmtKind::Block:
+              for (const auto& s : st.as<lang::Block>().stmts)
+                walk(*s, depth);
+              break;
+            case lang::StmtKind::If: {
+              const auto& i = st.as<lang::If>();
+              walk(*i.then_branch, depth);
+              if (i.else_branch) walk(*i.else_branch, depth);
+              break;
+            }
+            case lang::StmtKind::While:
+              walk(*st.as<lang::While>().body, next);
+              break;
+            case lang::StmtKind::For: {
+              const auto& f = st.as<lang::For>();
+              if (f.init) walk(*f.init, next);
+              if (f.step) walk(*f.step, next);
+              walk(*f.body, next);
+              break;
+            }
+            case lang::StmtKind::Foreach:
+              walk(*st.as<lang::Foreach>().body, next);
+              break;
+            default:
+              break;
+          }
+        }
+      };
+      Walker w{loops_, m.get()};
+      w.walk(*m->body, 0);
+    }
+  }
+}
+
+const Cfg& SemanticModel::cfg(const lang::MethodDecl& method) const {
+  auto it = cfg_cache_.find(&method);
+  if (it != cfg_cache_.end()) return it->second;
+  return cfg_cache_.emplace(&method, build_cfg(method)).first->second;
+}
+
+bool SemanticModel::loop_was_profiled(const lang::Stmt& loop) const {
+  if (!profiler_) return false;
+  const Profiler::LoopProfile* p = profiler_->loop_profile(loop.id);
+  return p != nullptr && p->total_iterations > 0;
+}
+
+std::vector<Dep> SemanticModel::loop_dependences(const lang::Stmt& loop,
+                                                 bool optimistic) const {
+  const std::vector<const lang::Stmt*> body = loop_body_statements(loop);
+  if (optimistic && loop_was_profiled(loop)) {
+    // Observed dependences are recorded at the finest statement level;
+    // project them onto the top-level body statements. Scalar
+    // privatization applies here: carried anti/output dependences through
+    // locals declared inside the body are slot-reuse artifacts (each
+    // element owns a fresh frame after transformation).
+    const std::set<int> privatized = body_declared_slots(body);
+    const Profiler::LoopProfile* p = profiler_->loop_profile(loop.id);
+    std::vector<Dep> projected;
+    std::map<std::tuple<int, int, int, bool>, std::int64_t> dedup;
+    for (const Dep& d : p->deps) {
+      if (d.carried && d.via_local && d.kind != DepKind::True &&
+          privatized.count(d.local_slot))
+        continue;
+      const int from_top = owning_body_statement(body, d.from_id);
+      const int to_top = owning_body_statement(body, d.to_id);
+      if (from_top < 0 || to_top < 0) continue;  // outside the body
+      auto key = std::make_tuple(from_top, to_top,
+                                 static_cast<int>(d.kind), d.carried);
+      auto it = dedup.find(key);
+      if (it == dedup.end() || (d.distance > 0 && d.distance < it->second))
+        dedup[key] = d.distance;
+    }
+    for (const auto& [key, distance] : dedup) {
+      Dep d;
+      d.from_id = std::get<0>(key);
+      d.to_id = std::get<1>(key);
+      d.kind = static_cast<DepKind>(std::get<2>(key));
+      d.carried = std::get<3>(key);
+      d.distance = distance;
+      d.note = "observed";
+      projected.push_back(std::move(d));
+    }
+    return projected;
+  }
+  const lang::MethodDecl* method = method_of(loop);
+  return static_loop_dependences(body, *effects_, method);
+}
+
+double SemanticModel::runtime_share(const lang::Stmt& st) const {
+  if (!profiler_) return 0.0;
+  return profiler_->runtime_share(st.id);
+}
+
+const lang::Stmt* SemanticModel::stmt_by_id(int id) const {
+  auto it = stmt_by_id_.find(id);
+  return it == stmt_by_id_.end() ? nullptr : it->second;
+}
+
+const lang::MethodDecl* SemanticModel::method_of(const lang::Stmt& st) const {
+  auto it = method_by_stmt_id_.find(st.id);
+  return it == method_by_stmt_id_.end() ? nullptr : it->second;
+}
+
+}  // namespace patty::analysis

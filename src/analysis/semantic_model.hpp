@@ -1,0 +1,85 @@
+#pragma once
+// The paper's semantic model: "the cross product from the control flow
+// graph, the data dependencies, the call graph, and runtime information"
+// (§2.1). This facade builds all four for a program, runs the dynamic
+// analysis, and answers the queries the pattern detectors need.
+
+#include <memory>
+#include <optional>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/dependence.hpp"
+#include "analysis/effects.hpp"
+#include "analysis/interpreter.hpp"
+#include "analysis/profiler.hpp"
+#include "lang/ast.hpp"
+
+namespace patty::analysis {
+
+/// A loop (For/While/Foreach) located inside a method.
+struct LoopInfo {
+  const lang::Stmt* loop = nullptr;
+  const lang::MethodDecl* method = nullptr;
+  int depth = 0;  // nesting depth within the method (0 = outermost)
+};
+
+struct SemanticModelOptions {
+  /// Execute the program's main() under the profiler (dynamic half).
+  bool run_dynamic = true;
+  InterpreterOptions interp;
+};
+
+class SemanticModel {
+ public:
+  using Options = SemanticModelOptions;
+
+  /// Build the full model. The program must be sema-checked.
+  /// Throws RuntimeError if dynamic analysis is requested and execution
+  /// fails (callers may retry with run_dynamic = false).
+  static std::unique_ptr<SemanticModel> build(const lang::Program& program,
+                                              Options options = {});
+
+  const lang::Program& program() const { return *program_; }
+  const CallGraph& call_graph() const { return call_graph_; }
+  const EffectAnalysis& effects() const { return *effects_; }
+  /// CFG of a method (built on demand, cached).
+  const Cfg& cfg(const lang::MethodDecl& method) const;
+  /// Dynamic profile; nullptr when run_dynamic was false.
+  const Profiler* profile() const { return profiler_.get(); }
+
+  /// All loops in the program, outermost-first per method.
+  const std::vector<LoopInfo>& loops() const { return loops_; }
+
+  /// Dependences among the top-level body statements of a loop:
+  /// observed (dynamic) if the loop executed under profiling, otherwise the
+  /// pessimistic static set. `optimistic` false forces the static set.
+  std::vector<Dep> loop_dependences(const lang::Stmt& loop,
+                                    bool optimistic = true) const;
+
+  /// True when the loop executed at least one iteration under profiling.
+  bool loop_was_profiled(const lang::Stmt& loop) const;
+
+  /// Inclusive runtime share of a statement, 0 if no dynamic info.
+  double runtime_share(const lang::Stmt& st) const;
+
+  /// Look up a statement by id anywhere in the program.
+  const lang::Stmt* stmt_by_id(int id) const;
+  /// The method whose body (transitively) contains the statement.
+  const lang::MethodDecl* method_of(const lang::Stmt& st) const;
+
+ private:
+  SemanticModel() = default;
+  void collect_loops();
+
+  const lang::Program* program_ = nullptr;
+  CallGraph call_graph_;
+  std::unique_ptr<EffectAnalysis> effects_;
+  std::unique_ptr<Profiler> profiler_;
+  std::vector<LoopInfo> loops_;
+  std::unordered_map<int, const lang::Stmt*> stmt_by_id_;
+  std::unordered_map<int, const lang::MethodDecl*> method_by_stmt_id_;
+  mutable std::unordered_map<const lang::MethodDecl*, Cfg> cfg_cache_;
+};
+
+}  // namespace patty::analysis

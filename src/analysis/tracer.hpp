@@ -1,0 +1,77 @@
+#pragma once
+// Instrumentation interface for the interpreter. The dynamic-analysis phase
+// of the paper's process model (runtime shares, observed dependences, loop
+// trip counts, branch outcomes for path coverage) is implemented as Tracer
+// subclasses; plain execution passes no tracer and pays no cost.
+
+#include <cstdint>
+
+#include "lang/ast.hpp"
+
+namespace patty::analysis {
+
+/// Identity of one concrete memory cell at runtime.
+struct MemLoc {
+  enum class Kind : std::uint8_t { Local, Field, Element };
+  Kind kind = Kind::Local;
+  const void* base = nullptr;  // frame address / object address / array address
+  std::int64_t index = 0;      // slot, field index, or element index
+
+  friend bool operator==(const MemLoc&, const MemLoc&) = default;
+};
+
+struct MemLocHash {
+  std::size_t operator()(const MemLoc& loc) const {
+    std::size_t h = std::hash<const void*>()(loc.base);
+    h ^= std::hash<std::int64_t>()(loc.index) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    h ^= static_cast<std::size_t>(loc.kind) * 0x100000001b3ULL;
+    return h;
+  }
+};
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+
+  /// A statement begins executing; `cost` is its deterministic cost-model
+  /// charge (1 for ordinary statements; work(n) adds n via on_work).
+  virtual void on_stmt(const lang::Stmt& stmt) { (void)stmt; }
+
+  /// Extra deterministic cost attributed to the current statement.
+  virtual void on_work(std::uint64_t cost) { (void)cost; }
+
+  /// A concrete memory cell was read/written while `stmt` executed.
+  virtual void on_read(const MemLoc& loc, const lang::Stmt& stmt) {
+    (void)loc;
+    (void)stmt;
+  }
+  virtual void on_write(const MemLoc& loc, const lang::Stmt& stmt) {
+    (void)loc;
+    (void)stmt;
+  }
+
+  /// Loop iteration boundaries (loop = the For/While/Foreach statement).
+  virtual void on_loop_enter(const lang::Stmt& loop) { (void)loop; }
+  virtual void on_loop_iteration(const lang::Stmt& loop, std::int64_t iter) {
+    (void)loop;
+    (void)iter;
+  }
+  virtual void on_loop_exit(const lang::Stmt& loop) { (void)loop; }
+
+  /// Branch outcome of an If statement (for path-coverage input synthesis).
+  virtual void on_branch(const lang::Stmt& if_stmt, bool taken) {
+    (void)if_stmt;
+    (void)taken;
+  }
+
+  /// Method call/return events (for the dynamic call graph).
+  virtual void on_call(const lang::MethodDecl& callee,
+                       const lang::Stmt* call_site) {
+    (void)callee;
+    (void)call_site;
+  }
+  virtual void on_return(const lang::MethodDecl& callee) { (void)callee; }
+};
+
+}  // namespace patty::analysis

@@ -1,0 +1,75 @@
+#pragma once
+// Benchmark corpus.
+//
+// Hand-written MiniOO programs:
+//  * avistream       — the paper's running example (figures 2/3)
+//  * raytracer       — the user-study benchmark: 13 classes, ~173 LoC,
+//                      exactly 3 ground-truth parallelizable locations, of
+//                      which only one dominates the profile (the paper's
+//                      manual group found that one via the profiler), plus
+//                      one deliberate data-race trap (the false positive
+//                      the paper's manual group produced)
+//  * desktop_search  — index-generator pipeline (paper ref [28])
+//  * matrix          — dense data-parallel kernels
+//  * histogram       — shared-bin accumulation: looks parallel, is not
+//
+// Plus a deterministic synthetic-program generator for the §5 study
+// (26,580 LoC detection-quality corpus) with per-loop ground truth.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace patty::corpus {
+
+/// Ground truth for one source location (keyed by the loop's line).
+struct TruthLocation {
+  std::uint32_t line = 0;
+  bool parallelizable = true;   // semantic ground truth
+  std::string pattern;          // "pipeline", "parfor", "reduction", "masterworker"
+  std::string description;
+};
+
+struct CorpusProgram {
+  std::string name;
+  std::string source;
+  std::vector<TruthLocation> truth;  // only *labeled* locations
+  /// Lines of code (non-empty, non-comment), computed from source.
+  [[nodiscard]] std::size_t loc() const;
+};
+
+const CorpusProgram& avistream();
+const CorpusProgram& raytracer();
+const CorpusProgram& desktop_search();
+const CorpusProgram& matrix();
+const CorpusProgram& histogram();
+
+/// All hand-written programs.
+std::vector<const CorpusProgram*> handwritten();
+
+/// Deterministic synthetic suite for the precision/recall study. Programs
+/// are generated from templates covering: clear positives, positives hidden
+/// in never-executed code (optimism cannot help; static fallback misses
+/// them), input-dependent aliasing (optimism produces false positives),
+/// and true recurrences (correct rejections). `blocks` scales total size.
+std::vector<CorpusProgram> synthetic_suite(int blocks, std::uint64_t seed);
+
+/// Detection-quality scoring: compares detected loop locations (by line)
+/// against ground truth across a set of programs.
+struct DetectionScore {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+  int true_negatives = 0;
+
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+};
+
+/// Run the detector over one program and score it against its truth.
+/// `optimistic` selects the paper's mode vs. the static baseline.
+DetectionScore score_program(const CorpusProgram& program, bool optimistic,
+                             std::string* error = nullptr);
+
+}  // namespace patty::corpus

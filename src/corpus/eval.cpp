@@ -1,0 +1,48 @@
+#include <set>
+
+#include "analysis/semantic_model.hpp"
+#include "corpus/corpus.hpp"
+#include "lang/sema.hpp"
+#include "patterns/detector.hpp"
+
+namespace patty::corpus {
+
+DetectionScore score_program(const CorpusProgram& program, bool optimistic,
+                             std::string* error) {
+  DetectionScore score;
+  DiagnosticSink diags;
+  auto parsed = lang::parse_and_check(program.source, diags);
+  if (!parsed) {
+    if (error) *error = program.name + ": " + diags.to_string();
+    return score;
+  }
+  std::unique_ptr<analysis::SemanticModel> model;
+  try {
+    model = analysis::SemanticModel::build(*parsed);
+  } catch (const analysis::RuntimeError& e) {
+    if (error) *error = program.name + ": " + e.message;
+    return score;
+  }
+  patterns::DetectionOptions options;
+  options.optimistic = optimistic;
+  const patterns::DetectionResult result = patterns::detect_all(*model, options);
+
+  std::set<std::uint32_t> detected_lines;
+  for (const patterns::Candidate& c : result.candidates) {
+    if (c.anchor) detected_lines.insert(c.anchor->range.begin.line);
+  }
+
+  // Only labeled locations are scored; unlabeled candidates (helper loops
+  // etc.) are out of scope for the ground truth.
+  for (const TruthLocation& t : program.truth) {
+    const bool detected = detected_lines.count(t.line) > 0;
+    if (t.parallelizable) {
+      detected ? ++score.true_positives : ++score.false_negatives;
+    } else {
+      detected ? ++score.false_positives : ++score.true_negatives;
+    }
+  }
+  return score;
+}
+
+}  // namespace patty::corpus

@@ -1,0 +1,502 @@
+#include "corpus/corpus.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace patty::corpus {
+
+namespace {
+
+/// Line (1-based) of the first occurrence of `needle` in `source`.
+std::uint32_t line_of(const std::string& source, const std::string& needle) {
+  const std::size_t pos = source.find(needle);
+  if (pos == std::string::npos)
+    fatal("corpus marker not found: " + needle);
+  std::uint32_t line = 1;
+  for (std::size_t i = 0; i < pos; ++i)
+    if (source[i] == '\n') ++line;
+  return line;
+}
+
+}  // namespace
+
+std::size_t CorpusProgram::loc() const {
+  std::istringstream in(source);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line.compare(first, 2, "//") == 0) continue;
+    ++count;
+  }
+  return count;
+}
+
+double DetectionScore::precision() const {
+  const int denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double DetectionScore::recall() const {
+  const int denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double DetectionScore::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+// ---------------------------------------------------------------------------
+// avistream — the paper's running example (figures 2/3).
+// ---------------------------------------------------------------------------
+
+const CorpusProgram& avistream() {
+  static const CorpusProgram program = [] {
+    CorpusProgram p;
+    p.name = "avistream";
+    p.source = R"(class Image {
+  int data;
+  Image WithData(int d) {
+    Image r = new Image();
+    r.data = d;
+    return r;
+  }
+}
+class Filter {
+  int strength;
+  Image Apply(Image img) {
+    work(40);
+    return img.WithData(img.data + strength);
+  }
+}
+class Conv32bpp {
+  Image Apply(Image a, Image b, Image c) {
+    work(10);
+    return a.WithData(a.data + b.data + c.data);
+  }
+}
+class VideoApp {
+  Filter cropFilter;
+  Filter histogramFilter;
+  Filter oilFilter;
+  Conv32bpp conv;
+  void init() {
+    cropFilter = new Filter();
+    cropFilter.strength = 1;
+    histogramFilter = new Filter();
+    histogramFilter.strength = 2;
+    oilFilter = new Filter();
+    oilFilter.strength = 3;
+    conv = new Conv32bpp();
+  }
+  list<Image> Process(list<Image> aviIn) {
+    list<Image> aviOut = new list<Image>();
+    foreach (Image i in aviIn) {
+      Image c = cropFilter.Apply(i);
+      Image h = histogramFilter.Apply(i);
+      Image o = oilFilter.Apply(i);
+      Image r = conv.Apply(c, h, o);
+      push(aviOut, r);
+    }
+    return aviOut;
+  }
+  void main() {
+    list<Image> aviIn = new list<Image>();
+    for (int k = 0; k < 24; k++) {
+      Image img = new Image();
+      img.data = k * 7 % 31;
+      push(aviIn, img);
+    }
+    list<Image> aviOut = Process(aviIn);
+    int checksum = 0;
+    foreach (Image r in aviOut) {
+      checksum = checksum + r.data;
+    }
+    print(checksum);
+  }
+}
+)";
+    p.truth.push_back({line_of(p.source, "foreach (Image i in aviIn)"), true,
+                       "pipeline", "video filter chain (fig. 2)"});
+    p.truth.push_back({line_of(p.source, "foreach (Image r in aviOut)"), true,
+                       "reduction", "checksum over processed frames"});
+    return p;
+  }();
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// raytracer — the user-study benchmark: 13 classes, ~173 LoC, 3 locations.
+// ---------------------------------------------------------------------------
+
+const CorpusProgram& raytracer() {
+  static const CorpusProgram program = [] {
+    CorpusProgram p;
+    p.name = "raytracer";
+    p.source = R"(class Vec3 {
+  double x; double y; double z;
+  void init(double ax, double ay, double az) { x = ax; y = ay; z = az; }
+  Vec3 Add(Vec3 o) { return new Vec3(x + o.x, y + o.y, z + o.z); }
+  Vec3 Sub(Vec3 o) { return new Vec3(x - o.x, y - o.y, z - o.z); }
+  Vec3 Scale(double s) { return new Vec3(x * s, y * s, z * s); }
+  double Dot(Vec3 o) { return x * o.x + y * o.y + z * o.z; }
+  Vec3 Norm() {
+    double len = sqrt(Dot(this_ref()));
+    return new Vec3(x / len, y / len, z / len);
+  }
+  Vec3 Cross(Vec3 o) {
+    double cx = y * o.z - z * o.y;
+    double cy = z * o.x - x * o.z;
+    double cz = x * o.y - y * o.x;
+    return new Vec3(cx, cy, cz);
+  }
+  Vec3 Reflect(Vec3 normal) {
+    double d = 2.0 * Dot(normal);
+    return Sub(normal.Scale(d));
+  }
+  Vec3 this_ref() { return new Vec3(x, y, z); }
+}
+class Ray {
+  Vec3 origin; Vec3 dir;
+  void init(Vec3 o, Vec3 d) { origin = o; dir = d; }
+  Vec3 At(double t) { return origin.Add(dir.Scale(t)); }
+}
+class Material {
+  double reflect; int color; double shine;
+  void init(int c, double r) { color = c; reflect = r; shine = 8.0; }
+  int Blend(int other) {
+    double mixed = color * (1.0 - reflect) + other * reflect;
+    return clamp(floor(mixed), 0, 255);
+  }
+}
+class Sphere {
+  Vec3 center; double radius; Material mat;
+  void init(Vec3 c, double r, Material m) { center = c; radius = r; mat = m; }
+  double Intersect(Ray ray) {
+    Vec3 oc = ray.origin.Sub(center);
+    double b = oc.Dot(ray.dir);
+    double disc = b * b - oc.Dot(oc) + radius * radius;
+    if (disc < 0.0) { return 0.0 - 1.0; }
+    return 0.0 - b - sqrt(disc);
+  }
+  Vec3 Normal(Vec3 point) {
+    return point.Sub(center).Norm();
+  }
+}
+class Hit {
+  double t; Sphere obj; bool found;
+}
+class Light {
+  Vec3 pos; double intensity;
+  void init(Vec3 p, double i) { pos = p; intensity = i; }
+  double Attenuate(double distance) {
+    double falloff = 1.0 / (1.0 + distance * distance * 0.02);
+    return intensity * falloff;
+  }
+}
+class Camera {
+  Vec3 eye;
+  void init(Vec3 e) { eye = e; }
+  Ray Shoot(int px, int py, int w, int h) {
+    double dx = (px * 2.0 - w) / h;
+    double dy = (py * 2.0 - h) / h;
+    Vec3 d = new Vec3(dx, dy, 1.0);
+    return new Ray(eye, d.Norm());
+  }
+  double Aspect(int w, int h) {
+    if (h == 0) { return 1.0; }
+    return (w * 1.0) / h;
+  }
+}
+class Scene {
+  list<Sphere> spheres; Light light;
+  void init() {
+    spheres = new list<Sphere>();
+    light = new Light(new Vec3(5.0, 5.0, 0.0 - 3.0), 0.9);
+  }
+  Hit Trace(Ray ray) {
+    Hit best = new Hit();
+    best.found = false;
+    best.t = 100000.0;
+    foreach (Sphere s in spheres) {
+      double t = s.Intersect(ray);
+      if (t > 0.001 && t < best.t) {
+        best.t = t;
+        best.obj = s;
+        best.found = true;
+      }
+    }
+    return best;
+  }
+  bool InShadow(Vec3 point) {
+    Vec3 toLight = light.pos.Sub(point);
+    Ray shadowRay = new Ray(point, toLight.Norm());
+    Hit hit = Trace(shadowRay);
+    return hit.found && hit.t * hit.t < toLight.Dot(toLight);
+  }
+  int Background(Ray ray) {
+    double t = 0.5 * (ray.dir.y + 1.0);
+    return clamp(floor(16.0 + t * 48.0), 0, 255);
+  }
+}
+class Bitmap {
+  int width; int height; int[] pixels;
+  void init(int w, int h) { width = w; height = h; pixels = new int[w * h]; }
+  int At(int px, int py) { return pixels[py * width + px]; }
+  void Fill(int value) {
+    for (int i = 0; i < width * height; i++) { pixels[i] = value; }
+  }
+}
+class Shader {
+  Scene scene;
+  void init(Scene s) { scene = s; }
+  int ShadePixel(Ray ray) {
+    Hit hit = scene.Trace(ray);
+    if (!hit.found) { return scene.Background(ray); }
+    Vec3 point = ray.At(hit.t);
+    Vec3 normal = hit.obj.Normal(point);
+    Vec3 toLight = scene.light.pos.Sub(point).Norm();
+    double lambert = max(0.0, toLight.Dot(normal));
+    double glow = scene.light.Attenuate(hit.t);
+    int base = hit.obj.mat.color;
+    int lit = clamp(floor(base * lambert * glow), 0, 255);
+    return hit.obj.mat.Blend(lit);
+  }
+}
+class ToneMapper {
+  int Map(int v) { return clamp(floor(sqrt(v * 255.0)), 0, 255); }
+  int Gamma(int v, double g) {
+    double scaled = v / 255.0;
+    double lifted = scaled * g + scaled * (1.0 - g);
+    return clamp(floor(lifted * 255.0), 0, 255);
+  }
+}
+class Histogram {
+  int[] bins;
+  void init() { bins = new int[16]; }
+}
+class RayTracerApp {
+  Scene scene; Camera camera; Shader shader; ToneMapper tone; Histogram histo;
+  void init() {
+    scene = new Scene();
+    push(scene.spheres, new Sphere(new Vec3(0.0, 0.0, 5.0), 1.5, new Material(200, 0.3)));
+    push(scene.spheres, new Sphere(new Vec3(2.0, 1.0, 6.0), 1.0, new Material(120, 0.1)));
+    push(scene.spheres, new Sphere(new Vec3(0.0 - 2.0, 0.0 - 1.0, 4.0), 0.8, new Material(80, 0.5)));
+    camera = new Camera(new Vec3(0.0, 0.0, 0.0 - 1.0));
+    shader = new Shader(scene);
+    tone = new ToneMapper();
+    histo = new Histogram();
+  }
+  void main() {
+    Bitmap img = new Bitmap(16, 12);
+    for (int i = 0; i < img.width * img.height; i++) {
+      Ray ray = camera.Shoot(i % img.width, i / img.width, img.width, img.height);
+      img.pixels[i] = shader.ShadePixel(ray);
+    }
+    for (int i = 0; i < img.width * img.height; i++) {
+      img.pixels[i] = tone.Map(img.pixels[i]);
+    }
+    for (int i = 0; i < img.width * img.height; i++) {
+      histo.bins[img.pixels[i] / 16] = histo.bins[img.pixels[i] / 16] + 1;
+    }
+    double total = 0.0;
+    for (int i = 0; i < img.width * img.height; i++) {
+      total = total + img.pixels[i];
+    }
+    print(floor(total));
+    print(histo.bins[0]);
+  }
+}
+)";
+    // Ground truth: the three locations the study's task asks for.
+    p.truth.push_back({line_of(p.source, "Ray ray = camera.Shoot") - 1, true,
+                       "parfor", "render loop (the profiler hotspot)"});
+    p.truth.push_back({line_of(p.source, "img.pixels[i] = tone.Map") - 1, true,
+                       "parfor", "tone-mapping pass"});
+    p.truth.push_back({line_of(p.source, "total = total + img.pixels[i]") - 1,
+                       true, "reduction", "luminance accumulation"});
+    // The trap: shared-bin histogram. Looks like an independent pixel loop,
+    // but bins collide — the false positive the manual group produced.
+    p.truth.push_back({line_of(p.source, "histo.bins[img.pixels[i] / 16]") - 1,
+                       false, "none",
+                       "histogram with shared bins (data race trap)"});
+    return p;
+  }();
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// desktop_search — index-generator pipeline (paper ref [28]).
+// ---------------------------------------------------------------------------
+
+const CorpusProgram& desktop_search() {
+  static const CorpusProgram program = [] {
+    CorpusProgram p;
+    p.name = "desktop_search";
+    p.source = R"(class Document {
+  int id; int words; int hash;
+}
+class Loader {
+  Document Load(int id) {
+    work(20);
+    Document d = new Document();
+    d.id = id;
+    d.words = 50 + id * 13 % 200;
+    return d;
+  }
+}
+class Tokenizer {
+  Document Tokenize(Document d) {
+    work(35);
+    d.hash = d.words * 31 + d.id;
+    return d;
+  }
+}
+class StopwordFilter {
+  Document Strip(Document d) {
+    work(15);
+    d.words = d.words - d.words / 10;
+    return d;
+  }
+}
+class Index {
+  list<int> entries;
+  void init() { entries = new list<int>(); }
+  void Add(Document d) { push(entries, d.hash + d.words); }
+}
+class SearchApp {
+  Loader loader; Tokenizer tokenizer; StopwordFilter stopper; Index index;
+  void init() {
+    loader = new Loader();
+    tokenizer = new Tokenizer();
+    stopper = new StopwordFilter();
+    index = new Index();
+  }
+  void main() {
+    list<int> ids = new list<int>();
+    for (int i = 0; i < 30; i++) { push(ids, i); }
+    foreach (int id in ids) {
+      Document d = loader.Load(id);
+      Document t = tokenizer.Tokenize(d);
+      Document s = stopper.Strip(t);
+      index.Add(s);
+    }
+    print(len(index.entries));
+  }
+}
+)";
+    p.truth.push_back({line_of(p.source, "foreach (int id in ids)"), true,
+                       "pipeline", "load => tokenize => strip => index"});
+    return p;
+  }();
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// matrix — dense data-parallel kernels.
+// ---------------------------------------------------------------------------
+
+const CorpusProgram& matrix() {
+  static const CorpusProgram program = [] {
+    CorpusProgram p;
+    p.name = "matrix";
+    p.source = R"(class Mat {
+  int n; double[] cells;
+  void init(int an) { n = an; cells = new double[an * an]; }
+  double Get(int r, int c) { return cells[r * n + c]; }
+  void Set(int r, int c, double v) { cells[r * n + c] = v; }
+}
+class Kernels {
+  Mat Multiply(Mat a, Mat b) {
+    Mat out = new Mat(a.n);
+    for (int i = 0; i < a.n * a.n; i++) {
+      int r = i / a.n;
+      int c = i % a.n;
+      double acc = 0.0;
+      for (int k = 0; k < a.n; k++) {
+        acc = acc + a.Get(r, k) * b.Get(k, c);
+      }
+      out.cells[i] = acc;
+    }
+    return out;
+  }
+  double FrobeniusSq(Mat m) {
+    double total = 0.0;
+    for (int i = 0; i < m.n * m.n; i++) {
+      total = total + m.cells[i] * m.cells[i];
+    }
+    return total;
+  }
+}
+class MatrixApp {
+  Kernels kernels;
+  void init() { kernels = new Kernels(); }
+  void main() {
+    Mat a = new Mat(12);
+    Mat b = new Mat(12);
+    for (int i = 0; i < 144; i++) {
+      a.cells[i] = (i % 7) * 0.5;
+      b.cells[i] = (i % 5) * 0.25;
+    }
+    Mat c = kernels.Multiply(a, b);
+    print(floor(kernels.FrobeniusSq(c)));
+  }
+}
+)";
+    p.truth.push_back({line_of(p.source, "int r = i / a.n") - 1, true,
+                       "parfor", "matrix-multiply row loop"});
+    p.truth.push_back(
+        {line_of(p.source, "total = total + m.cells[i] * m.cells[i]") - 1,
+         true, "reduction", "Frobenius norm"});
+    p.truth.push_back({line_of(p.source, "a.cells[i] = (i % 7) * 0.5") - 1,
+                       true, "parfor", "matrix initialization"});
+    return p;
+  }();
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// histogram — shared-bin accumulation (correctly NOT parallelizable).
+// ---------------------------------------------------------------------------
+
+const CorpusProgram& histogram() {
+  static const CorpusProgram program = [] {
+    CorpusProgram p;
+    p.name = "histogram";
+    p.source = R"(class HistogramApp {
+  void main() {
+    int[] data = new int[300];
+    for (int i = 0; i < 300; i++) {
+      data[i] = (i * 37 + 11) % 64;
+    }
+    int[] bins = new int[8];
+    for (int i = 0; i < 300; i++) {
+      bins[data[i] / 8] = bins[data[i] / 8] + 1;
+    }
+    int peak = 0;
+    for (int i = 0; i < 8; i++) {
+      peak = max(peak, bins[i]);
+    }
+    print(peak);
+  }
+}
+)";
+    p.truth.push_back({line_of(p.source, "data[i] = (i * 37 + 11) % 64") - 1,
+                       true, "parfor", "input generation"});
+    p.truth.push_back({line_of(p.source, "bins[data[i] / 8]") - 1, false,
+                       "none", "shared-bin accumulation (carried)"});
+    return p;
+  }();
+  return program;
+}
+
+std::vector<const CorpusProgram*> handwritten() {
+  return {&avistream(), &raytracer(), &desktop_search(), &matrix(),
+          &histogram()};
+}
+
+}  // namespace patty::corpus

@@ -1,0 +1,192 @@
+#include <algorithm>
+
+#include "corpus/corpus.hpp"
+#include "support/rng.hpp"
+
+namespace patty::corpus {
+
+namespace {
+
+/// Builds one synthetic program as source text while tracking line numbers
+/// for ground-truth labels.
+class ProgramBuilder {
+ public:
+  void line(const std::string& text) {
+    source_ += text;
+    source_ += "\n";
+    ++line_no_;
+  }
+  /// Line number the *next* emitted line will get.
+  [[nodiscard]] std::uint32_t next_line() const { return line_no_; }
+  void label(bool parallelizable, const std::string& pattern,
+             const std::string& description) {
+    truth_.push_back({next_line(), parallelizable, pattern, description});
+  }
+
+  CorpusProgram finish(std::string name) {
+    CorpusProgram p;
+    p.name = std::move(name);
+    p.source = std::move(source_);
+    p.truth = std::move(truth_);
+    return p;
+  }
+
+ private:
+  std::string source_;
+  std::uint32_t line_no_ = 1;
+  std::vector<TruthLocation> truth_;
+};
+
+/// Dead sequential filler: scales program size the way real business logic
+/// pads real codebases. Never called from main.
+void emit_filler(ProgramBuilder& b, Rng& rng, int methods) {
+  for (int m = 0; m < methods; ++m) {
+    const int id = rng.int_in(0, 999999);
+    b.line("  int Helper" + std::to_string(m) + "_" + std::to_string(id) +
+           "(int v) {");
+    b.line("    int acc = v;");
+    const int steps = rng.int_in(4, 9);
+    for (int s = 0; s < steps; ++s) {
+      switch (rng.int_in(0, 3)) {
+        case 0:
+          b.line("    acc = acc * " + std::to_string(rng.int_in(2, 9)) +
+                 " + " + std::to_string(rng.int_in(1, 99)) + ";");
+          break;
+        case 1:
+          b.line("    if (acc % " + std::to_string(rng.int_in(2, 7)) +
+                 " == 0) { acc = acc + 1; }");
+          break;
+        case 2:
+          b.line("    acc = clamp(acc, 0, " +
+                 std::to_string(rng.int_in(100, 10000)) + ");");
+          break;
+        default:
+          b.line("    acc = abs(acc - " + std::to_string(rng.int_in(1, 50)) +
+                 ");");
+          break;
+      }
+    }
+    b.line("    return acc;");
+    b.line("  }");
+  }
+}
+
+CorpusProgram make_block(int index, Rng& rng) {
+  ProgramBuilder b;
+  const std::string cls = "Synth" + std::to_string(index);
+  const int n = rng.int_in(24, 48);
+  const std::string N = std::to_string(n);
+
+  b.line("class " + cls + " {");
+  b.line("  int[] src;");
+  b.line("  int[] dst;");
+  b.line("  int[] idx;");
+  b.line("  int[] chain;");
+  b.line("  list<int> out;");
+  b.line("  void init() {");
+  b.line("    src = new int[" + N + "];");
+  b.line("    dst = new int[" + N + "];");
+  b.line("    idx = new int[" + N + "];");
+  b.line("    chain = new int[" + N + "];");
+  b.line("    out = new list<int>();");
+  b.line("    for (int i = 0; i < " + N + "; i++) {");
+  b.line("      src[i] = (i * " + std::to_string(rng.int_in(3, 17)) + " + " +
+         std::to_string(rng.int_in(1, 29)) + ") % 101;");
+  b.line("      idx[i] = i;");  // identity permutation under this input
+  b.line("    }");
+  b.line("  }");
+
+  // 1) Clear data-parallel positive (found: TP).
+  b.line("  void MapKernel() {");
+  b.label(true, "parfor", "independent element map");
+  b.line("    for (int i = 0; i < " + N + "; i++) {");
+  b.line("      dst[i] = src[i] * " + std::to_string(rng.int_in(2, 9)) +
+         " + work(2);");
+  b.line("    }");
+  b.line("  }");
+
+  // 2) Clear reduction positive (found: TP).
+  b.line("  int SumKernel() {");
+  b.line("    int total = 0;");
+  b.label(true, "reduction", "associative accumulation");
+  b.line("    for (int i = 0; i < " + N + "; i++) {");
+  b.line("      total = total + src[i] * src[i];");
+  b.line("    }");
+  b.line("    return total;");
+  b.line("  }");
+
+  // 3) Pipeline positive (found: TP).
+  b.line("  void PipeKernel() {");
+  b.label(true, "pipeline", "two-stage stream with ordered append");
+  b.line("    foreach (int v in src) {");
+  b.line("      int cooked = v * 3 + work(3);");
+  b.line("      push(out, cooked);");
+  b.line("    }");
+  b.line("  }");
+
+  // 4) Positive hidden in never-executed code (missed: FN). The guard is
+  // data-dependent and false under the embedded input; the static fallback
+  // cannot tell dst/src apart (type-based aliasing) and rejects.
+  const int fn_count = (index % 2 == 0) ? 1 : 2;
+  for (int f = 0; f < fn_count; ++f) {
+    b.line("  void ColdKernel" + std::to_string(f) + "(int flag) {");
+    b.line("    if (flag > " + std::to_string(1000 + f) + ") {");
+    b.label(true, "parfor", "independent map in never-profiled branch");
+    b.line("      for (int i = 0; i < " + N + "; i++) {");
+    b.line("        dst[i] = src[i] + " + std::to_string(rng.int_in(1, 9)) +
+           ";");
+    b.line("      }");
+    b.line("    }");
+    b.line("  }");
+  }
+
+  // 5) Input-dependent aliasing (claimed: FP). idx is an identity
+  // permutation under the profiled input, so the optimistic analysis sees
+  // independent writes — but idx may contain duplicates in general, so the
+  // ground truth is NOT parallelizable.
+  b.line("  void ScatterKernel() {");
+  b.label(false, "none", "scatter through possibly-duplicating index");
+  b.line("    for (int i = 0; i < " + N + "; i++) {");
+  b.line("      dst[idx[i]] = src[i] + 1;");
+  b.line("    }");
+  b.line("  }");
+
+  // 6) True recurrence (correctly rejected: TN).
+  b.line("  void ChainKernel() {");
+  b.line("    chain[0] = 1;");
+  b.label(false, "none", "first-order recurrence");
+  b.line("    for (int i = 1; i < " + N + "; i++) {");
+  b.line("      chain[i] = chain[i - 1] + src[i];");
+  b.line("    }");
+  b.line("  }");
+
+  emit_filler(b, rng, rng.int_in(18, 26));
+
+  b.line("  void main() {");
+  b.line("    MapKernel();");
+  b.line("    int s = SumKernel();");
+  b.line("    PipeKernel();");
+  b.line("    ColdKernel0(0);");
+  if (fn_count > 1) b.line("    ColdKernel1(0);");
+  b.line("    ScatterKernel();");
+  b.line("    ChainKernel();");
+  b.line("    print(s + len(out) + chain[" + N + " - 1] + dst[0]);");
+  b.line("  }");
+  b.line("}");
+  return b.finish("synth" + std::to_string(index));
+}
+
+}  // namespace
+
+std::vector<CorpusProgram> synthetic_suite(int blocks, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CorpusProgram> suite;
+  suite.reserve(static_cast<std::size_t>(blocks));
+  for (int i = 0; i < blocks; ++i) {
+    Rng child = rng.split();
+    suite.push_back(make_block(i, child));
+  }
+  return suite;
+}
+
+}  // namespace patty::corpus

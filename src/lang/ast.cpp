@@ -1,0 +1,161 @@
+#include "lang/ast.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace patty::lang {
+
+namespace {
+
+void walk_expr(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  switch (e.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::DoubleLit:
+    case ExprKind::BoolLit:
+    case ExprKind::StringLit:
+    case ExprKind::NullLit:
+    case ExprKind::VarRef:
+      break;
+    case ExprKind::FieldAccess:
+      walk_expr(*e.as<FieldAccess>().object, fn);
+      break;
+    case ExprKind::IndexAccess: {
+      const auto& ix = e.as<IndexAccess>();
+      walk_expr(*ix.base, fn);
+      walk_expr(*ix.index, fn);
+      break;
+    }
+    case ExprKind::Call: {
+      const auto& c = e.as<Call>();
+      if (c.receiver) walk_expr(*c.receiver, fn);
+      for (const auto& a : c.args) walk_expr(*a, fn);
+      break;
+    }
+    case ExprKind::New: {
+      const auto& n = e.as<New>();
+      for (const auto& a : n.args) walk_expr(*a, fn);
+      break;
+    }
+    case ExprKind::NewArray: {
+      const auto& n = e.as<NewArray>();
+      if (n.size) walk_expr(*n.size, fn);
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& b = e.as<Binary>();
+      walk_expr(*b.lhs, fn);
+      walk_expr(*b.rhs, fn);
+      break;
+    }
+    case ExprKind::Unary:
+      walk_expr(*e.as<Unary>().operand, fn);
+      break;
+  }
+}
+
+void walk_stmt(const Stmt& st, const std::function<void(const Stmt&)>& stmt_fn,
+               const std::function<void(const Expr&)>* expr_fn) {
+  if (stmt_fn) stmt_fn(st);
+  auto on_expr = [&](const Expr& e) {
+    if (expr_fn) walk_expr(e, *expr_fn);
+  };
+  switch (st.kind) {
+    case StmtKind::Block:
+      for (const auto& s : st.as<Block>().stmts) walk_stmt(*s, stmt_fn, expr_fn);
+      break;
+    case StmtKind::VarDecl: {
+      const auto& d = st.as<VarDecl>();
+      if (d.init) on_expr(*d.init);
+      break;
+    }
+    case StmtKind::Assign: {
+      const auto& a = st.as<Assign>();
+      on_expr(*a.target);
+      on_expr(*a.value);
+      break;
+    }
+    case StmtKind::ExprStmt:
+      on_expr(*st.as<ExprStmt>().expr);
+      break;
+    case StmtKind::If: {
+      const auto& i = st.as<If>();
+      on_expr(*i.cond);
+      walk_stmt(*i.then_branch, stmt_fn, expr_fn);
+      if (i.else_branch) walk_stmt(*i.else_branch, stmt_fn, expr_fn);
+      break;
+    }
+    case StmtKind::While: {
+      const auto& w = st.as<While>();
+      on_expr(*w.cond);
+      walk_stmt(*w.body, stmt_fn, expr_fn);
+      break;
+    }
+    case StmtKind::For: {
+      const auto& f = st.as<For>();
+      if (f.init) walk_stmt(*f.init, stmt_fn, expr_fn);
+      if (f.cond) on_expr(*f.cond);
+      if (f.step) walk_stmt(*f.step, stmt_fn, expr_fn);
+      walk_stmt(*f.body, stmt_fn, expr_fn);
+      break;
+    }
+    case StmtKind::Foreach: {
+      const auto& f = st.as<Foreach>();
+      on_expr(*f.iterable);
+      walk_stmt(*f.body, stmt_fn, expr_fn);
+      break;
+    }
+    case StmtKind::Return: {
+      const auto& r = st.as<Return>();
+      if (r.value) on_expr(*r.value);
+      break;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Annotation:
+      break;
+  }
+}
+
+}  // namespace
+
+void for_each_stmt(const Stmt& st, const std::function<void(const Stmt&)>& fn) {
+  walk_stmt(st, fn, nullptr);
+}
+
+void for_each_expr(const Stmt& st, const std::function<void(const Expr&)>& fn) {
+  walk_stmt(st, nullptr, &fn);
+}
+
+void for_each_expr_in(const Expr& e,
+                      const std::function<void(const Expr&)>& fn) {
+  walk_expr(e, fn);
+}
+
+const char* binary_op_str(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::And: return "&&";
+    case BinaryOp::Or: return "||";
+  }
+  return "?";
+}
+
+const char* unary_op_str(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Neg: return "-";
+    case UnaryOp::Not: return "!";
+  }
+  return "?";
+}
+
+}  // namespace patty::lang

@@ -1,0 +1,18 @@
+#pragma once
+// Deep-cloning of AST subtrees with fresh node ids. The transformation phase
+// builds parallel programs out of pieces of the analyzed sequential tree;
+// cloning keeps the original intact (detection artifacts stay valid) and
+// gives the new tree its own id space entries.
+
+#include "lang/ast.hpp"
+
+namespace patty::lang {
+
+/// Clone an expression; new ids are drawn from `program.next_node_id`.
+/// Resolved fields (slots, field indices, targets) are preserved.
+ExprPtr clone_expr(const Expr& e, Program& program);
+
+/// Clone a statement subtree.
+StmtPtr clone_stmt(const Stmt& st, Program& program);
+
+}  // namespace patty::lang

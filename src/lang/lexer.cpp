@@ -1,0 +1,302 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace patty::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"class", TokenKind::KwClass},     {"int", TokenKind::KwInt},
+      {"double", TokenKind::KwDouble},   {"bool", TokenKind::KwBool},
+      {"string", TokenKind::KwString},   {"void", TokenKind::KwVoid},
+      {"list", TokenKind::KwList},       {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},         {"foreach", TokenKind::KwForeach},
+      {"in", TokenKind::KwIn},           {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+      {"new", TokenKind::KwNew},         {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},     {"null", TokenKind::KwNull},
+  };
+  return table;
+}
+
+}  // namespace
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::DoubleLiteral: return "double literal";
+    case TokenKind::StringLiteral: return "string literal";
+    case TokenKind::KwClass: return "'class'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwDouble: return "'double'";
+    case TokenKind::KwBool: return "'bool'";
+    case TokenKind::KwString: return "'string'";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwList: return "'list'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwForeach: return "'foreach'";
+    case TokenKind::KwIn: return "'in'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwContinue: return "'continue'";
+    case TokenKind::KwNew: return "'new'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::KwNull: return "'null'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::LessEq: return "'<='";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::GreaterEq: return "'>='";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::NotEq: return "'!='";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::PlusAssign: return "'+='";
+    case TokenKind::MinusAssign: return "'-='";
+    case TokenKind::StarAssign: return "'*='";
+    case TokenKind::SlashAssign: return "'/='";
+    case TokenKind::PlusPlus: return "'++'";
+    case TokenKind::MinusMinus: return "'--'";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::PipePipe: return "'||'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::AnnotationLine: return "annotation";
+    case TokenKind::Eof: return "end of input";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source, DiagnosticSink& diags)
+    : source_(source), diags_(diags) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (at_end() || source_[pos_] != expected) return false;
+  advance();
+  return true;
+}
+
+Token Lexer::make(TokenKind kind, SourcePos begin, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.range = {begin, here()};
+  return t;
+}
+
+void Lexer::skip_line_comment() {
+  while (!at_end() && peek() != '\n') advance();
+}
+
+void Lexer::skip_block_comment(SourcePos begin) {
+  while (!at_end()) {
+    if (peek() == '*' && peek(1) == '/') {
+      advance();
+      advance();
+      return;
+    }
+    advance();
+  }
+  diags_.error({begin, here()}, "unterminated block comment");
+}
+
+Token Lexer::lex_number(SourcePos begin) {
+  std::string digits;
+  bool is_double = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) digits += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_double = true;
+    digits += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) digits += advance();
+  }
+  Token t = make(is_double ? TokenKind::DoubleLiteral : TokenKind::IntLiteral,
+                 begin, digits);
+  if (is_double) {
+    t.double_value = std::strtod(digits.c_str(), nullptr);
+  } else {
+    t.int_value = std::strtoll(digits.c_str(), nullptr, 10);
+  }
+  return t;
+}
+
+Token Lexer::lex_identifier(SourcePos begin) {
+  std::string name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    name += advance();
+  auto it = keyword_table().find(name);
+  if (it != keyword_table().end()) return make(it->second, begin, name);
+  return make(TokenKind::Identifier, begin, std::move(name));
+}
+
+Token Lexer::lex_string(SourcePos begin) {
+  std::string value;
+  while (!at_end() && peek() != '"') {
+    char c = advance();
+    if (c == '\\' && !at_end()) {
+      const char esc = advance();
+      switch (esc) {
+        case 'n': value += '\n'; break;
+        case 't': value += '\t'; break;
+        case '"': value += '"'; break;
+        case '\\': value += '\\'; break;
+        default:
+          diags_.error({begin, here()},
+                       std::string("unknown escape sequence \\") + esc);
+      }
+    } else {
+      value += c;
+    }
+  }
+  if (at_end()) {
+    diags_.error({begin, here()}, "unterminated string literal");
+  } else {
+    advance();  // closing quote
+  }
+  return make(TokenKind::StringLiteral, begin, std::move(value));
+}
+
+Token Lexer::lex_annotation(SourcePos begin) {
+  // `@` introduces an annotation line: everything until end of line is the
+  // annotation body (`tadl ...` or `end`). This mirrors the paper's use of
+  // preprocessor regions: visible to TADL-aware tools, inert otherwise.
+  std::string body;
+  while (!at_end() && peek() != '\n') body += advance();
+  // Trim trailing carriage return / spaces.
+  while (!body.empty() && (body.back() == '\r' || body.back() == ' '))
+    body.pop_back();
+  return make(TokenKind::AnnotationLine, begin, std::move(body));
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  while (!at_end()) {
+    const SourcePos begin = here();
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      skip_line_comment();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      skip_block_comment(begin);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tokens.push_back(lex_number(begin));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tokens.push_back(lex_identifier(begin));
+      continue;
+    }
+    advance();
+    switch (c) {
+      case '"': tokens.push_back(lex_string(begin)); break;
+      case '@': tokens.push_back(lex_annotation(begin)); break;
+      case '(': tokens.push_back(make(TokenKind::LParen, begin)); break;
+      case ')': tokens.push_back(make(TokenKind::RParen, begin)); break;
+      case '{': tokens.push_back(make(TokenKind::LBrace, begin)); break;
+      case '}': tokens.push_back(make(TokenKind::RBrace, begin)); break;
+      case '[': tokens.push_back(make(TokenKind::LBracket, begin)); break;
+      case ']': tokens.push_back(make(TokenKind::RBracket, begin)); break;
+      case ',': tokens.push_back(make(TokenKind::Comma, begin)); break;
+      case ';': tokens.push_back(make(TokenKind::Semicolon, begin)); break;
+      case '.': tokens.push_back(make(TokenKind::Dot, begin)); break;
+      case '<':
+        tokens.push_back(make(match('=') ? TokenKind::LessEq : TokenKind::Less, begin));
+        break;
+      case '>':
+        tokens.push_back(
+            make(match('=') ? TokenKind::GreaterEq : TokenKind::Greater, begin));
+        break;
+      case '=':
+        tokens.push_back(make(match('=') ? TokenKind::EqEq : TokenKind::Assign, begin));
+        break;
+      case '!':
+        tokens.push_back(make(match('=') ? TokenKind::NotEq : TokenKind::Bang, begin));
+        break;
+      case '+':
+        if (match('=')) tokens.push_back(make(TokenKind::PlusAssign, begin));
+        else if (match('+')) tokens.push_back(make(TokenKind::PlusPlus, begin));
+        else tokens.push_back(make(TokenKind::Plus, begin));
+        break;
+      case '-':
+        if (match('=')) tokens.push_back(make(TokenKind::MinusAssign, begin));
+        else if (match('-')) tokens.push_back(make(TokenKind::MinusMinus, begin));
+        else tokens.push_back(make(TokenKind::Minus, begin));
+        break;
+      case '*':
+        tokens.push_back(make(match('=') ? TokenKind::StarAssign : TokenKind::Star, begin));
+        break;
+      case '/':
+        tokens.push_back(make(match('=') ? TokenKind::SlashAssign : TokenKind::Slash, begin));
+        break;
+      case '%': tokens.push_back(make(TokenKind::Percent, begin)); break;
+      case '&':
+        if (match('&')) {
+          tokens.push_back(make(TokenKind::AmpAmp, begin));
+        } else {
+          diags_.error({begin, here()}, "expected '&&'");
+        }
+        break;
+      case '|':
+        if (match('|')) {
+          tokens.push_back(make(TokenKind::PipePipe, begin));
+        } else {
+          diags_.error({begin, here()}, "expected '||'");
+        }
+        break;
+      default:
+        diags_.error({begin, here()},
+                     std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token eof;
+  eof.kind = TokenKind::Eof;
+  eof.range = {here(), here()};
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace patty::lang

@@ -1,0 +1,44 @@
+#pragma once
+// Hand-written lexer for MiniOO. Produces the full token stream eagerly;
+// MiniOO programs are small (the paper's study benchmark is 173 LoC), so
+// there is no need for lazy tokenization.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace patty::lang {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticSink& diags);
+
+  /// Tokenize the whole input. The last token is always Eof.
+  std::vector<Token> tokenize();
+
+ private:
+  char peek(std::size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  SourcePos here() const { return {line_, column_}; }
+
+  Token make(TokenKind kind, SourcePos begin, std::string text = {});
+  Token lex_number(SourcePos begin);
+  Token lex_identifier(SourcePos begin);
+  Token lex_string(SourcePos begin);
+  Token lex_annotation(SourcePos begin);
+  void skip_line_comment();
+  void skip_block_comment(SourcePos begin);
+
+  std::string_view source_;
+  DiagnosticSink& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace patty::lang

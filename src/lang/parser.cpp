@@ -1,0 +1,632 @@
+#include "lang/parser.hpp"
+
+#include "lang/lexer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace patty::lang {
+
+namespace {
+
+/// Binary operator precedence; higher binds tighter. -1 = not a binary op.
+int precedence_of(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::PipePipe: return 1;
+    case TokenKind::AmpAmp: return 2;
+    case TokenKind::EqEq:
+    case TokenKind::NotEq: return 3;
+    case TokenKind::Less:
+    case TokenKind::LessEq:
+    case TokenKind::Greater:
+    case TokenKind::GreaterEq: return 4;
+    case TokenKind::Plus:
+    case TokenKind::Minus: return 5;
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent: return 6;
+    default: return -1;
+  }
+}
+
+BinaryOp binop_of(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::PipePipe: return BinaryOp::Or;
+    case TokenKind::AmpAmp: return BinaryOp::And;
+    case TokenKind::EqEq: return BinaryOp::Eq;
+    case TokenKind::NotEq: return BinaryOp::Ne;
+    case TokenKind::Less: return BinaryOp::Lt;
+    case TokenKind::LessEq: return BinaryOp::Le;
+    case TokenKind::Greater: return BinaryOp::Gt;
+    case TokenKind::GreaterEq: return BinaryOp::Ge;
+    case TokenKind::Plus: return BinaryOp::Add;
+    case TokenKind::Minus: return BinaryOp::Sub;
+    case TokenKind::Star: return BinaryOp::Mul;
+    case TokenKind::Slash: return BinaryOp::Div;
+    case TokenKind::Percent: return BinaryOp::Mod;
+    default: fatal("not a binary operator token");
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticSink& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+  if (tokens_.empty() || tokens_.back().kind != TokenKind::Eof)
+    fatal("token stream must end with Eof");
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  last_end_ = t.range.end;
+  return t;
+}
+
+bool Parser::accept(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, const char* context) {
+  if (check(kind)) return advance();
+  diags_.error(peek().range, std::string("expected ") + token_kind_name(kind) +
+                                 " " + context + ", found " +
+                                 token_kind_name(peek().kind));
+  return peek();  // do not consume; caller synchronizes
+}
+
+void Parser::synchronize() {
+  // Skip to the next statement/member boundary after a parse error.
+  while (!at_end()) {
+    const TokenKind k = peek().kind;
+    if (k == TokenKind::Semicolon) {
+      advance();
+      return;
+    }
+    if (k == TokenKind::RBrace || k == TokenKind::KwClass) return;
+    advance();
+  }
+}
+
+std::unique_ptr<Program> Parser::parse_program() {
+  program_ = std::make_unique<Program>();
+  while (!at_end()) {
+    if (check(TokenKind::KwClass)) {
+      auto cls = parse_class();
+      if (cls) program_->classes.push_back(std::move(cls));
+    } else {
+      diags_.error(peek().range, std::string("expected 'class', found ") +
+                                     token_kind_name(peek().kind));
+      advance();
+    }
+  }
+  if (diags_.has_errors()) return nullptr;
+  return std::move(program_);
+}
+
+std::unique_ptr<ClassDecl> Parser::parse_class() {
+  const SourcePos begin = begin_pos();
+  expect(TokenKind::KwClass, "to start class declaration");
+  auto cls = std::make_unique<ClassDecl>();
+  cls->name = expect(TokenKind::Identifier, "as class name").text;
+  expect(TokenKind::LBrace, "to open class body");
+  while (!check(TokenKind::RBrace) && !at_end()) {
+    parse_member(*cls);
+  }
+  expect(TokenKind::RBrace, "to close class body");
+  cls->range = {begin, last_end()};
+  return cls;
+}
+
+void Parser::parse_member(ClassDecl& cls) {
+  const SourcePos begin = begin_pos();
+  TypePtr type = parse_type();
+  const std::string name = expect(TokenKind::Identifier, "as member name").text;
+  if (accept(TokenKind::Semicolon)) {
+    FieldDecl field;
+    field.type = std::move(type);
+    field.name = name;
+    field.range = {begin, last_end()};
+    cls.fields.push_back(std::move(field));
+    return;
+  }
+  auto method = std::make_unique<MethodDecl>();
+  method->return_type = std::move(type);
+  method->name = name;
+  expect(TokenKind::LParen, "to open parameter list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      Param p;
+      const SourcePos pbegin = begin_pos();
+      p.type = parse_type();
+      p.name = expect(TokenKind::Identifier, "as parameter name").text;
+      p.range = {pbegin, last_end()};
+      method->params.push_back(std::move(p));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+  method->body = parse_block();
+  method->range = {begin, last_end()};
+  cls.methods.push_back(std::move(method));
+}
+
+TypePtr Parser::parse_type() {
+  TypePtr base;
+  switch (peek().kind) {
+    case TokenKind::KwInt: advance(); base = Type::int_t(); break;
+    case TokenKind::KwDouble: advance(); base = Type::double_t(); break;
+    case TokenKind::KwBool: advance(); base = Type::bool_t(); break;
+    case TokenKind::KwString: advance(); base = Type::string_t(); break;
+    case TokenKind::KwVoid: advance(); base = Type::void_t(); break;
+    case TokenKind::KwList: {
+      advance();
+      expect(TokenKind::Less, "after 'list'");
+      TypePtr elem = parse_type();
+      expect(TokenKind::Greater, "to close 'list<...>'");
+      base = Type::list_t(std::move(elem));
+      break;
+    }
+    case TokenKind::Identifier:
+      base = Type::class_t(advance().text);
+      break;
+    default:
+      diags_.error(peek().range, std::string("expected a type, found ") +
+                                     token_kind_name(peek().kind));
+      advance();
+      base = Type::int_t();
+      break;
+  }
+  while (check(TokenKind::LBracket) && peek(1).kind == TokenKind::RBracket) {
+    advance();
+    advance();
+    base = Type::array_t(std::move(base));
+  }
+  return base;
+}
+
+bool Parser::looks_like_type_start() const {
+  switch (peek().kind) {
+    case TokenKind::KwInt:
+    case TokenKind::KwDouble:
+    case TokenKind::KwBool:
+    case TokenKind::KwString:
+    case TokenKind::KwVoid:
+    case TokenKind::KwList:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Parser::looks_like_var_decl() const {
+  if (looks_like_type_start()) return true;
+  if (!check(TokenKind::Identifier)) return false;
+  // `C x ...` or `C[] x ...`
+  std::size_t i = 1;
+  while (peek(i).kind == TokenKind::LBracket &&
+         peek(i + 1).kind == TokenKind::RBracket)
+    i += 2;
+  return peek(i).kind == TokenKind::Identifier;
+}
+
+std::unique_ptr<Block> Parser::parse_block() {
+  const SourcePos begin = begin_pos();
+  expect(TokenKind::LBrace, "to open block");
+  auto block = make_stmt<Block>(begin);
+  while (!check(TokenKind::RBrace) && !at_end()) {
+    const std::size_t before = pos_;
+    StmtPtr st = parse_stmt();
+    if (st) block->stmts.push_back(std::move(st));
+    if (pos_ == before) {  // no progress: error recovery
+      synchronize();
+      if (pos_ == before) advance();
+    }
+  }
+  expect(TokenKind::RBrace, "to close block");
+  block->range.end = last_end();
+  return block;
+}
+
+StmtPtr Parser::parse_stmt() {
+  switch (peek().kind) {
+    case TokenKind::LBrace: return parse_block();
+    case TokenKind::KwIf: return parse_if();
+    case TokenKind::KwWhile: return parse_while();
+    case TokenKind::KwFor: return parse_for();
+    case TokenKind::KwForeach: return parse_foreach();
+    case TokenKind::AnnotationLine: {
+      const SourcePos begin = begin_pos();
+      auto ann = make_stmt<Annotation>(begin);
+      ann->text = advance().text;
+      ann->range.end = last_end();
+      return ann;
+    }
+    case TokenKind::KwReturn: {
+      const SourcePos begin = begin_pos();
+      advance();
+      auto ret = make_stmt<Return>(begin);
+      if (!check(TokenKind::Semicolon)) ret->value = parse_expr();
+      expect(TokenKind::Semicolon, "after return");
+      ret->range.end = last_end();
+      return ret;
+    }
+    case TokenKind::KwBreak: {
+      const SourcePos begin = begin_pos();
+      advance();
+      auto br = make_stmt<Break>(begin);
+      expect(TokenKind::Semicolon, "after break");
+      br->range.end = last_end();
+      return br;
+    }
+    case TokenKind::KwContinue: {
+      const SourcePos begin = begin_pos();
+      advance();
+      auto ct = make_stmt<Continue>(begin);
+      expect(TokenKind::Semicolon, "after continue");
+      ct->range.end = last_end();
+      return ct;
+    }
+    default:
+      if (looks_like_var_decl()) return parse_var_decl(/*eat_semicolon=*/true);
+      return parse_simple_stmt(/*eat_semicolon=*/true);
+  }
+}
+
+StmtPtr Parser::parse_var_decl(bool eat_semicolon) {
+  const SourcePos begin = begin_pos();
+  auto decl = make_stmt<VarDecl>(begin);
+  decl->declared = parse_type();
+  decl->name = expect(TokenKind::Identifier, "as variable name").text;
+  if (accept(TokenKind::Assign)) decl->init = parse_expr();
+  if (eat_semicolon) expect(TokenKind::Semicolon, "after variable declaration");
+  decl->range.end = last_end();
+  return decl;
+}
+
+StmtPtr Parser::parse_if() {
+  const SourcePos begin = begin_pos();
+  expect(TokenKind::KwIf, "to start if");
+  auto node = make_stmt<If>(begin);
+  expect(TokenKind::LParen, "after 'if'");
+  node->cond = parse_expr();
+  expect(TokenKind::RParen, "to close if condition");
+  node->then_branch = parse_stmt();
+  if (accept(TokenKind::KwElse)) node->else_branch = parse_stmt();
+  node->range.end = last_end();
+  return node;
+}
+
+StmtPtr Parser::parse_while() {
+  const SourcePos begin = begin_pos();
+  expect(TokenKind::KwWhile, "to start while");
+  auto node = make_stmt<While>(begin);
+  expect(TokenKind::LParen, "after 'while'");
+  node->cond = parse_expr();
+  expect(TokenKind::RParen, "to close while condition");
+  node->body = parse_stmt();
+  node->range.end = last_end();
+  return node;
+}
+
+StmtPtr Parser::parse_for() {
+  const SourcePos begin = begin_pos();
+  expect(TokenKind::KwFor, "to start for");
+  auto node = make_stmt<For>(begin);
+  expect(TokenKind::LParen, "after 'for'");
+  if (!check(TokenKind::Semicolon)) {
+    node->init = looks_like_var_decl() ? parse_var_decl(/*eat_semicolon=*/false)
+                                       : parse_simple_stmt(false);
+  }
+  expect(TokenKind::Semicolon, "after for-init");
+  if (!check(TokenKind::Semicolon)) node->cond = parse_expr();
+  expect(TokenKind::Semicolon, "after for-condition");
+  if (!check(TokenKind::RParen)) node->step = parse_simple_stmt(false);
+  expect(TokenKind::RParen, "to close for header");
+  node->body = parse_stmt();
+  node->range.end = last_end();
+  return node;
+}
+
+StmtPtr Parser::parse_foreach() {
+  const SourcePos begin = begin_pos();
+  expect(TokenKind::KwForeach, "to start foreach");
+  auto node = make_stmt<Foreach>(begin);
+  expect(TokenKind::LParen, "after 'foreach'");
+  node->element_declared = parse_type();
+  node->var_name = expect(TokenKind::Identifier, "as loop variable").text;
+  expect(TokenKind::KwIn, "in foreach header");
+  node->iterable = parse_expr();
+  expect(TokenKind::RParen, "to close foreach header");
+  node->body = parse_stmt();
+  node->range.end = last_end();
+  return node;
+}
+
+StmtPtr Parser::parse_simple_stmt(bool eat_semicolon) {
+  const SourcePos begin = begin_pos();
+  // Remember the token position so compound assignments can re-parse the
+  // target to build the desugared right-hand-side copy.
+  const std::size_t target_start = pos_;
+  ExprPtr first = parse_expr();
+
+  auto reparse_target = [&]() {
+    const std::size_t save = pos_;
+    pos_ = target_start;
+    ExprPtr copy = parse_expr();
+    pos_ = save;
+    return copy;
+  };
+
+  auto finish = [&](StmtPtr st) {
+    if (eat_semicolon) expect(TokenKind::Semicolon, "after statement");
+    st->range.end = last_end();
+    return st;
+  };
+
+  const TokenKind k = peek().kind;
+  if (k == TokenKind::Assign) {
+    advance();
+    auto assign = make_stmt<Assign>(begin);
+    assign->target = std::move(first);
+    assign->value = parse_expr();
+    return finish(std::move(assign));
+  }
+  if (k == TokenKind::PlusAssign || k == TokenKind::MinusAssign ||
+      k == TokenKind::StarAssign || k == TokenKind::SlashAssign) {
+    // Desugar `x op= e` into `x = x op e` before consuming the operator, so
+    // the re-parse of the target sees the same tokens.
+    ExprPtr lhs_copy = reparse_target();
+    advance();
+    BinaryOp op = BinaryOp::Add;
+    if (k == TokenKind::MinusAssign) op = BinaryOp::Sub;
+    if (k == TokenKind::StarAssign) op = BinaryOp::Mul;
+    if (k == TokenKind::SlashAssign) op = BinaryOp::Div;
+    auto rhs = make_expr<Binary>(begin);
+    rhs->op = op;
+    rhs->lhs = std::move(lhs_copy);
+    rhs->rhs = parse_expr();
+    rhs->range.end = last_end();
+    auto assign = make_stmt<Assign>(begin);
+    assign->target = std::move(first);
+    assign->value = std::move(rhs);
+    return finish(std::move(assign));
+  }
+  if (k == TokenKind::PlusPlus || k == TokenKind::MinusMinus) {
+    ExprPtr lhs_copy = reparse_target();
+    advance();
+    auto one = make_expr<IntLit>(begin);
+    one->value = 1;
+    one->range.end = last_end();
+    auto rhs = make_expr<Binary>(begin);
+    rhs->op = (k == TokenKind::PlusPlus) ? BinaryOp::Add : BinaryOp::Sub;
+    rhs->lhs = std::move(lhs_copy);
+    rhs->rhs = std::move(one);
+    rhs->range.end = last_end();
+    auto assign = make_stmt<Assign>(begin);
+    assign->target = std::move(first);
+    assign->value = std::move(rhs);
+    return finish(std::move(assign));
+  }
+
+  auto st = make_stmt<ExprStmt>(begin);
+  st->expr = std::move(first);
+  return finish(std::move(st));
+}
+
+ExprPtr Parser::parse_expr() { return parse_binary(1); }
+
+ExprPtr Parser::parse_binary(int min_precedence) {
+  ExprPtr lhs = parse_unary();
+  while (true) {
+    const int prec = precedence_of(peek().kind);
+    if (prec < min_precedence) return lhs;
+    const SourcePos begin = lhs->range.begin;
+    const TokenKind op_token = advance().kind;
+    ExprPtr rhs = parse_binary(prec + 1);
+    auto node = make_expr<Binary>(begin);
+    node->op = binop_of(op_token);
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    node->range.end = last_end();
+    lhs = std::move(node);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  const SourcePos begin = begin_pos();
+  if (accept(TokenKind::Minus)) {
+    auto node = make_expr<Unary>(begin);
+    node->op = UnaryOp::Neg;
+    node->operand = parse_unary();
+    node->range.end = last_end();
+    return node;
+  }
+  if (accept(TokenKind::Bang)) {
+    auto node = make_expr<Unary>(begin);
+    node->op = UnaryOp::Not;
+    node->operand = parse_unary();
+    node->range.end = last_end();
+    return node;
+  }
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr expr = parse_primary();
+  while (true) {
+    if (check(TokenKind::Dot)) {
+      advance();
+      const SourcePos begin = expr->range.begin;
+      const std::string name =
+          expect(TokenKind::Identifier, "after '.'").text;
+      if (check(TokenKind::LParen)) {
+        auto call = make_expr<Call>(begin);
+        call->receiver = std::move(expr);
+        call->name = name;
+        call->args = parse_args();
+        call->range.end = last_end();
+        expr = std::move(call);
+      } else {
+        auto field = make_expr<FieldAccess>(begin);
+        field->object = std::move(expr);
+        field->field = name;
+        field->range.end = last_end();
+        expr = std::move(field);
+      }
+      continue;
+    }
+    if (check(TokenKind::LBracket)) {
+      advance();
+      const SourcePos begin = expr->range.begin;
+      auto index = make_expr<IndexAccess>(begin);
+      index->base = std::move(expr);
+      index->index = parse_expr();
+      expect(TokenKind::RBracket, "to close index");
+      index->range.end = last_end();
+      expr = std::move(index);
+      continue;
+    }
+    return expr;
+  }
+}
+
+std::vector<ExprPtr> Parser::parse_args() {
+  expect(TokenKind::LParen, "to open argument list");
+  std::vector<ExprPtr> args;
+  if (!check(TokenKind::RParen)) {
+    do {
+      args.push_back(parse_expr());
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close argument list");
+  return args;
+}
+
+ExprPtr Parser::parse_primary() {
+  const SourcePos begin = begin_pos();
+  switch (peek().kind) {
+    case TokenKind::IntLiteral: {
+      auto node = make_expr<IntLit>(begin);
+      node->value = advance().int_value;
+      node->range.end = last_end();
+      return node;
+    }
+    case TokenKind::DoubleLiteral: {
+      auto node = make_expr<DoubleLit>(begin);
+      node->value = advance().double_value;
+      node->range.end = last_end();
+      return node;
+    }
+    case TokenKind::StringLiteral: {
+      auto node = make_expr<StringLit>(begin);
+      node->value = advance().text;
+      node->range.end = last_end();
+      return node;
+    }
+    case TokenKind::KwTrue:
+    case TokenKind::KwFalse: {
+      auto node = make_expr<BoolLit>(begin);
+      node->value = advance().kind == TokenKind::KwTrue;
+      node->range.end = last_end();
+      return node;
+    }
+    case TokenKind::KwNull: {
+      advance();
+      auto node = make_expr<NullLit>(begin);
+      node->range.end = last_end();
+      return node;
+    }
+    case TokenKind::KwNew:
+      return parse_new();
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr inner = parse_expr();
+      expect(TokenKind::RParen, "to close parenthesized expression");
+      return inner;
+    }
+    case TokenKind::Identifier: {
+      const std::string name = advance().text;
+      if (check(TokenKind::LParen)) {
+        auto call = make_expr<Call>(begin);
+        call->name = name;
+        call->args = parse_args();
+        call->range.end = last_end();
+        return call;
+      }
+      auto ref = make_expr<VarRef>(begin);
+      ref->name = name;
+      ref->range.end = last_end();
+      return ref;
+    }
+    default: {
+      diags_.error(peek().range,
+                   std::string("expected an expression, found ") +
+                       token_kind_name(peek().kind));
+      advance();
+      auto node = make_expr<IntLit>(begin);
+      node->range.end = last_end();
+      return node;
+    }
+  }
+}
+
+ExprPtr Parser::parse_new() {
+  const SourcePos begin = begin_pos();
+  expect(TokenKind::KwNew, "to start new-expression");
+  if (check(TokenKind::KwList)) {
+    // `new list<T>()`
+    TypePtr list_type = parse_type();
+    expect(TokenKind::LParen, "after list type");
+    expect(TokenKind::RParen, "after list type");
+    auto node = make_expr<NewArray>(begin);
+    node->allocated = std::move(list_type);
+    node->range.end = last_end();
+    return node;
+  }
+  TypePtr base;
+  switch (peek().kind) {
+    case TokenKind::KwInt: advance(); base = Type::int_t(); break;
+    case TokenKind::KwDouble: advance(); base = Type::double_t(); break;
+    case TokenKind::KwBool: advance(); base = Type::bool_t(); break;
+    case TokenKind::KwString: advance(); base = Type::string_t(); break;
+    case TokenKind::Identifier: base = Type::class_t(advance().text); break;
+    default:
+      diags_.error(peek().range, "expected type after 'new'");
+      advance();
+      base = Type::int_t();
+      break;
+  }
+  if (check(TokenKind::LBracket)) {
+    advance();
+    auto node = make_expr<NewArray>(begin);
+    node->size = parse_expr();
+    expect(TokenKind::RBracket, "to close array size");
+    node->allocated = Type::array_t(std::move(base));
+    node->range.end = last_end();
+    return node;
+  }
+  if (base->kind != Type::Kind::Class) {
+    diags_.error({begin, last_end()}, "'new' of non-class type needs '[size]'");
+  }
+  auto node = make_expr<New>(begin);
+  node->class_name = base->class_name;
+  node->args = parse_args();
+  node->range.end = last_end();
+  return node;
+}
+
+std::unique_ptr<Program> parse_source(std::string_view source,
+                                      DiagnosticSink& diags) {
+  Lexer lexer(source, diags);
+  std::vector<Token> tokens = lexer.tokenize();
+  if (diags.has_errors()) return nullptr;
+  Parser parser(std::move(tokens), diags);
+  return parser.parse_program();
+}
+
+}  // namespace patty::lang

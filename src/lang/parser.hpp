@@ -1,0 +1,106 @@
+#pragma once
+// Recursive-descent parser for MiniOO.
+//
+// Grammar (EBNF, `?` optional, `*` repetition):
+//   program   := classDecl*
+//   classDecl := "class" IDENT "{" member* "}"
+//   member    := type IDENT ( ";" | "(" params ")" block )
+//   type      := ("int"|"double"|"bool"|"string"|"void"|IDENT
+//                 |"list" "<" type ">") ("[" "]")*
+//   block     := "{" stmt* "}"
+//   stmt      := block | "@..." annotation line | varDecl
+//              | "if" "(" expr ")" stmt ("else" stmt)?
+//              | "while" "(" expr ")" stmt
+//              | "for" "(" simple? ";" expr? ";" simple? ")" stmt
+//              | "foreach" "(" type IDENT "in" expr ")" stmt
+//              | "return" expr? ";" | "break" ";" | "continue" ";"
+//              | exprOrAssign ";"
+//   exprOrAssign := expr (("="|"+="|"-="|"*="|"/=") expr)? | expr("++"|"--")
+//   expr      := precedence climbing over || && ==/!= relational +- */% unary
+//   postfix   := primary ("." IDENT ("(" args ")")? | "[" expr "]" )*
+//   primary   := literal | IDENT | IDENT "(" args ")" | "(" expr ")"
+//              | "new" baseType ("[" expr "]" | "(" args ")")
+//
+// Compound assignment and ++/-- are desugared to plain assignments during
+// parsing, so downstream analyses only ever see canonical forms.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace patty::lang {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticSink& diags);
+
+  /// Parse a whole program. Returns nullptr if parsing failed hard.
+  std::unique_ptr<Program> parse_program();
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  bool check(TokenKind kind) const { return peek().kind == kind; }
+  bool accept(TokenKind kind);
+  const Token& expect(TokenKind kind, const char* context);
+  [[nodiscard]] bool at_end() const { return peek().kind == TokenKind::Eof; }
+
+  int fresh_id() { return program_->next_node_id++; }
+  template <typename T>
+  std::unique_ptr<T> make_expr(SourcePos begin) {
+    auto node = std::make_unique<T>();
+    node->id = fresh_id();
+    node->range.begin = begin;
+    return node;
+  }
+  template <typename T>
+  std::unique_ptr<T> make_stmt(SourcePos begin) {
+    auto node = std::make_unique<T>();
+    node->id = fresh_id();
+    node->range.begin = begin;
+    return node;
+  }
+  SourcePos begin_pos() const { return peek().range.begin; }
+  SourcePos last_end() const { return last_end_; }
+
+  std::unique_ptr<ClassDecl> parse_class();
+  void parse_member(ClassDecl& cls);
+  TypePtr parse_type();
+  [[nodiscard]] bool looks_like_type_start() const;
+  [[nodiscard]] bool looks_like_var_decl() const;
+
+  std::unique_ptr<Block> parse_block();
+  StmtPtr parse_stmt();
+  StmtPtr parse_var_decl(bool eat_semicolon);
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_for();
+  StmtPtr parse_foreach();
+  StmtPtr parse_simple_stmt(bool eat_semicolon);
+
+  ExprPtr parse_expr();
+  ExprPtr parse_binary(int min_precedence);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  ExprPtr parse_new();
+  std::vector<ExprPtr> parse_args();
+
+  void synchronize();
+
+  std::vector<Token> tokens_;
+  DiagnosticSink& diags_;
+  std::size_t pos_ = 0;
+  SourcePos last_end_;
+  std::unique_ptr<Program> program_;
+};
+
+/// Convenience: lex + parse in one step.
+std::unique_ptr<Program> parse_source(std::string_view source,
+                                      DiagnosticSink& diags);
+
+}  // namespace patty::lang

@@ -1,0 +1,267 @@
+#include "lang/printer.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace patty::lang {
+
+namespace {
+
+class Printer {
+ public:
+  explicit Printer(PrintOptions opts) : opts_(opts) {}
+
+  std::string take() { return std::move(out_); }
+
+  void program(const Program& p) {
+    bool first = true;
+    for (const auto& c : p.classes) {
+      if (!first) out_ += "\n";
+      first = false;
+      cls(*c);
+    }
+  }
+
+  void cls(const ClassDecl& c) {
+    line(0, "class " + c.name + " {");
+    for (const auto& f : c.fields) line(1, f.type->str() + " " + f.name + ";");
+    if (!c.fields.empty() && !c.methods.empty()) out_ += "\n";
+    bool first = true;
+    for (const auto& m : c.methods) {
+      if (!first) out_ += "\n";
+      first = false;
+      method(*m);
+    }
+    line(0, "}");
+  }
+
+  void method(const MethodDecl& m) {
+    std::string header = m.return_type->str() + " " + m.name + "(";
+    for (std::size_t i = 0; i < m.params.size(); ++i) {
+      if (i) header += ", ";
+      header += m.params[i].type->str() + " " + m.params[i].name;
+    }
+    header += ") {";
+    line(1, header);
+    for (const auto& s : m.body->stmts) stmt(*s, 2);
+    line(1, "}");
+  }
+
+  void stmt(const Stmt& st, int depth) {
+    switch (st.kind) {
+      case StmtKind::Block:
+        line(depth, "{");
+        for (const auto& s : st.as<Block>().stmts) stmt(*s, depth + 1);
+        line(depth, "}");
+        break;
+      case StmtKind::VarDecl: {
+        const auto& d = st.as<VarDecl>();
+        std::string text = d.declared->str() + " " + d.name;
+        if (d.init) text += " = " + expr(*d.init);
+        line(depth, text + ";");
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = st.as<Assign>();
+        line(depth, expr(*a.target) + " = " + expr(*a.value) + ";");
+        break;
+      }
+      case StmtKind::ExprStmt:
+        line(depth, expr(*st.as<ExprStmt>().expr) + ";");
+        break;
+      case StmtKind::If: {
+        const auto& i = st.as<If>();
+        line(depth, "if (" + expr(*i.cond) + ")");
+        branch_body(*i.then_branch, depth);
+        if (i.else_branch) {
+          line(depth, "else");
+          branch_body(*i.else_branch, depth);
+        }
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = st.as<While>();
+        line(depth, "while (" + expr(*w.cond) + ")");
+        branch_body(*w.body, depth);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = st.as<For>();
+        std::string header = "for (";
+        if (f.init) header += inline_stmt(*f.init);
+        header += "; ";
+        if (f.cond) header += expr(*f.cond);
+        header += "; ";
+        if (f.step) header += inline_stmt(*f.step);
+        header += ")";
+        line(depth, header);
+        branch_body(*f.body, depth);
+        break;
+      }
+      case StmtKind::Foreach: {
+        const auto& f = st.as<Foreach>();
+        line(depth, "foreach (" + f.element_declared->str() + " " +
+                        f.var_name + " in " + expr(*f.iterable) + ")");
+        branch_body(*f.body, depth);
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& r = st.as<Return>();
+        line(depth, r.value ? "return " + expr(*r.value) + ";" : "return;");
+        break;
+      }
+      case StmtKind::Break: line(depth, "break;"); break;
+      case StmtKind::Continue: line(depth, "continue;"); break;
+      case StmtKind::Annotation:
+        line(depth, "@" + st.as<Annotation>().text);
+        break;
+    }
+  }
+
+  std::string expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit: return std::to_string(e.as<IntLit>().value);
+      case ExprKind::DoubleLit: {
+        std::string s = std::to_string(e.as<DoubleLit>().value);
+        return s;
+      }
+      case ExprKind::BoolLit: return e.as<BoolLit>().value ? "true" : "false";
+      case ExprKind::StringLit: return quote(e.as<StringLit>().value);
+      case ExprKind::NullLit: return "null";
+      case ExprKind::VarRef: return e.as<VarRef>().name;
+      case ExprKind::FieldAccess: {
+        const auto& f = e.as<FieldAccess>();
+        return maybe_paren(*f.object) + "." + f.field;
+      }
+      case ExprKind::IndexAccess: {
+        const auto& ix = e.as<IndexAccess>();
+        return maybe_paren(*ix.base) + "[" + expr(*ix.index) + "]";
+      }
+      case ExprKind::Call: {
+        const auto& c = e.as<Call>();
+        std::string s;
+        if (c.receiver) s = maybe_paren(*c.receiver) + ".";
+        s += c.name + "(";
+        for (std::size_t i = 0; i < c.args.size(); ++i) {
+          if (i) s += ", ";
+          s += expr(*c.args[i]);
+        }
+        return s + ")";
+      }
+      case ExprKind::New: {
+        const auto& n = e.as<New>();
+        std::string s = "new " + n.class_name + "(";
+        for (std::size_t i = 0; i < n.args.size(); ++i) {
+          if (i) s += ", ";
+          s += expr(*n.args[i]);
+        }
+        return s + ")";
+      }
+      case ExprKind::NewArray: {
+        const auto& n = e.as<NewArray>();
+        if (n.allocated->kind == Type::Kind::List)
+          return "new " + n.allocated->str() + "()";
+        return "new " + n.allocated->element->str() + "[" + expr(*n.size) + "]";
+      }
+      case ExprKind::Binary: {
+        const auto& b = e.as<Binary>();
+        return maybe_paren(*b.lhs) + " " + binary_op_str(b.op) + " " +
+               maybe_paren(*b.rhs);
+      }
+      case ExprKind::Unary: {
+        const auto& u = e.as<Unary>();
+        return std::string(unary_op_str(u.op)) + maybe_paren(*u.operand);
+      }
+    }
+    fatal("unknown expression kind in printer");
+  }
+
+ private:
+  /// Parenthesize nested binary/unary expressions; everything else is atomic.
+  std::string maybe_paren(const Expr& e) {
+    if (e.kind == ExprKind::Binary || e.kind == ExprKind::Unary)
+      return "(" + expr(e) + ")";
+    return expr(e);
+  }
+
+  /// Statement rendered without trailing semicolon/newline (for headers).
+  std::string inline_stmt(const Stmt& st) {
+    switch (st.kind) {
+      case StmtKind::VarDecl: {
+        const auto& d = st.as<VarDecl>();
+        std::string text = d.declared->str() + " " + d.name;
+        if (d.init) text += " = " + expr(*d.init);
+        return text;
+      }
+      case StmtKind::Assign: {
+        const auto& a = st.as<Assign>();
+        return expr(*a.target) + " = " + expr(*a.value);
+      }
+      case StmtKind::ExprStmt:
+        return expr(*st.as<ExprStmt>().expr);
+      default:
+        fatal("statement kind not valid in for-header");
+    }
+  }
+
+  void branch_body(const Stmt& body, int depth) {
+    if (body.kind == StmtKind::Block) {
+      line(depth, "{");
+      for (const auto& s : body.as<Block>().stmts) stmt(*s, depth + 1);
+      line(depth, "}");
+    } else {
+      stmt(body, depth + 1);
+    }
+  }
+
+  static std::string quote(const std::string& raw) {
+    std::string s = "\"";
+    for (char c : raw) {
+      switch (c) {
+        case '\n': s += "\\n"; break;
+        case '\t': s += "\\t"; break;
+        case '"': s += "\\\""; break;
+        case '\\': s += "\\\\"; break;
+        default: s += c;
+      }
+    }
+    return s + "\"";
+  }
+
+  void line(int depth, const std::string& text) {
+    out_ += std::string(static_cast<std::size_t>(depth) *
+                            static_cast<std::size_t>(opts_.indent_width),
+                        ' ');
+    out_ += text;
+    out_ += "\n";
+  }
+
+  PrintOptions opts_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string print_program(const Program& program, PrintOptions opts) {
+  Printer p(opts);
+  p.program(program);
+  return p.take();
+}
+
+std::string print_class(const ClassDecl& cls, PrintOptions opts) {
+  Printer p(opts);
+  p.cls(cls);
+  return p.take();
+}
+
+std::string print_stmt(const Stmt& st, int indent, PrintOptions opts) {
+  Printer p(opts);
+  p.stmt(st, indent);
+  return p.take();
+}
+
+std::string print_expr(const Expr& e) {
+  Printer p({});
+  return p.expr(e);
+}
+
+}  // namespace patty::lang

@@ -1,0 +1,21 @@
+#pragma once
+// Pretty-printer: renders AST back to MiniOO source text. Used for the
+// annotated intermediate artifact (figure 3b), the generated parallel code
+// (figure 3d), and round-trip testing of the frontend.
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace patty::lang {
+
+struct PrintOptions {
+  int indent_width = 2;
+};
+
+std::string print_program(const Program& program, PrintOptions opts = {});
+std::string print_class(const ClassDecl& cls, PrintOptions opts = {});
+std::string print_stmt(const Stmt& st, int indent = 0, PrintOptions opts = {});
+std::string print_expr(const Expr& e);
+
+}  // namespace patty::lang

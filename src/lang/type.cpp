@@ -1,0 +1,92 @@
+#include "lang/type.hpp"
+
+namespace patty::lang {
+
+namespace {
+TypePtr make_simple(Type::Kind kind) {
+  auto t = std::make_shared<Type>();
+  t->kind = kind;
+  return t;
+}
+}  // namespace
+
+std::string Type::str() const {
+  switch (kind) {
+    case Kind::Void: return "void";
+    case Kind::Int: return "int";
+    case Kind::Double: return "double";
+    case Kind::Bool: return "bool";
+    case Kind::String: return "string";
+    case Kind::Null: return "null";
+    case Kind::Class: return class_name;
+    case Kind::Array: return element->str() + "[]";
+    case Kind::List: return "list<" + element->str() + ">";
+  }
+  return "?";
+}
+
+TypePtr Type::void_t() {
+  static const TypePtr t = make_simple(Kind::Void);
+  return t;
+}
+TypePtr Type::int_t() {
+  static const TypePtr t = make_simple(Kind::Int);
+  return t;
+}
+TypePtr Type::double_t() {
+  static const TypePtr t = make_simple(Kind::Double);
+  return t;
+}
+TypePtr Type::bool_t() {
+  static const TypePtr t = make_simple(Kind::Bool);
+  return t;
+}
+TypePtr Type::string_t() {
+  static const TypePtr t = make_simple(Kind::String);
+  return t;
+}
+TypePtr Type::null_t() {
+  static const TypePtr t = make_simple(Kind::Null);
+  return t;
+}
+
+TypePtr Type::class_t(std::string name) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::Class;
+  t->class_name = std::move(name);
+  return t;
+}
+
+TypePtr Type::array_t(TypePtr element) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::Array;
+  t->element = std::move(element);
+  return t;
+}
+
+TypePtr Type::list_t(TypePtr element) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::List;
+  t->element = std::move(element);
+  return t;
+}
+
+bool same_type(const Type& a, const Type& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Type::Kind::Class: return a.class_name == b.class_name;
+    case Type::Kind::Array:
+    case Type::Kind::List: return same_type(*a.element, *b.element);
+    default: return true;
+  }
+}
+
+bool assignable(const Type& target, const Type& source) {
+  if (same_type(target, source)) return true;
+  if (target.kind == Type::Kind::Double && source.kind == Type::Kind::Int)
+    return true;
+  if (target.is_reference() && source.kind == Type::Kind::Null) return true;
+  return false;
+}
+
+}  // namespace patty::lang

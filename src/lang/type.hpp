@@ -1,0 +1,49 @@
+#pragma once
+// MiniOO's type system: void, int (64-bit), double, bool, string, class
+// types, fixed arrays `T[]` and growable lists `list<T>`. Types are small
+// value objects; element types are shared.
+
+#include <memory>
+#include <string>
+
+namespace patty::lang {
+
+struct Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+struct Type {
+  enum class Kind { Void, Int, Double, Bool, String, Class, Array, List, Null };
+
+  Kind kind = Kind::Void;
+  std::string class_name;  // Kind::Class only
+  TypePtr element;         // Kind::Array / Kind::List only
+
+  [[nodiscard]] bool is_numeric() const {
+    return kind == Kind::Int || kind == Kind::Double;
+  }
+  [[nodiscard]] bool is_reference() const {
+    return kind == Kind::Class || kind == Kind::Array || kind == Kind::List ||
+           kind == Kind::Null;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  static TypePtr void_t();
+  static TypePtr int_t();
+  static TypePtr double_t();
+  static TypePtr bool_t();
+  static TypePtr string_t();
+  static TypePtr null_t();
+  static TypePtr class_t(std::string name);
+  static TypePtr array_t(TypePtr element);
+  static TypePtr list_t(TypePtr element);
+};
+
+/// Structural equality (Null compares equal only to Null).
+bool same_type(const Type& a, const Type& b);
+
+/// Assignment compatibility: exact match, int->double widening, or null into
+/// any reference type.
+bool assignable(const Type& target, const Type& source);
+
+}  // namespace patty::lang

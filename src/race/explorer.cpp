@@ -1,0 +1,415 @@
+#include "race/explorer.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "support/diagnostics.hpp"
+
+namespace patty::race {
+
+namespace {
+
+using Clock = std::vector<std::uint64_t>;
+
+bool clock_leq(const Clock& a, const Clock& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
+void clock_join(Clock& a, const Clock& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::max(a[i], b[i]);
+}
+
+struct PendingOp {
+  enum class Kind : std::uint8_t {
+    Read, Write, FetchAdd, Lock, Unlock, Yield
+  };
+  Kind kind = Kind::Yield;
+  std::string var;
+  std::int64_t value = 0;
+};
+
+}  // namespace
+
+/// One lockstep execution of the test under a (partially) fixed schedule.
+class Runner {
+ public:
+  Runner(const std::vector<TaskFn>& tasks, const ExploreOptions& options)
+      : tasks_(tasks), options_(options), n_(tasks.size()) {
+    states_.resize(n_);
+    clocks_.assign(n_, Clock(n_, 0));
+    for (std::size_t t = 0; t < n_; ++t) clocks_[t][t] = 1;
+    vars_ = options.initial_state;
+  }
+
+  struct StepRecord {
+    int chosen = -1;
+    std::vector<int> alternatives;  // other admissible tasks at this point
+  };
+
+  struct RunResult {
+    std::vector<StepRecord> steps;
+    bool deadlocked = false;
+    std::set<RaceReport> races;
+    std::set<std::string> assertion_failures;
+    std::map<std::string, std::int64_t> final_state;
+  };
+
+  /// Execute, following `prefix` task choices, then first-enabled.
+  RunResult run(const std::vector<int>& prefix) {
+    RunResult result;
+    // Launch task threads; each blocks at its first scheduling point.
+    std::vector<std::thread> threads;
+    threads.reserve(n_);
+    for (std::size_t t = 0; t < n_; ++t) {
+      threads.emplace_back([this, t] {
+        TaskContext ctx(static_cast<int>(t), this);
+        tasks_[t](ctx);
+        std::scoped_lock lock(mutex_);
+        states_[t].finished = true;
+        cv_.notify_all();
+      });
+    }
+
+    int previous = -1;
+    int preemptions = 0;
+    std::size_t step = 0;
+    while (true) {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] {
+        for (std::size_t t = 0; t < n_; ++t)
+          if (!states_[t].finished && !states_[t].at_point) return false;
+        return true;
+      });
+
+      std::vector<int> enabled;
+      bool any_unfinished = false;
+      for (std::size_t t = 0; t < n_; ++t) {
+        if (states_[t].finished) continue;
+        any_unfinished = true;
+        if (is_enabled(static_cast<int>(t))) enabled.push_back(static_cast<int>(t));
+      }
+      if (!any_unfinished) break;  // all done
+      if (enabled.empty()) {
+        result.deadlocked = true;
+        // Unblock everything so threads can exit: grant nothing; abort by
+        // marking a poison flag that makes ops no-ops and granting all.
+        aborting_ = true;
+        for (std::size_t t = 0; t < n_; ++t) {
+          states_[t].granted = true;
+        }
+        cv_.notify_all();
+        break;
+      }
+
+      // Admissible choices under the preemption bound.
+      std::vector<int> admissible;
+      const bool prev_enabled =
+          previous >= 0 &&
+          std::find(enabled.begin(), enabled.end(), previous) != enabled.end();
+      for (int t : enabled) {
+        if (prev_enabled && t != previous &&
+            preemptions >= options_.preemption_bound)
+          continue;
+        admissible.push_back(t);
+      }
+      if (admissible.empty()) admissible.push_back(previous);
+
+      int chosen;
+      if (step < prefix.size()) {
+        chosen = prefix[step];
+        // A stale prefix entry (can happen only on scheduler bugs) falls
+        // back to the first admissible choice.
+        if (std::find(admissible.begin(), admissible.end(), chosen) ==
+            admissible.end())
+          chosen = admissible.front();
+      } else {
+        chosen = admissible.front();
+      }
+      StepRecord record;
+      record.chosen = chosen;
+      for (int t : admissible)
+        if (t != chosen) record.alternatives.push_back(t);
+      result.steps.push_back(std::move(record));
+
+      if (prev_enabled && chosen != previous) ++preemptions;
+      previous = chosen;
+      ++step;
+
+      // Grant exactly this task one operation.
+      perform_effect(chosen, result);
+      states_[static_cast<std::size_t>(chosen)].at_point = false;
+      states_[static_cast<std::size_t>(chosen)].granted = true;
+      cv_.notify_all();
+    }
+
+    for (std::thread& th : threads) th.join();
+    result.races = races_;
+    result.assertion_failures = assertion_failures_;
+    result.final_state = vars_;
+    return result;
+  }
+
+ private:
+  friend class TaskContext;
+
+  struct TaskState {
+    bool at_point = false;
+    bool granted = false;
+    bool finished = false;
+    PendingOp op;
+    std::int64_t op_result = 0;
+  };
+
+  bool is_enabled(int t) const {
+    const TaskState& st = states_[static_cast<std::size_t>(t)];
+    if (!st.at_point) return false;
+    if (st.op.kind == PendingOp::Kind::Lock) {
+      auto it = lock_holder_.find(st.op.var);
+      return it == lock_holder_.end() || it->second == t;
+    }
+    return true;
+  }
+
+  /// Execute the chosen task's pending operation (scheduler thread, under
+  /// mutex_): shared-state effect plus vector-clock race detection.
+  void perform_effect(int t, RunResult& result) {
+    (void)result;
+    TaskState& st = states_[static_cast<std::size_t>(t)];
+    Clock& ct = clocks_[static_cast<std::size_t>(t)];
+    auto& var_meta = access_meta_[st.op.var];
+    switch (st.op.kind) {
+      case PendingOp::Kind::Read: {
+        if (var_meta.has_write && !clock_leq(var_meta.write_clock, ct) &&
+            var_meta.writer != t) {
+          races_.insert({st.op.var, std::min(var_meta.writer, t),
+                         std::max(var_meta.writer, t), false});
+        }
+        st.op_result = vars_[st.op.var];
+        var_meta.read_clocks[t] = ct;
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::Write:
+      case PendingOp::Kind::FetchAdd: {
+        if (var_meta.has_write && !clock_leq(var_meta.write_clock, ct) &&
+            var_meta.writer != t) {
+          races_.insert({st.op.var, std::min(var_meta.writer, t),
+                         std::max(var_meta.writer, t), true});
+        }
+        for (const auto& [reader, rc] : var_meta.read_clocks) {
+          if (reader != t && !clock_leq(rc, ct)) {
+            races_.insert({st.op.var, std::min(reader, t),
+                           std::max(reader, t), false});
+          }
+        }
+        if (st.op.kind == PendingOp::Kind::FetchAdd) {
+          st.op_result = vars_[st.op.var];
+          vars_[st.op.var] += st.op.value;
+        } else {
+          vars_[st.op.var] = st.op.value;
+        }
+        var_meta.has_write = true;
+        var_meta.write_clock = ct;
+        var_meta.writer = t;
+        var_meta.read_clocks.clear();
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::Lock: {
+        lock_holder_[st.op.var] = t;
+        auto it = lock_release_.find(st.op.var);
+        if (it != lock_release_.end()) clock_join(ct, it->second);
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::Unlock: {
+        lock_holder_.erase(st.op.var);
+        Clock& rel = lock_release_.try_emplace(st.op.var, Clock(n_, 0))
+                         .first->second;
+        clock_join(rel, ct);
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::Yield:
+        break;
+    }
+  }
+
+  /// Called from task threads: park at a scheduling point with `op`,
+  /// wait for the grant, return the operation result.
+  std::int64_t schedule_point(int t, PendingOp op) {
+    std::unique_lock lock(mutex_);
+    if (aborting_) return 0;
+    TaskState& st = states_[static_cast<std::size_t>(t)];
+    st.op = std::move(op);
+    st.at_point = true;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return st.granted; });
+    st.granted = false;
+    return st.op_result;
+  }
+
+  void record_assertion(bool ok, const std::string& message) {
+    if (ok) return;
+    std::scoped_lock lock(assert_mutex_);
+    assertion_failures_.insert(message);
+  }
+
+  struct VarMeta {
+    bool has_write = false;
+    Clock write_clock;
+    int writer = -1;
+    std::map<int, Clock> read_clocks;
+  };
+
+  const std::vector<TaskFn>& tasks_;
+  ExploreOptions options_;
+  std::size_t n_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<TaskState> states_;
+  bool aborting_ = false;
+
+  std::map<std::string, std::int64_t> vars_;
+  std::map<std::string, int> lock_holder_;
+  std::map<std::string, Clock> lock_release_;
+  std::vector<Clock> clocks_;
+  std::map<std::string, VarMeta> access_meta_;
+  std::set<RaceReport> races_;
+
+  std::mutex assert_mutex_;
+  std::set<std::string> assertion_failures_;
+
+  friend std::int64_t context_dispatch(Runner*, int, PendingOp);
+  friend void context_assert(Runner*, bool, const std::string&);
+};
+
+std::int64_t context_dispatch(Runner* runner, int task, PendingOp op);
+void context_assert(Runner* runner, bool ok, const std::string& message);
+
+// --- TaskContext -------------------------------------------------------------
+
+std::int64_t TaskContext::read(const std::string& var) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::Read;
+  op.var = var;
+  return context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::write(const std::string& var, std::int64_t value) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::Write;
+  op.var = var;
+  op.value = value;
+  context_dispatch(runner_, task_id_, std::move(op));
+}
+
+std::int64_t TaskContext::fetch_add(const std::string& var,
+                                    std::int64_t delta) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::FetchAdd;
+  op.var = var;
+  op.value = delta;
+  return context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::lock(const std::string& mutex) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::Lock;
+  op.var = mutex;
+  context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::unlock(const std::string& mutex) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::Unlock;
+  op.var = mutex;
+  context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::yield() {
+  PendingOp op;
+  op.kind = PendingOp::Kind::Yield;
+  context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::check(bool condition, const std::string& message) {
+  context_assert(runner_, condition, message);
+}
+
+std::int64_t context_dispatch(Runner* runner, int task, PendingOp op) {
+  return runner->schedule_point(task, std::move(op));
+}
+
+void context_assert(Runner* runner, bool ok, const std::string& message) {
+  runner->record_assertion(ok, message);
+}
+
+// --- DFS driver ----------------------------------------------------------------
+
+ExploreResult explore(const std::vector<TaskFn>& tasks,
+                      ExploreOptions options) {
+  ExploreResult result;
+  if (tasks.empty()) {
+    result.exhausted = true;
+    return result;
+  }
+
+  // DFS over scheduling decisions: each frame remembers the untried
+  // alternatives at that step of the last execution.
+  struct Frame {
+    int chosen;
+    std::vector<int> untried;
+  };
+  std::vector<Frame> stack;
+  std::set<std::map<std::string, std::int64_t>> final_states;
+  std::set<RaceReport> all_races;
+  std::set<std::string> all_failures;
+
+  bool first = true;
+  while (result.schedules_explored < options.max_schedules) {
+    std::vector<int> prefix;
+    prefix.reserve(stack.size());
+    for (const Frame& f : stack) prefix.push_back(f.chosen);
+
+    Runner runner(tasks, options);
+    Runner::RunResult run = runner.run(prefix);
+    ++result.schedules_explored;
+    if (run.deadlocked) ++result.deadlock_schedules;
+    for (const RaceReport& r : run.races) all_races.insert(r);
+    for (const std::string& f : run.assertion_failures) all_failures.insert(f);
+    final_states.insert(run.final_state);
+    if (first) {
+      result.reference_final_state = run.final_state;
+      first = false;
+    }
+
+    // Extend the stack with the new decisions this run made beyond the
+    // replayed prefix.
+    for (std::size_t i = stack.size(); i < run.steps.size(); ++i) {
+      stack.push_back({run.steps[i].chosen, run.steps[i].alternatives});
+    }
+    // Backtrack to the deepest frame with an untried alternative.
+    while (!stack.empty() && stack.back().untried.empty()) stack.pop_back();
+    if (stack.empty()) {
+      result.exhausted = true;
+      break;
+    }
+    Frame& frame = stack.back();
+    frame.chosen = frame.untried.back();
+    frame.untried.pop_back();
+  }
+
+  result.races.assign(all_races.begin(), all_races.end());
+  result.assertion_failures.assign(all_failures.begin(), all_failures.end());
+  result.distinct_final_states = final_states.size();
+  return result;
+}
+
+}  // namespace patty::race

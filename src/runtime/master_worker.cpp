@@ -1,0 +1,46 @@
+#include "runtime/master_worker.hpp"
+
+#include <atomic>
+
+#include <thread>
+
+namespace patty::rt {
+
+void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1 || workers_ == 1) {
+    for (const auto& t : tasks) t();
+    return;
+  }
+  if (workers_ == 0) {
+    if (ThreadPool::on_worker_thread()) {
+      // Nested master/worker inside a pool task: run inline rather than
+      // blocking a pool worker on tasks that need that same worker.
+      for (const auto& t : tasks) t();
+      return;
+    }
+    // Shared pool: no thread creation cost; the common configuration.
+    TaskGroup group;
+    for (const auto& t : tasks) group.run_on(ThreadPool::shared(), t);
+    group.wait();
+    return;
+  }
+  // Dedicated crew: `workers_` threads pull tasks by index.
+  std::atomic<std::size_t> next{0};
+  const std::size_t crew =
+      std::min(static_cast<std::size_t>(workers_), tasks.size());
+  std::vector<std::thread> threads;
+  threads.reserve(crew);
+  for (std::size_t w = 0; w < crew; ++w) {
+    threads.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= tasks.size()) return;
+        tasks[i]();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace patty::rt

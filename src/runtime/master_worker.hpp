@@ -1,0 +1,45 @@
+#pragma once
+// Master/worker pattern (paper §2: one of the three implemented patterns;
+// figure 3d instantiates it for the three independent filter statements
+// A || B || C inside a pipeline stage).
+//
+// The master decomposes work into independent tasks; a worker crew executes
+// them; results come back in task-submission order. The worker count is the
+// pattern's tuning parameter.
+
+#include <functional>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace patty::rt {
+
+class MasterWorker {
+ public:
+  /// workers == 0 uses the shared process pool; otherwise a dedicated crew
+  /// of exactly `workers` threads is spun up per run() call.
+  explicit MasterWorker(int workers = 0) : workers_(workers) {}
+
+  /// Execute all tasks, return when every one finished (fork-join).
+  void run(const std::vector<std::function<void()>>& tasks) const;
+
+  /// Execute tasks returning values; results are in submission order.
+  template <typename R>
+  std::vector<R> map(const std::vector<std::function<R()>>& tasks) const {
+    std::vector<R> results(tasks.size());
+    std::vector<std::function<void()>> wrapped;
+    wrapped.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      wrapped.push_back([&results, &tasks, i] { results[i] = tasks[i](); });
+    }
+    run(wrapped);
+    return results;
+  }
+
+  [[nodiscard]] int workers() const { return workers_; }
+
+ private:
+  int workers_;
+};
+
+}  // namespace patty::rt

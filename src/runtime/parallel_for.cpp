@@ -1,0 +1,84 @@
+#include "runtime/parallel_for.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace patty::rt {
+
+namespace {
+
+std::int64_t effective_threads(const ParallelForTuning& tuning) {
+  if (tuning.threads > 0) return tuning.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::int64_t>(hw);
+}
+
+std::int64_t effective_grain(std::int64_t range,
+                             const ParallelForTuning& tuning,
+                             std::int64_t threads) {
+  if (tuning.grain > 0) return tuning.grain;
+  const std::int64_t g = range / (threads * 4);
+  return std::max<std::int64_t>(1, g);
+}
+
+}  // namespace
+
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    ParallelForTuning tuning) {
+  if (begin >= end) return;
+  const std::int64_t range = end - begin;
+  const std::int64_t threads = effective_threads(tuning);
+  // Nested parallelism runs inline: a pool worker waiting on pool tasks
+  // deadlocks when the pool is small (see ThreadPool::on_worker_thread).
+  if (tuning.sequential || threads <= 1 || range == 1 ||
+      ThreadPool::on_worker_thread()) {
+    fn(begin, end);
+    return;
+  }
+  const std::int64_t grain = effective_grain(range, tuning, threads);
+  TaskGroup group;
+  for (std::int64_t lo = begin; lo < end; lo += grain) {
+    const std::int64_t hi = std::min(end, lo + grain);
+    group.run_on(ThreadPool::shared(), [&fn, lo, hi] { fn(lo, hi); });
+  }
+  group.wait();
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  ParallelForTuning tuning) {
+  parallel_for_chunked(
+      begin, end,
+      [&fn](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      tuning);
+}
+
+std::int64_t parallel_reduce(
+    std::int64_t begin, std::int64_t end, std::int64_t init,
+    const std::function<std::int64_t(std::int64_t)>& map,
+    const std::function<std::int64_t(std::int64_t, std::int64_t)>& combine,
+    ParallelForTuning tuning) {
+  std::mutex result_mutex;
+  std::int64_t result = init;
+  parallel_for_chunked(
+      begin, end,
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::int64_t partial = init;
+        for (std::int64_t i = lo; i < hi; ++i)
+          partial = combine(partial, map(i));
+        std::scoped_lock lock(result_mutex);
+        result = combine(result, partial);
+      },
+      tuning);
+  return result;
+}
+
+}  // namespace patty::rt

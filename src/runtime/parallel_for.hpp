@@ -1,0 +1,38 @@
+#pragma once
+// Data-parallel loop pattern (paper §2: the third implemented pattern).
+// Static chunking over the shared pool. Tuning parameters: thread count,
+// grain (chunk) size, and the SequentialExecution escape hatch.
+
+#include <cstdint>
+#include <functional>
+
+namespace patty::rt {
+
+struct ParallelForTuning {
+  int threads = 0;      // 0 = hardware concurrency
+  std::int64_t grain = 0;  // 0 = auto (range / (threads * 4))
+  bool sequential = false;
+};
+
+/// Invoke fn(i) for every i in [begin, end). Iterations must be independent
+/// (that is what the detector verified before emitting this pattern).
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  ParallelForTuning tuning = {});
+
+/// Chunked variant: fn(lo, hi) per chunk — lets callers hoist per-chunk
+/// state and is what the code generator emits.
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    ParallelForTuning tuning = {});
+
+/// Reduction: combine(map(i)) over [begin, end) with identity `init`.
+/// combine must be associative; per-thread partials keep it race-free.
+std::int64_t parallel_reduce(
+    std::int64_t begin, std::int64_t end, std::int64_t init,
+    const std::function<std::int64_t(std::int64_t)>& map,
+    const std::function<std::int64_t(std::int64_t, std::int64_t)>& combine,
+    ParallelForTuning tuning = {});
+
+}  // namespace patty::rt

@@ -1,0 +1,214 @@
+#pragma once
+// Tunable stage-binding pipeline (paper §2.2).
+//
+// Threads are bound to stages; bounded queues connect neighbours. The four
+// tuning parameters of the paper are all implemented:
+//   StageReplication   run a stage R-fold on consecutive stream elements
+//   OrderPreservation  restore stream order behind a replicated stage
+//   StageFusion        run adjacent stages in one thread (drops one queue)
+//   SequentialExecution run the whole pipeline inline (short streams)
+// plus the buffer capacity of the connecting queues.
+//
+// The element type is a template parameter: the code generator instantiates
+// Pipeline over interpreter environments, the C++ examples over structs.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/bounded_queue.hpp"
+#include "support/diagnostics.hpp"
+
+namespace patty::rt {
+
+struct PipelineConfig {
+  std::size_t buffer_capacity = 16;
+  bool sequential = false;  // SequentialExecution tuning parameter
+};
+
+template <typename T>
+class Pipeline {
+ public:
+  struct Stage {
+    std::string name;
+    std::function<void(T&)> fn;
+    int replication = 1;        // StageReplication
+    bool preserve_order = false;  // OrderPreservation (replicated stages)
+    bool fuse_with_next = false;  // StageFusion with the following stage
+  };
+
+  struct RunStats {
+    std::uint64_t elements = 0;
+    std::size_t threads_used = 0;
+    std::size_t stages_after_fusion = 0;
+  };
+
+  Pipeline(std::vector<Stage> stages, PipelineConfig config = {})
+      : config_(config) {
+    if (stages.empty()) fatal("pipeline needs at least one stage");
+    // StageFusion: merge each stage marked fuse_with_next into its
+    // successor. Composed stages run both bodies in one thread and share
+    // one queue hop.
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      Stage merged = std::move(stages[i]);
+      while (merged.fuse_with_next && i + 1 < stages.size()) {
+        Stage& next = stages[i + 1];
+        merged.name += "+" + next.name;
+        merged.fn = [a = std::move(merged.fn), b = std::move(next.fn)](T& x) {
+          a(x);
+          b(x);
+        };
+        merged.replication = std::max(merged.replication, next.replication);
+        merged.preserve_order = merged.preserve_order || next.preserve_order;
+        merged.fuse_with_next = next.fuse_with_next;
+        ++i;
+      }
+      merged.fuse_with_next = false;
+      if (merged.replication < 1) merged.replication = 1;
+      effective_.push_back(std::move(merged));
+    }
+  }
+
+  /// Execute: `source` yields elements until nullopt (the StreamGenerator,
+  /// the paper's implicit first stage); `sink` receives each element after
+  /// the last stage, on the caller's thread.
+  RunStats run(std::function<std::optional<T>()> source,
+               std::function<void(T&&)> sink) {
+    RunStats stats;
+    stats.stages_after_fusion = effective_.size();
+    if (config_.sequential) {
+      stats.threads_used = 0;
+      while (std::optional<T> item = source()) {
+        for (const Stage& s : effective_) s.fn(*item);
+        sink(std::move(*item));
+        ++stats.elements;
+      }
+      return stats;
+    }
+
+    const std::size_t n_stages = effective_.size();
+    // queues[i] feeds stage i; queues[n_stages] feeds the sink.
+    std::vector<std::unique_ptr<BoundedQueue<Item>>> queues;
+    queues.reserve(n_stages + 1);
+    for (std::size_t i = 0; i <= n_stages; ++i)
+      queues.push_back(
+          std::make_unique<BoundedQueue<Item>>(config_.buffer_capacity));
+
+    std::vector<std::unique_ptr<StageState>> states;
+    states.reserve(n_stages);
+    for (std::size_t i = 0; i < n_stages; ++i) {
+      auto st = std::make_unique<StageState>();
+      st->active_workers.store(effective_[i].replication);
+      states.push_back(std::move(st));
+    }
+
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < n_stages; ++i) {
+      const Stage& stage = effective_[i];
+      const bool restore =
+          stage.preserve_order && stage.replication > 1;
+      for (int w = 0; w < stage.replication; ++w) {
+        threads.emplace_back([this, i, restore, &queues, &states] {
+          worker(effective_[i], *queues[i], *queues[i + 1], *states[i],
+                 restore);
+        });
+      }
+      stats.threads_used += static_cast<std::size_t>(stage.replication);
+    }
+
+    // The StreamGenerator needs its own thread: if the caller thread both
+    // fed the first queue and drained the last one, a stream longer than
+    // the total buffer capacity would fill every queue and deadlock.
+    std::thread generator([&queues, &source] {
+      std::uint64_t seq = 0;
+      while (std::optional<T> item = source()) {
+        queues.front()->push(Item{seq++, std::move(*item)});
+      }
+      queues.front()->close();
+    });
+    ++stats.threads_used;
+
+    // Caller thread is the sink: drain the last queue.
+    while (std::optional<Item> item = queues.back()->pop()) {
+      sink(std::move(item->value));
+      ++stats.elements;
+    }
+    generator.join();
+    for (std::thread& t : threads) t.join();
+    return stats;
+  }
+
+  /// Convenience: run over a vector, collect results in arrival order.
+  std::vector<T> run_over(std::vector<T> input) {
+    std::size_t idx = 0;
+    std::vector<T> out;
+    out.reserve(input.size());
+    run(
+        [&]() -> std::optional<T> {
+          if (idx >= input.size()) return std::nullopt;
+          return std::move(input[idx++]);
+        },
+        [&](T&& v) { out.push_back(std::move(v)); });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t stage_count_after_fusion() const {
+    return effective_.size();
+  }
+
+ private:
+  struct Item {
+    std::uint64_t seq = 0;
+    T value;
+  };
+
+  /// Reorder buffer for OrderPreservation: releases items to the out queue
+  /// strictly by sequence number.
+  struct StageState {
+    std::atomic<int> active_workers{0};
+    std::mutex reorder_mutex;
+    std::map<std::uint64_t, T> pending;
+    std::uint64_t next_seq = 0;
+  };
+
+  void worker(const Stage& stage, BoundedQueue<Item>& in,
+              BoundedQueue<Item>& out, StageState& state, bool restore) {
+    while (std::optional<Item> item = in.pop()) {
+      stage.fn(item->value);
+      if (!restore) {
+        out.push(std::move(*item));
+        continue;
+      }
+      // Order restore: emit the longest ready run starting at next_seq.
+      // The push happens under the reorder mutex: releasing it first would
+      // let another worker emit a later run ahead of this one. A full out
+      // queue serializes this stage briefly but cannot deadlock (downstream
+      // drains independently of this mutex).
+      std::scoped_lock lock(state.reorder_mutex);
+      state.pending.emplace(item->seq, std::move(item->value));
+      while (!state.pending.empty() &&
+             state.pending.begin()->first == state.next_seq) {
+        auto first = state.pending.begin();
+        Item ready{first->first, std::move(first->second)};
+        state.pending.erase(first);
+        ++state.next_seq;
+        out.push(std::move(ready));
+      }
+    }
+    if (state.active_workers.fetch_sub(1) == 1) {
+      // Last worker of this stage: downstream sees end-of-stream.
+      out.close();
+    }
+  }
+
+  PipelineConfig config_;
+  std::vector<Stage> effective_;
+};
+
+}  // namespace patty::rt

@@ -1,0 +1,89 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace patty::rt {
+
+namespace {
+thread_local bool g_on_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return g_on_pool_worker; }
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  g_on_pool_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  // At least four workers even on small hosts: fork-join users block a
+  // caller thread on pool progress, and wait-dominated tasks (pipelines
+  // over I/O-like stages) still overlap when cores are scarce.
+  static ThreadPool pool(std::max<std::size_t>(
+      4, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void TaskGroup::add(std::size_t n) {
+  std::scoped_lock lock(mutex_);
+  outstanding_ += n;
+}
+
+void TaskGroup::finish() {
+  std::scoped_lock lock(mutex_);
+  if (outstanding_ > 0) --outstanding_;
+  if (outstanding_ == 0) done_.notify_all();
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  done_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void TaskGroup::run_on(ThreadPool& pool, std::function<void()> task) {
+  add();
+  pool.submit([this, task = std::move(task)] {
+    task();
+    finish();
+  });
+}
+
+}  // namespace patty::rt

@@ -1,0 +1,66 @@
+#pragma once
+// Fixed-size thread pool plus a TaskGroup join primitive. Used by the
+// master/worker pattern and parallel-for; pipelines bind threads to stages
+// directly (stage binding) and do not go through the pool.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace patty::rt {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed, default-sized).
+  static ThreadPool& shared();
+
+  /// True while the calling thread is a pool worker. Nested fork-join
+  /// constructs (parallel_for inside a parallel_for task, master/worker
+  /// inside a pool task) must run inline instead of submitting to the pool
+  /// and waiting — blocking a worker on tasks that need that same worker
+  /// deadlocks small pools.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Counts outstanding tasks; wait() blocks until all finished. RAII-friendly:
+/// add() before submit, finish() inside the task (see run_on).
+class TaskGroup {
+ public:
+  void add(std::size_t n = 1);
+  void finish();
+  void wait();
+
+  /// Convenience: submit `task` to `pool` tracked by this group.
+  void run_on(ThreadPool& pool, std::function<void()> task);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace patty::rt

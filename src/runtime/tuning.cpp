@@ -1,0 +1,157 @@
+#include "runtime/tuning.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace patty::rt {
+
+std::vector<std::int64_t> TuningParameter::domain() const {
+  std::vector<std::int64_t> values;
+  if (kind == TuningKind::Bool) return {0, 1};
+  const std::int64_t stride = step > 0 ? step : 1;
+  for (std::int64_t v = min; v <= max; v += stride) values.push_back(v);
+  if (values.empty()) values.push_back(value);
+  return values;
+}
+
+TuningParameter& TuningConfig::define(TuningParameter param) {
+  if (param.name.empty()) fatal("tuning parameter without a name");
+  auto [it, inserted] = params_.insert_or_assign(param.name, std::move(param));
+  (void)inserted;
+  return it->second;
+}
+
+bool TuningConfig::has(const std::string& name) const {
+  return params_.count(name) > 0;
+}
+
+std::int64_t TuningConfig::get_or(const std::string& name,
+                                  std::int64_t fallback) const {
+  auto it = params_.find(name);
+  return it == params_.end() ? fallback : it->second.value;
+}
+
+bool TuningConfig::get_bool_or(const std::string& name, bool fallback) const {
+  auto it = params_.find(name);
+  return it == params_.end() ? fallback : it->second.as_bool();
+}
+
+void TuningConfig::set(const std::string& name, std::int64_t value) {
+  auto it = params_.find(name);
+  if (it == params_.end()) fatal("unknown tuning parameter '" + name + "'");
+  it->second.value = value;
+}
+
+std::uint64_t TuningConfig::search_space_size() const {
+  std::uint64_t total = 1;
+  for (const auto& [name, p] : params_) {
+    (void)name;
+    total *= static_cast<std::uint64_t>(p.domain().size());
+  }
+  return total;
+}
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string TuningConfig::serialize() const {
+  std::string out = "# Patty tuning configuration\n";
+  for (const auto& [name, p] : params_) {
+    out += "param " + name;
+    out += p.kind == TuningKind::Bool ? " kind=bool" : " kind=int";
+    out += " value=" + std::to_string(p.value);
+    out += " min=" + std::to_string(p.min);
+    out += " max=" + std::to_string(p.max);
+    out += " step=" + std::to_string(p.step);
+    if (!p.location.empty()) out += " loc=" + p.location;
+    if (!p.description.empty()) out += " desc=" + quote(p.description);
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<TuningConfig> TuningConfig::parse(const std::string& text,
+                                                std::string* error) {
+  TuningConfig config;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) {
+    if (error)
+      *error = "line " + std::to_string(line_no) + ": " + message;
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word != "param") return fail("expected 'param', got '" + word + "'");
+    TuningParameter p;
+    if (!(ls >> p.name)) return fail("missing parameter name");
+    std::string kv;
+    while (ls >> kv) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) return fail("expected key=value: " + kv);
+      const std::string key = kv.substr(0, eq);
+      std::string val = kv.substr(eq + 1);
+      if (key == "kind") {
+        if (val == "int") p.kind = TuningKind::Int;
+        else if (val == "bool") p.kind = TuningKind::Bool;
+        else return fail("unknown kind '" + val + "'");
+      } else if (key == "value" || key == "min" || key == "max" ||
+                 key == "step") {
+        std::int64_t num = 0;
+        try {
+          num = std::stoll(val);
+        } catch (...) {
+          return fail("bad integer '" + val + "'");
+        }
+        if (key == "value") p.value = num;
+        else if (key == "min") p.min = num;
+        else if (key == "max") p.max = num;
+        else p.step = num;
+      } else if (key == "loc") {
+        p.location = val;
+      } else if (key == "desc") {
+        // Quoted; may contain spaces: re-read the raw remainder of the line.
+        const auto pos = line.find("desc=");
+        std::string raw = line.substr(pos + 5);
+        if (raw.size() >= 2 && raw.front() == '"') {
+          std::string body;
+          for (std::size_t i = 1; i < raw.size(); ++i) {
+            if (raw[i] == '\\' && i + 1 < raw.size()) {
+              body += raw[++i];
+            } else if (raw[i] == '"') {
+              break;
+            } else {
+              body += raw[i];
+            }
+          }
+          p.description = body;
+        } else {
+          p.description = raw;
+        }
+        break;  // desc is always last
+      } else {
+        return fail("unknown key '" + key + "'");
+      }
+    }
+    config.define(std::move(p));
+  }
+  return config;
+}
+
+}  // namespace patty::rt

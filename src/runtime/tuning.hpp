@@ -1,0 +1,68 @@
+#pragma once
+// Tuning parameters and the tuning configuration file (paper §2.1, fig 3c).
+//
+// Every tunable parallel pattern registers its runtime-relevant knobs here:
+// changing a value changes performance but never semantics (except
+// OrderPreservation, whose semantic admissibility is checked by the
+// generated correctness tests — §2.2 PLTP). The configuration is written
+// next to the transformed program and re-read at startup, so applications
+// re-tune to new hardware without recompilation.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace patty::rt {
+
+enum class TuningKind : std::uint8_t { Int, Bool };
+
+struct TuningParameter {
+  std::string name;         // e.g. "Process.pipeline.stage2.replication"
+  TuningKind kind = TuningKind::Int;
+  std::int64_t value = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 1;
+  std::int64_t step = 1;
+  std::string location;     // source range the parameter belongs to
+  std::string description;
+
+  [[nodiscard]] bool as_bool() const { return value != 0; }
+  /// All admissible values, in order (bools: 0,1; ints: min..max by step).
+  [[nodiscard]] std::vector<std::int64_t> domain() const;
+};
+
+class TuningConfig {
+ public:
+  /// Add or overwrite a parameter. Returns a stable reference.
+  TuningParameter& define(TuningParameter param);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Value lookup with fallback (patterns use this so a missing config
+  /// degrades to defaults instead of failing).
+  [[nodiscard]] std::int64_t get_or(const std::string& name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool_or(const std::string& name, bool fallback) const;
+  void set(const std::string& name, std::int64_t value);
+
+  [[nodiscard]] const std::map<std::string, TuningParameter>& params() const {
+    return params_;
+  }
+  [[nodiscard]] std::size_t size() const { return params_.size(); }
+
+  /// Text serialization (one `param` line per entry, `#` comments).
+  [[nodiscard]] std::string serialize() const;
+  /// Parse the serialized form; returns nullopt and leaves *error set on a
+  /// malformed line.
+  static std::optional<TuningConfig> parse(const std::string& text,
+                                           std::string* error = nullptr);
+
+  /// Total size of the search space (product of domain sizes).
+  [[nodiscard]] std::uint64_t search_space_size() const;
+
+ private:
+  std::map<std::string, TuningParameter> params_;
+};
+
+}  // namespace patty::rt

@@ -1,0 +1,53 @@
+#include "support/diagnostics.hpp"
+
+#include <stdexcept>
+
+namespace patty {
+
+namespace {
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+void DiagnosticSink::error(SourceRange range, std::string message) {
+  diags_.push_back({Severity::Error, range, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticSink::warning(SourceRange range, std::string message) {
+  diags_.push_back({Severity::Warning, range, std::move(message)});
+}
+
+void DiagnosticSink::note(SourceRange range, std::string message) {
+  diags_.push_back({Severity::Note, range, std::move(message)});
+}
+
+std::string DiagnosticSink::to_string() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += severity_name(d.severity);
+    out += " ";
+    out += d.range.str();
+    out += ": ";
+    out += d.message;
+    out += "\n";
+  }
+  return out;
+}
+
+void DiagnosticSink::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+void fatal(const std::string& message) {
+  throw std::logic_error("patty internal error: " + message);
+}
+
+}  // namespace patty

@@ -1,0 +1,44 @@
+#pragma once
+// Diagnostic sink shared by the MiniOO frontend, the analyses and the
+// detectors. Collects errors/warnings/notes with source ranges instead of
+// throwing from deep inside recursive-descent code.
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace patty {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceRange range;
+  std::string message;
+};
+
+class DiagnosticSink {
+ public:
+  void error(SourceRange range, std::string message);
+  void warning(SourceRange range, std::string message);
+  void note(SourceRange range, std::string message);
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// Render every diagnostic as "severity line:col message", one per line.
+  [[nodiscard]] std::string to_string() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+/// Internal invariant violation; used instead of assert so tests can check it.
+[[noreturn]] void fatal(const std::string& message);
+
+}  // namespace patty

@@ -1,0 +1,54 @@
+#pragma once
+// Deterministic random number generation. Everything stochastic in the repo
+// (study simulation, tuner exploration, corpus generation, input-data
+// synthesis) draws from a SplitMix64 stream seeded explicitly, so every
+// table and figure regenerates bit-identically.
+
+#include <cstdint>
+#include <vector>
+
+namespace patty {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean, double stddev);
+
+  /// Uniform int in [lo, hi] inclusive.
+  int int_in(int lo, int hi);
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Derive an independent child stream (for per-participant streams etc.).
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace patty

@@ -1,0 +1,37 @@
+#pragma once
+// Source positions and ranges for MiniOO programs. Every AST node, semantic
+// model entry, detected pattern and tuning parameter carries one of these so
+// results can always be reflected back to the source text (requirement R1 of
+// the paper: comprehensible parallelization).
+
+#include <cstdint>
+#include <string>
+
+namespace patty {
+
+/// A 1-based line/column position inside one source file.
+struct SourcePos {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  friend bool operator==(const SourcePos&, const SourcePos&) = default;
+  friend auto operator<=>(const SourcePos&, const SourcePos&) = default;
+};
+
+/// A half-open [begin, end) range inside one source file.
+struct SourceRange {
+  SourcePos begin;
+  SourcePos end;
+
+  [[nodiscard]] bool valid() const { return begin.line != 0; }
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+
+  /// "line:col-line:col" rendering used in diagnostics and tuning configs.
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "<unknown>";
+    return std::to_string(begin.line) + ":" + std::to_string(begin.column) +
+           "-" + std::to_string(end.line) + ":" + std::to_string(end.column);
+  }
+};
+
+}  // namespace patty

@@ -1,0 +1,47 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace patty {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) fatal("quantile of empty vector");
+  std::sort(xs.begin(), xs.end());
+  if (q <= 0.0) return xs.front();
+  if (q >= 1.0) return xs.back();
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double min_of(const std::vector<double>& xs) {
+  if (xs.empty()) fatal("min_of empty");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  if (xs.empty()) fatal("max_of empty");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace patty

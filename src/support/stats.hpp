@@ -1,0 +1,20 @@
+#pragma once
+// Small descriptive-statistics helpers used by the study simulator and the
+// benchmark harnesses (means, sample standard deviations, quantiles).
+
+#include <vector>
+
+namespace patty {
+
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double sample_stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0,1]. xs need not be sorted.
+double quantile(std::vector<double> xs, double q);
+
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+}  // namespace patty

@@ -1,0 +1,32 @@
+#pragma once
+// ASCII table emitter. Every bench binary renders the paper's table/figure
+// rows through this so `bench_output.txt` reads like the paper's artifacts.
+
+#include <string>
+#include <vector>
+
+namespace patty {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule and right-padded columns.
+  [[nodiscard]] std::string str() const;
+
+  /// Render as CSV (no quoting of commas; cells must not contain commas).
+  [[nodiscard]] std::string csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("2.17", "-0.25").
+std::string fmt(double value, int decimals = 2);
+
+}  // namespace patty

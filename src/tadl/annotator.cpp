@@ -1,0 +1,271 @@
+#include "tadl/annotator.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace patty::tadl {
+
+using lang::Stmt;
+using lang::StmtKind;
+
+namespace {
+
+/// Find the block directly containing the statement with `stmt_id`, and the
+/// statement's position within it.
+struct BlockSlot {
+  lang::Block* block = nullptr;
+  std::size_t index = 0;
+};
+
+BlockSlot find_slot(lang::Block& block, int stmt_id);
+
+BlockSlot find_in_stmt(Stmt& st, int stmt_id) {
+  switch (st.kind) {
+    case StmtKind::Block:
+      return find_slot(st.as<lang::Block>(), stmt_id);
+    case StmtKind::If: {
+      auto& i = st.as<lang::If>();
+      BlockSlot slot = find_in_stmt(*i.then_branch, stmt_id);
+      if (slot.block) return slot;
+      if (i.else_branch) return find_in_stmt(*i.else_branch, stmt_id);
+      return {};
+    }
+    case StmtKind::While:
+      return find_in_stmt(*st.as<lang::While>().body, stmt_id);
+    case StmtKind::For: {
+      auto& f = st.as<lang::For>();
+      return find_in_stmt(*f.body, stmt_id);
+    }
+    case StmtKind::Foreach:
+      return find_in_stmt(*st.as<lang::Foreach>().body, stmt_id);
+    default:
+      return {};
+  }
+}
+
+BlockSlot find_slot(lang::Block& block, int stmt_id) {
+  for (std::size_t i = 0; i < block.stmts.size(); ++i) {
+    if (block.stmts[i]->id == stmt_id) return {&block, i};
+    BlockSlot nested = find_in_stmt(*block.stmts[i], stmt_id);
+    if (nested.block) return nested;
+  }
+  return {};
+}
+
+BlockSlot find_slot_in_program(lang::Program& program, int stmt_id) {
+  for (auto& cls : program.classes) {
+    for (auto& m : cls->methods) {
+      BlockSlot slot = find_slot(*m->body, stmt_id);
+      if (slot.block) return slot;
+    }
+  }
+  return {};
+}
+
+std::unique_ptr<lang::Annotation> make_annotation(lang::Program& program,
+                                                  std::string text,
+                                                  SourceRange near) {
+  auto ann = std::make_unique<lang::Annotation>();
+  ann->id = program.next_node_id++;
+  ann->range = near;
+  ann->text = std::move(text);
+  return ann;
+}
+
+}  // namespace
+
+bool insert_annotations(lang::Program& program,
+                        const patterns::Candidate& candidate) {
+  if (!candidate.anchor) return false;
+  BlockSlot loop_slot = find_slot_in_program(program, candidate.anchor->id);
+  if (!loop_slot.block) return false;
+
+  // Stage labels inside the loop body first (indices shift as we insert).
+  if (candidate.kind == patterns::PatternKind::Pipeline) {
+    for (const patterns::StageSpec& stage : candidate.stages) {
+      if (stage.stmt_ids.empty()) continue;
+      BlockSlot first = find_slot_in_program(program, stage.stmt_ids.front());
+      if (!first.block) return false;
+      first.block->stmts.insert(
+          first.block->stmts.begin() + static_cast<std::ptrdiff_t>(first.index),
+          make_annotation(program, "stage " + stage.label,
+                          candidate.anchor->range));
+    }
+  }
+
+  // `@tadl` before and `@end` after the loop. Re-find the slot: the body
+  // insertions above may have shifted positions in the same block when the
+  // loop body is the block itself (it is not: stages live in the loop's
+  // body block), but re-finding keeps this robust either way.
+  loop_slot = find_slot_in_program(program, candidate.anchor->id);
+  if (!loop_slot.block) return false;
+  auto at = loop_slot.block->stmts.begin() +
+            static_cast<std::ptrdiff_t>(loop_slot.index);
+  at = loop_slot.block->stmts.insert(
+      at, make_annotation(program, "tadl " + candidate.tadl,
+                          candidate.anchor->range));
+  // After the loop (skip the inserted annotation + the loop itself).
+  loop_slot.block->stmts.insert(
+      at + 2, make_annotation(program, "end", candidate.anchor->range));
+  return true;
+}
+
+std::size_t strip_annotations(lang::Program& program) {
+  std::size_t removed = 0;
+  struct Stripper {
+    std::size_t* removed;
+    void strip_block(lang::Block& block) {
+      auto it = std::remove_if(block.stmts.begin(), block.stmts.end(),
+                               [](const lang::StmtPtr& s) {
+                                 return s->kind == StmtKind::Annotation;
+                               });
+      *removed += static_cast<std::size_t>(block.stmts.end() - it);
+      block.stmts.erase(it, block.stmts.end());
+      for (auto& s : block.stmts) strip_stmt(*s);
+    }
+    void strip_stmt(Stmt& st) {
+      switch (st.kind) {
+        case StmtKind::Block:
+          strip_block(st.as<lang::Block>());
+          break;
+        case StmtKind::If: {
+          auto& i = st.as<lang::If>();
+          strip_stmt(*i.then_branch);
+          if (i.else_branch) strip_stmt(*i.else_branch);
+          break;
+        }
+        case StmtKind::While:
+          strip_stmt(*st.as<lang::While>().body);
+          break;
+        case StmtKind::For:
+          strip_stmt(*st.as<lang::For>().body);
+          break;
+        case StmtKind::Foreach:
+          strip_stmt(*st.as<lang::Foreach>().body);
+          break;
+        default:
+          break;
+      }
+    }
+  };
+  Stripper s{&removed};
+  for (auto& cls : program.classes)
+    for (auto& m : cls->methods) s.strip_block(*m->body);
+  return removed;
+}
+
+std::vector<TadlRegion> extract_regions(const lang::Program& program,
+                                        std::vector<std::string>* errors) {
+  std::vector<TadlRegion> regions;
+  auto report = [&](const std::string& message) {
+    if (errors) errors->push_back(message);
+  };
+
+  struct Scanner {
+    std::vector<TadlRegion>& regions;
+    const std::function<void(const std::string&)>& report;
+
+    void scan_block(const lang::Block& block) {
+      for (std::size_t i = 0; i < block.stmts.size(); ++i) {
+        const Stmt& st = *block.stmts[i];
+        if (st.kind == StmtKind::Annotation) {
+          const std::string& text = st.as<lang::Annotation>().text;
+          if (text.rfind("tadl ", 0) == 0) {
+            handle_region(block, i, text.substr(5));
+          }
+          continue;
+        }
+        scan_stmt(st);
+      }
+    }
+
+    void handle_region(const lang::Block& block, std::size_t ann_index,
+                       const std::string& expr_text) {
+      // The next non-annotation statement must be a loop.
+      const Stmt* loop = nullptr;
+      for (std::size_t j = ann_index + 1; j < block.stmts.size(); ++j) {
+        if (block.stmts[j]->kind == StmtKind::Annotation) continue;
+        loop = block.stmts[j].get();
+        break;
+      }
+      if (!loop || (loop->kind != StmtKind::For &&
+                    loop->kind != StmtKind::While &&
+                    loop->kind != StmtKind::Foreach)) {
+        report("@tadl at " + block.stmts[ann_index]->range.str() +
+               " is not followed by a loop");
+        return;
+      }
+      std::string error;
+      TadlPtr expr = parse_tadl(expr_text, &error);
+      if (!expr) {
+        report("@tadl at " + block.stmts[ann_index]->range.str() +
+               ": bad expression: " + error);
+        return;
+      }
+      TadlRegion region;
+      region.loop = loop;
+      region.expr = std::move(expr);
+
+      // Collect stage labels inside the loop body: statements after a
+      // `@stage X` annotation belong to X until the next annotation.
+      const Stmt* body = nullptr;
+      switch (loop->kind) {
+        case StmtKind::For: body = loop->as<lang::For>().body.get(); break;
+        case StmtKind::While: body = loop->as<lang::While>().body.get(); break;
+        case StmtKind::Foreach:
+          body = loop->as<lang::Foreach>().body.get();
+          break;
+        default:
+          break;
+      }
+      if (body && body->kind == StmtKind::Block) {
+        std::string current_label;
+        for (const auto& s : body->as<lang::Block>().stmts) {
+          if (s->kind == StmtKind::Annotation) {
+            const std::string& t = s->as<lang::Annotation>().text;
+            if (t.rfind("stage ", 0) == 0) current_label = t.substr(6);
+            else current_label.clear();
+            continue;
+          }
+          if (!current_label.empty())
+            region.stages[current_label].push_back(s->id);
+        }
+      }
+      regions.push_back(std::move(region));
+    }
+
+    void scan_stmt(const Stmt& st) {
+      switch (st.kind) {
+        case StmtKind::Block:
+          scan_block(st.as<lang::Block>());
+          break;
+        case StmtKind::If: {
+          const auto& i = st.as<lang::If>();
+          scan_stmt(*i.then_branch);
+          if (i.else_branch) scan_stmt(*i.else_branch);
+          break;
+        }
+        case StmtKind::While:
+          scan_stmt(*st.as<lang::While>().body);
+          break;
+        case StmtKind::For:
+          scan_stmt(*st.as<lang::For>().body);
+          break;
+        case StmtKind::Foreach:
+          scan_stmt(*st.as<lang::Foreach>().body);
+          break;
+        default:
+          break;
+      }
+    }
+  };
+
+  const std::function<void(const std::string&)> reporter = report;
+  Scanner scanner{regions, reporter};
+  for (const auto& cls : program.classes)
+    for (const auto& m : cls->methods) scanner.scan_block(*m->body);
+  return regions;
+}
+
+}  // namespace patty::tadl

@@ -1,0 +1,52 @@
+#pragma once
+// Source annotation with TADL regions (paper §2.1, figure 3b).
+//
+// The detector's candidates are written back into the program as annotation
+// statements at the exact location they were found — the paper's argument
+// for program comprehensibility. The annotated program still parses,
+// type-checks and runs identically (annotations are transparent).
+//
+// The same machinery works in reverse for operation mode 2 (architecture-
+// based parallel programming): an engineer writes `@tadl`/`@stage`
+// annotations by hand and extract_regions() recovers the structures the
+// transformation phase consumes.
+//
+// Annotation grammar (statement position):
+//   @tadl <tadl-expression>     immediately before the annotated loop
+//   @stage <LABEL>              before the first statement of each stage
+//   @end                        immediately after the annotated loop
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "patterns/candidate.hpp"
+#include "tadl/tadl.hpp"
+
+namespace patty::tadl {
+
+/// A recovered annotated region.
+struct TadlRegion {
+  const lang::Stmt* loop = nullptr;    // the annotated loop statement
+  TadlPtr expr;                        // parsed TADL expression
+  /// Stage label -> top-level body statement ids, in program order.
+  std::map<std::string, std::vector<int>> stages;
+};
+
+/// Insert `@tadl`/`@stage`/`@end` annotations for a pipeline candidate into
+/// the program (in place; existing statements keep their ids). Returns
+/// false when the candidate's loop is not found in this program.
+bool insert_annotations(lang::Program& program,
+                        const patterns::Candidate& candidate);
+
+/// Remove every annotation statement. Returns the number removed.
+std::size_t strip_annotations(lang::Program& program);
+
+/// Find all annotated regions in a (possibly hand-annotated) program.
+/// Malformed regions are reported through `errors` and skipped.
+std::vector<TadlRegion> extract_regions(const lang::Program& program,
+                                        std::vector<std::string>* errors = nullptr);
+
+}  // namespace patty::tadl

@@ -1,0 +1,192 @@
+#include "tadl/tadl.hpp"
+
+#include <cctype>
+
+namespace patty::tadl {
+
+TadlPtr TadlNode::task(std::string name, bool replicable) {
+  auto n = std::make_unique<TadlNode>();
+  n->kind = Kind::Task;
+  n->name = std::move(name);
+  n->replicable = replicable;
+  return n;
+}
+
+TadlPtr TadlNode::parallel(std::vector<TadlPtr> children) {
+  auto n = std::make_unique<TadlNode>();
+  n->kind = Kind::Parallel;
+  n->children = std::move(children);
+  return n;
+}
+
+TadlPtr TadlNode::sequence(std::vector<TadlPtr> children) {
+  auto n = std::make_unique<TadlNode>();
+  n->kind = Kind::Sequence;
+  n->children = std::move(children);
+  return n;
+}
+
+std::vector<std::string> TadlNode::task_names() const {
+  std::vector<std::string> names;
+  if (kind == Kind::Task) {
+    names.push_back(name);
+    return names;
+  }
+  for (const TadlPtr& c : children) {
+    auto sub = c->task_names();
+    names.insert(names.end(), sub.begin(), sub.end());
+  }
+  return names;
+}
+
+bool TadlNode::equals(const TadlNode& other) const {
+  if (kind != other.kind || replicable != other.replicable ||
+      name != other.name || children.size() != other.children.size())
+    return false;
+  for (std::size_t i = 0; i < children.size(); ++i)
+    if (!children[i]->equals(*other.children[i])) return false;
+  return true;
+}
+
+namespace {
+
+std::string print_node(const TadlNode& node, bool parenthesize) {
+  switch (node.kind) {
+    case TadlNode::Kind::Task:
+      return node.name + (node.replicable ? "+" : "");
+    case TadlNode::Kind::Parallel: {
+      std::string out;
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out += " || ";
+        out += print_node(*node.children[i], true);
+      }
+      if (parenthesize) out = "(" + out + ")";
+      if (node.replicable) out += "+";
+      return out;
+    }
+    case TadlNode::Kind::Sequence: {
+      std::string out;
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out += " => ";
+        out += print_node(*node.children[i], true);
+      }
+      if (parenthesize) out = "(" + out + ")";
+      if (node.replicable) out += "+";
+      return out;
+    }
+  }
+  return "?";
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  TadlPtr parse() {
+    TadlPtr result = parse_seq();
+    if (!result) return nullptr;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("unexpected trailing input at position " + std::to_string(pos_));
+      return nullptr;
+    }
+    return result;
+  }
+
+ private:
+  void fail(const std::string& message) {
+    if (error_ && error_->empty()) *error_ = message;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool accept(const std::string& token) {
+    skip_ws();
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  TadlPtr parse_seq() {
+    TadlPtr first = parse_par();
+    if (!first) return nullptr;
+    std::vector<TadlPtr> parts;
+    parts.push_back(std::move(first));
+    while (accept("=>")) {
+      TadlPtr next = parse_par();
+      if (!next) return nullptr;
+      parts.push_back(std::move(next));
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return TadlNode::sequence(std::move(parts));
+  }
+
+  TadlPtr parse_par() {
+    TadlPtr first = parse_atom();
+    if (!first) return nullptr;
+    std::vector<TadlPtr> parts;
+    parts.push_back(std::move(first));
+    while (accept("||")) {
+      TadlPtr next = parse_atom();
+      if (!next) return nullptr;
+      parts.push_back(std::move(next));
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return TadlNode::parallel(std::move(parts));
+  }
+
+  TadlPtr parse_atom() {
+    skip_ws();
+    if (accept("(")) {
+      TadlPtr inner = parse_seq();
+      if (!inner) return nullptr;
+      if (!accept(")")) {
+        fail("expected ')'");
+        return nullptr;
+      }
+      if (accept("+")) inner->replicable = true;
+      return inner;
+    }
+    std::string name;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      name += text_[pos_++];
+    }
+    if (name.empty()) {
+      fail("expected a region name at position " + std::to_string(pos_));
+      return nullptr;
+    }
+    bool replicable = false;
+    if (pos_ < text_.size() && text_[pos_] == '+') {
+      replicable = true;
+      ++pos_;
+    }
+    return TadlNode::task(std::move(name), replicable);
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string print_tadl(const TadlNode& node) {
+  return print_node(node, /*parenthesize=*/false);
+}
+
+TadlPtr parse_tadl(const std::string& text, std::string* error) {
+  std::string local_error;
+  Parser p(text, error ? error : &local_error);
+  return p.parse();
+}
+
+}  // namespace patty::tadl

@@ -1,0 +1,46 @@
+#pragma once
+// TADL — the Tunable Architecture Description Language (paper §2.1, after
+// Schaefer et al.'s TADL [23]). A TADL expression describes a tunable
+// parallel architecture over named code regions:
+//
+//   expr := seq
+//   seq  := par ("=>" par)*          pipeline stage chaining
+//   par  := atom ("||" atom)*        master/worker (concurrent sections)
+//   atom := NAME "+"? | "(" expr ")" "+"?
+//
+// `+` marks a region as replicable (StageReplication admissible). The
+// canonical example from the paper: (A || B || C+) => D => E.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace patty::tadl {
+
+struct TadlNode;
+using TadlPtr = std::unique_ptr<TadlNode>;
+
+struct TadlNode {
+  enum class Kind : std::uint8_t { Task, Parallel, Sequence };
+  Kind kind = Kind::Task;
+  std::string name;            // Task only
+  bool replicable = false;     // `+` suffix
+  std::vector<TadlPtr> children;  // Parallel / Sequence
+
+  static TadlPtr task(std::string name, bool replicable = false);
+  static TadlPtr parallel(std::vector<TadlPtr> children);
+  static TadlPtr sequence(std::vector<TadlPtr> children);
+
+  /// All task names, left to right.
+  [[nodiscard]] std::vector<std::string> task_names() const;
+  /// Deep structural equality.
+  [[nodiscard]] bool equals(const TadlNode& other) const;
+};
+
+/// Canonical rendering, e.g. "(A || B || C+) => D => E".
+std::string print_tadl(const TadlNode& node);
+
+/// Parse a TADL expression; nullptr + *error on failure.
+TadlPtr parse_tadl(const std::string& text, std::string* error = nullptr);
+
+}  // namespace patty::tadl

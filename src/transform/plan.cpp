@@ -1,0 +1,578 @@
+#include "transform/plan.hpp"
+
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/dependence.hpp"
+#include "analysis/effects.hpp"
+#include "runtime/master_worker.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/pipeline.hpp"
+#include "support/diagnostics.hpp"
+
+namespace patty::transform {
+
+using analysis::ExecSignal;
+using analysis::Frame;
+using analysis::Interpreter;
+using analysis::Value;
+using lang::Stmt;
+using lang::StmtKind;
+using patterns::Candidate;
+using patterns::PatternKind;
+
+namespace {
+
+/// Statement ids of the master/worker candidate currently executing on this
+/// thread. While set, interception is suppressed for those statements so
+/// the worker tasks execute their statements normally instead of being
+/// re-intercepted (the anchor) or skipped (the absorbed ones).
+thread_local const std::set<int>* g_active_master_worker = nullptr;
+
+/// One stream element: the index in the stream plus its private frame.
+struct Elem {
+  std::size_t index = 0;
+  std::shared_ptr<Frame> frame;
+};
+
+/// Per-candidate precomputation done once at plan build time.
+struct LoopPlan {
+  const Candidate* candidate = nullptr;
+  std::vector<const Stmt*> body;
+  /// Outer-declared local slots written by the body (ordered write-back).
+  std::vector<int> writeback_slots;
+  /// Reduction bookkeeping (data-parallel reductions only).
+  int reduction_slot = -1;
+  lang::BinaryOp reduction_op = lang::BinaryOp::Add;
+  /// Reasons that force SequentialExecution regardless of tuning.
+  std::string unsafe_reason;
+
+  [[nodiscard]] bool unsafe() const { return !unsafe_reason.empty(); }
+};
+
+/// Collect every local slot declared inside a statement subtree.
+std::set<int> declared_slots(const std::vector<const Stmt*>& body) {
+  std::set<int> slots;
+  for (const Stmt* top : body) {
+    lang::for_each_stmt(*top, [&](const Stmt& st) {
+      if (st.kind == StmtKind::VarDecl) slots.insert(st.as<lang::VarDecl>().slot);
+      if (st.kind == StmtKind::Foreach) slots.insert(st.as<lang::Foreach>().slot);
+    });
+  }
+  return slots;
+}
+
+/// Local slots read / written by the loop body (through calls, locals only
+/// concern this method's frame).
+void body_local_effects(const analysis::EffectAnalysis& effects,
+                        const std::vector<const Stmt*>& body,
+                        std::set<int>* reads, std::set<int>* writes) {
+  for (const Stmt* top : body) {
+    const analysis::EffectSet es = effects.stmt_effects(*top);
+    for (const analysis::AbsLoc& l : es.reads)
+      if (l.kind == analysis::AbsLoc::Kind::Local) reads->insert(l.slot);
+    for (const analysis::AbsLoc& l : es.writes)
+      if (l.kind == analysis::AbsLoc::Kind::Local) writes->insert(l.slot);
+  }
+}
+
+/// Slots referenced by an expression (reads).
+void expr_slots(const lang::Expr& e, std::set<int>* slots) {
+  lang::for_each_expr_in(e, [&](const lang::Expr& sub) {
+    if (sub.kind == lang::ExprKind::VarRef) {
+      const auto& ref = sub.as<lang::VarRef>();
+      if (ref.is_local()) slots->insert(ref.slot);
+    }
+  });
+}
+
+}  // namespace
+
+struct ParallelPlanExecutor::Impl {
+  const lang::Program& program;
+  std::vector<Candidate> candidates;
+  const rt::TuningConfig* tuning;
+  analysis::CallGraph call_graph;
+  std::unique_ptr<analysis::EffectAnalysis> effects;
+  std::map<int, LoopPlan> plans;          // anchor stmt id -> plan
+  std::set<int> absorbed;                 // master/worker non-anchor stmts
+  std::set<int> hot_ids;                  // plans + absorbed: fast reject
+  std::unique_ptr<Interpreter> interp;
+  std::mutex report_mutex;
+  std::map<int, PlanReport> reports;
+
+  Impl(const lang::Program& p, std::vector<Candidate> cands,
+       const rt::TuningConfig* t)
+      : program(p), candidates(std::move(cands)), tuning(t) {
+    call_graph = analysis::build_call_graph(program);
+    effects = std::make_unique<analysis::EffectAnalysis>(program, call_graph);
+    for (const Candidate& c : candidates) build_plan(c);
+    for (const auto& [id, plan] : plans) {
+      (void)plan;
+      hot_ids.insert(id);
+    }
+    hot_ids.insert(absorbed.begin(), absorbed.end());
+  }
+
+  std::int64_t param(const Candidate& c, const std::string& suffix,
+                     std::int64_t fallback) const {
+    for (const rt::TuningParameter& p : c.tuning) {
+      if (p.name.size() > suffix.size() &&
+          p.name.compare(p.name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+        return tuning ? tuning->get_or(p.name, p.value) : p.value;
+      }
+    }
+    return fallback;
+  }
+
+  void build_plan(const Candidate& c) {
+    if (!c.anchor) return;
+    if (c.kind == PatternKind::MasterWorker) {
+      LoopPlan plan;
+      plan.candidate = &c;
+      plans[c.anchor->id] = std::move(plan);
+      for (std::size_t i = 1; i < c.task_stmt_ids.size(); ++i)
+        absorbed.insert(c.task_stmt_ids[i]);
+      return;
+    }
+
+    LoopPlan plan;
+    plan.candidate = &c;
+    plan.body = analysis::loop_body_statements(*c.anchor);
+
+    if (c.anchor->kind == StmtKind::While) {
+      plan.unsafe_reason = "while-loop headers cannot stream-generate";
+    }
+
+    const std::set<int> declared = declared_slots(plan.body);
+    std::set<int> reads, writes;
+    body_local_effects(*effects, plan.body, &reads, &writes);
+
+    // Header slots: For init/cond/step, Foreach loop variable + iterable.
+    std::set<int> header_reads;
+    int loop_var_slot = -1;
+    if (c.anchor->kind == StmtKind::For) {
+      const auto& f = c.anchor->as<lang::For>();
+      if (f.cond) expr_slots(*f.cond, &header_reads);
+      if (f.step) {
+        const analysis::EffectSet es = effects->stmt_effects(*f.step);
+        for (const analysis::AbsLoc& l : es.reads)
+          if (l.kind == analysis::AbsLoc::Kind::Local)
+            header_reads.insert(l.slot);
+        for (const analysis::AbsLoc& l : es.writes)
+          if (l.kind == analysis::AbsLoc::Kind::Local && writes.count(l.slot))
+            plan.unsafe_reason = "loop body writes the induction variable";
+      }
+      if (f.init && f.init->kind == StmtKind::VarDecl)
+        loop_var_slot = f.init->as<lang::VarDecl>().slot;
+    } else if (c.anchor->kind == StmtKind::Foreach) {
+      loop_var_slot = c.anchor->as<lang::Foreach>().slot;
+    }
+
+    // Reduction bookkeeping.
+    if (c.is_reduction && c.reduction_stmt_id >= 0) {
+      const Stmt* red = nullptr;
+      for (const Stmt* top : plan.body) {
+        lang::for_each_stmt(*top, [&](const Stmt& st) {
+          if (st.id == c.reduction_stmt_id) red = &st;
+        });
+      }
+      if (red && red->kind == StmtKind::Assign) {
+        const auto& a = red->as<lang::Assign>();
+        if (a.target->kind == lang::ExprKind::VarRef) {
+          const auto& tgt = a.target->as<lang::VarRef>();
+          if (tgt.is_local() && a.value->kind == lang::ExprKind::Binary) {
+            plan.reduction_slot = tgt.slot;
+            plan.reduction_op = a.value->as<lang::Binary>().op;
+          } else {
+            plan.unsafe_reason =
+                "reduction accumulator is a field (shared heap state)";
+          }
+        }
+      }
+      if (plan.reduction_slot < 0 && plan.unsafe_reason.empty())
+        plan.unsafe_reason = "reduction statement shape not executable";
+    }
+
+    // Scalar carried state: an outer-declared slot both written and read by
+    // the body (or read by the loop header) cannot be represented with
+    // per-element snapshot frames.
+    if (plan.unsafe_reason.empty()) {
+      for (int slot : writes) {
+        if (declared.count(slot)) continue;     // per-iteration temporary
+        if (slot == loop_var_slot) continue;    // header-managed
+        if (slot == plan.reduction_slot) continue;  // handled specially
+        if (reads.count(slot) || header_reads.count(slot)) {
+          plan.unsafe_reason =
+              "loop-carried scalar state in an outer local (slot " +
+              std::to_string(slot) + ")";
+          break;
+        }
+        plan.writeback_slots.push_back(slot);
+      }
+    }
+    plans[c.anchor->id] = std::move(plan);
+  }
+
+  PlanReport& report_for(const Candidate& c) {
+    // Caller holds report_mutex.
+    PlanReport& r = reports[c.anchor->id];
+    r.loop_stmt_id = c.anchor->id;
+    r.kind = c.kind;
+    return r;
+  }
+
+  void note_fallback(const Candidate& c, const std::string& why) {
+    std::scoped_lock lock(report_mutex);
+    PlanReport& r = report_for(c);
+    r.ran_parallel = false;
+    r.note = why;
+    r.runs += 1;
+  }
+
+  void note_parallel(const Candidate& c, std::uint64_t elements,
+                     const std::string& note = {}) {
+    std::scoped_lock lock(report_mutex);
+    PlanReport& r = report_for(c);
+    r.ran_parallel = true;
+    r.elements += elements;
+    r.runs += 1;
+    if (!note.empty()) r.note = note;
+  }
+
+  // --- Stream generation ----------------------------------------------------
+
+  /// Run the loop header sequentially, snapshotting one frame per element.
+  /// Returns false if this loop kind cannot be generated.
+  bool generate_stream(const Stmt& loop, Frame& outer, Interpreter& in,
+                       std::vector<Elem>* elements) {
+    if (loop.kind == StmtKind::Foreach) {
+      const auto& f = loop.as<lang::Foreach>();
+      Value iterable = in.eval(*f.iterable, outer);
+      std::size_t count = 0;
+      if (iterable.is_array()) count = iterable.as_array()->elems.size();
+      else if (iterable.is_list()) count = iterable.as_list()->elems.size();
+      else return false;
+      elements->reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        auto frame = std::make_shared<Frame>();
+        frame->self_value = outer.self_value;
+        frame->locals = outer.locals;  // snapshot
+        frame->locals[static_cast<std::size_t>(f.slot)] =
+            iterable.is_array() ? iterable.as_array()->elems[i]
+                                : iterable.as_list()->elems[i];
+        elements->push_back(Elem{i, std::move(frame)});
+      }
+      return true;
+    }
+    if (loop.kind == StmtKind::For) {
+      const auto& f = loop.as<lang::For>();
+      if (!f.cond) return false;  // no termination condition; must bail out
+                                  // before init runs (fallback re-executes it)
+      if (f.init) in.exec_stmt(*f.init, outer);
+      std::size_t i = 0;
+      while (in.eval(*f.cond, outer).as_bool()) {
+        auto frame = std::make_shared<Frame>();
+        frame->self_value = outer.self_value;
+        frame->locals = outer.locals;  // snapshot (includes induction var)
+        elements->push_back(Elem{i++, std::move(frame)});
+        if (f.step) in.exec_stmt(*f.step, outer);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Execute the statements of one stage on an element's frame.
+  void run_stmts(Interpreter& in, const std::vector<const Stmt*>& stmts,
+                 Frame& frame) {
+    for (const Stmt* st : stmts) {
+      const ExecSignal sig = in.exec_stmt(*st, frame);
+      if (sig != ExecSignal::Normal)
+        fatal("control flow escaped a pipeline stage (PLCD violation)");
+    }
+  }
+
+  /// Ordered write-back of escaping locals into the outer frame.
+  void write_back(const LoopPlan& plan, const std::vector<Elem>& ordered,
+                  Frame& outer) {
+    if (plan.writeback_slots.empty() || ordered.empty()) return;
+    for (const Elem& e : ordered) {
+      for (int slot : plan.writeback_slots)
+        outer.locals[static_cast<std::size_t>(slot)] =
+            e.frame->locals[static_cast<std::size_t>(slot)];
+    }
+  }
+
+  // --- Pattern execution ------------------------------------------------------
+
+  bool run_pipeline(const LoopPlan& plan, Frame& outer, Interpreter& in) {
+    const Candidate& c = *plan.candidate;
+    if (plan.unsafe() || param(c, ".sequential", 0) != 0) {
+      note_fallback(c, plan.unsafe() ? plan.unsafe_reason
+                                     : "SequentialExecution enabled");
+      return false;
+    }
+    std::vector<Elem> elements;
+    if (!generate_stream(*c.anchor, outer, in, &elements)) {
+      note_fallback(c, "stream generation failed for this loop form");
+      return false;
+    }
+
+    // Map statement ids to statement pointers per stage.
+    auto stmts_of = [&](const patterns::StageSpec& spec) {
+      std::vector<const Stmt*> out;
+      for (int id : spec.stmt_ids) {
+        for (const Stmt* st : plan.body)
+          if (st->id == id) out.push_back(st);
+      }
+      return out;
+    };
+
+    std::vector<rt::Pipeline<Elem>::Stage> rt_stages;
+    for (const auto& section : c.sections) {
+      if (section.size() == 1) {
+        const patterns::StageSpec& spec = c.stages[section[0]];
+        std::vector<const Stmt*> stmts = stmts_of(spec);
+        int replication = spec.replicable
+                              ? static_cast<int>(param(
+                                    c, ".stage" + spec.label + ".replication", 1))
+                              : 1;
+        if (replication < 1) replication = 1;
+        const bool order =
+            param(c, ".stage" + spec.label + ".order", 1) != 0;
+        rt::Pipeline<Elem>::Stage stage;
+        stage.name = spec.label;
+        stage.fn = [this, &in, stmts](Elem& e) { run_stmts(in, stmts, *e.frame); };
+        stage.replication = replication;
+        stage.preserve_order = order;
+        rt_stages.push_back(std::move(stage));
+      } else {
+        // Master/worker section: the sub-stages run concurrently per element.
+        std::vector<std::vector<const Stmt*>> groups;
+        std::string name = "(";
+        for (std::size_t k = 0; k < section.size(); ++k) {
+          groups.push_back(stmts_of(c.stages[section[k]]));
+          if (k) name += "||";
+          name += c.stages[section[k]].label;
+        }
+        name += ")";
+        rt::Pipeline<Elem>::Stage stage;
+        stage.name = std::move(name);
+        // Dedicated crew sized to the section: the shared pool may have as
+        // few as one thread (hardware_concurrency), which would serialize
+        // the section's independent filters.
+        const int crew = static_cast<int>(groups.size());
+        stage.fn = [this, &in, groups, crew](Elem& e) {
+          rt::MasterWorker mw(crew);
+          std::vector<std::function<void()>> tasks;
+          tasks.reserve(groups.size());
+          for (const auto& g : groups)
+            tasks.push_back([this, &in, &g, &e] { run_stmts(in, g, *e.frame); });
+          mw.run(tasks);
+        };
+        stage.replication = 1;
+        rt_stages.push_back(std::move(stage));
+      }
+    }
+
+    // Stage fusion between consecutive singleton sections.
+    for (std::size_t s = 0; s + 1 < c.sections.size(); ++s) {
+      if (c.sections[s].size() != 1 || c.sections[s + 1].size() != 1) continue;
+      const std::string pair = c.stages[c.sections[s][0]].label +
+                               c.stages[c.sections[s + 1][0]].label;
+      if (param(c, ".fuse" + pair, 0) != 0) rt_stages[s].fuse_with_next = true;
+    }
+
+    rt::PipelineConfig cfg;
+    cfg.buffer_capacity =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, param(c, ".buffer", 16)));
+    rt::Pipeline<Elem> pipeline(std::move(rt_stages), cfg);
+
+    std::size_t next = 0;
+    std::vector<Elem> done(elements.size());
+    pipeline.run(
+        [&]() -> std::optional<Elem> {
+          if (next >= elements.size()) return std::nullopt;
+          return std::move(elements[next++]);
+        },
+        [&](Elem&& e) { done[e.index] = std::move(e); });
+    write_back(plan, done, outer);
+    note_parallel(c, done.size());
+    return true;
+  }
+
+  bool run_data_parallel(const LoopPlan& plan, Frame& outer, Interpreter& in) {
+    const Candidate& c = *plan.candidate;
+    if (plan.unsafe() || param(c, ".sequential", 0) != 0) {
+      note_fallback(c, plan.unsafe() ? plan.unsafe_reason
+                                     : "SequentialExecution enabled");
+      return false;
+    }
+    std::vector<Elem> elements;
+    if (!generate_stream(*c.anchor, outer, in, &elements)) {
+      note_fallback(c, "stream generation failed for this loop form");
+      return false;
+    }
+
+    // Reduction accumulators start at the identity in every element frame.
+    if (plan.reduction_slot >= 0) {
+      for (Elem& e : elements) {
+        Value& acc =
+            e.frame->locals[static_cast<std::size_t>(plan.reduction_slot)];
+        if (plan.reduction_op == lang::BinaryOp::Mul) {
+          acc = acc.is_double() ? Value::of_double(1.0) : Value::of_int(1);
+        } else {
+          acc = acc.is_double() ? Value::of_double(0.0) : Value::of_int(0);
+        }
+      }
+    }
+
+    rt::ParallelForTuning pf;
+    pf.threads = static_cast<int>(param(c, ".threads", 0));
+    pf.grain = param(c, ".grain", 0);
+    rt::parallel_for(
+        0, static_cast<std::int64_t>(elements.size()),
+        [&](std::int64_t i) {
+          run_stmts(in, plan.body, *elements[static_cast<std::size_t>(i)].frame);
+        },
+        pf);
+
+    // Fold the partial accumulators back, in element order.
+    if (plan.reduction_slot >= 0) {
+      Value& acc =
+          outer.locals[static_cast<std::size_t>(plan.reduction_slot)];
+      for (const Elem& e : elements) {
+        const Value& partial =
+            e.frame->locals[static_cast<std::size_t>(plan.reduction_slot)];
+        if (plan.reduction_op == lang::BinaryOp::Mul) {
+          if (acc.is_double() || partial.is_double())
+            acc = Value::of_double(acc.to_double() * partial.to_double());
+          else
+            acc = Value::of_int(acc.as_int() * partial.as_int());
+        } else {
+          if (acc.is_double() || partial.is_double())
+            acc = Value::of_double(acc.to_double() + partial.to_double());
+          else
+            acc = Value::of_int(acc.as_int() + partial.as_int());
+        }
+      }
+    }
+    write_back(plan, elements, outer);
+    note_parallel(c, elements.size(),
+                  plan.reduction_slot >= 0 ? "parallel reduction" : "");
+    return true;
+  }
+
+  bool run_master_worker(const LoopPlan& plan, Frame& frame, Interpreter& in) {
+    const Candidate& c = *plan.candidate;
+    // Locate the task statements (they live in the same block).
+    std::vector<const Stmt*> tasks_stmts;
+    for (int id : c.task_stmt_ids) {
+      const Stmt* found = nullptr;
+      for (const auto& cls : program.classes) {
+        for (const auto& m : cls->methods) {
+          lang::for_each_stmt(*m->body, [&](const Stmt& st) {
+            if (st.id == id) found = &st;
+          });
+        }
+      }
+      if (!found) {
+        note_fallback(c, "task statement not found");
+        return false;
+      }
+      tasks_stmts.push_back(found);
+    }
+    std::set<int> own_ids(c.task_stmt_ids.begin(), c.task_stmt_ids.end());
+    rt::MasterWorker mw(static_cast<int>(param(c, ".workers", 0)));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(tasks_stmts.size());
+    for (const Stmt* st : tasks_stmts) {
+      tasks.push_back([&in, st, &frame, &own_ids] {
+        const std::set<int>* saved = g_active_master_worker;
+        g_active_master_worker = &own_ids;
+        const ExecSignal sig = in.exec_stmt(*st, frame);
+        g_active_master_worker = saved;
+        if (sig != ExecSignal::Normal)
+          fatal("control flow escaped a master/worker task");
+      });
+    }
+    mw.run(tasks);
+    note_parallel(c, tasks.size());
+    return true;
+  }
+};
+
+ParallelPlanExecutor::ParallelPlanExecutor(
+    const lang::Program& program, std::vector<Candidate> candidates,
+    const rt::TuningConfig* tuning)
+    : impl_(std::make_unique<Impl>(program, std::move(candidates), tuning)) {}
+
+ParallelPlanExecutor::~ParallelPlanExecutor() = default;
+
+Value ParallelPlanExecutor::run_main(analysis::InterpreterOptions options) {
+  impl_->interp = std::make_unique<Interpreter>(impl_->program, nullptr, options);
+  impl_->interp->set_interceptor(this);
+  return impl_->interp->run_main();
+}
+
+std::string ParallelPlanExecutor::output() const {
+  return impl_->interp ? impl_->interp->output() : std::string();
+}
+
+std::vector<PlanReport> ParallelPlanExecutor::reports() const {
+  std::scoped_lock lock(impl_->report_mutex);
+  std::vector<PlanReport> snapshot;
+  snapshot.reserve(impl_->reports.size());
+  for (const auto& [id, r] : impl_->reports) {
+    (void)id;
+    snapshot.push_back(r);
+  }
+  return snapshot;
+}
+
+bool ParallelPlanExecutor::intercept(const Stmt& st, Frame& frame,
+                                     Interpreter& interp,
+                                     ExecSignal* signal) {
+  // Fast reject: almost every executed statement is not a plan anchor.
+  if (!impl_->hot_ids.count(st.id)) return false;
+  // Statements of the master/worker candidate currently running on this
+  // thread execute normally (the tasks drive them through exec_stmt).
+  if (g_active_master_worker && g_active_master_worker->count(st.id))
+    return false;
+  // Statements absorbed into a preceding master/worker anchor are skipped
+  // in normal flow (the anchor's tasks already ran them).
+  if (impl_->absorbed.count(st.id)) {
+    *signal = ExecSignal::Normal;
+    return true;
+  }
+  auto it = impl_->plans.find(st.id);
+  if (it == impl_->plans.end()) return false;
+  const LoopPlan& plan = it->second;
+  bool handled = false;
+  switch (plan.candidate->kind) {
+    case PatternKind::Pipeline:
+      handled = impl_->run_pipeline(plan, frame, interp);
+      break;
+    case PatternKind::DataParallelLoop:
+      handled = impl_->run_data_parallel(plan, frame, interp);
+      break;
+    case PatternKind::MasterWorker:
+      handled = impl_->run_master_worker(plan, frame, interp);
+      break;
+  }
+  if (handled) *signal = ExecSignal::Normal;
+  return handled;  // false -> interpreter executes the loop sequentially
+}
+
+rt::TuningConfig default_tuning(const std::vector<Candidate>& candidates) {
+  rt::TuningConfig config;
+  for (const Candidate& c : candidates)
+    for (const rt::TuningParameter& p : c.tuning) config.define(p);
+  return config;
+}
+
+}  // namespace patty::transform

@@ -1,0 +1,73 @@
+#pragma once
+// Target pattern transformation, executable form (paper §2.1 phase 2).
+//
+// The paper transforms annotated C# into code that instantiates its
+// parallel runtime library (figure 3d). Here the equivalent artifact is a
+// ParallelPlanExecutor: it runs the program through the interpreter but
+// intercepts every detected loop and executes it on patty::rt instead —
+// pipeline, data-parallel loop (incl. reductions), or master/worker —
+// honouring the candidate's tuning parameters from a TuningConfig.
+//
+// Element model. The loop header becomes the StreamGenerator (paper §2.2
+// PLPL): it runs sequentially in the outer frame and snapshots the locals
+// into one Frame per stream element. Heap state (objects, arrays, lists) is
+// shared across elements through the reference values inside the snapshot —
+// exactly the aliasing the dependence analysis reasoned about. Scalar
+// loop-carried state in outer locals cannot be expressed this way; the plan
+// builder detects it and falls back to sequential execution for that loop
+// (the SequentialExecution tuning parameter exists for precisely this kind
+// of bail-out), except for recognized reductions, which run as
+// parallel-reduce with per-chunk identity accumulators.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/interpreter.hpp"
+#include "patterns/candidate.hpp"
+#include "runtime/tuning.hpp"
+
+namespace patty::transform {
+
+struct PlanReport {
+  int loop_stmt_id = -1;
+  patterns::PatternKind kind = patterns::PatternKind::Pipeline;
+  bool ran_parallel = false;     // false = sequential fallback taken
+  std::string note;              // why, when a fallback happened
+  std::uint64_t elements = 0;    // stream elements / iterations processed
+  std::size_t runs = 0;          // times the loop was entered
+};
+
+class ParallelPlanExecutor : public analysis::StmtInterceptor {
+ public:
+  /// `tuning` may be null (defaults apply). Candidates must come from a
+  /// detection run over this same program.
+  ParallelPlanExecutor(const lang::Program& program,
+                       std::vector<patterns::Candidate> candidates,
+                       const rt::TuningConfig* tuning = nullptr);
+  ~ParallelPlanExecutor() override;
+
+  /// Execute main() with all plans armed. Returns main's result.
+  analysis::Value run_main(analysis::InterpreterOptions options = {});
+
+  /// Program output of the last run_main().
+  [[nodiscard]] std::string output() const;
+
+  [[nodiscard]] std::vector<PlanReport> reports() const;
+
+  // StmtInterceptor:
+  bool intercept(const lang::Stmt& st, analysis::Frame& frame,
+                 analysis::Interpreter& interp,
+                 analysis::ExecSignal* signal) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Derive the default tuning configuration for a set of candidates (all
+/// parameters at their defaults) — the artifact written next to the
+/// transformed program (figure 3c).
+rt::TuningConfig default_tuning(const std::vector<patterns::Candidate>& candidates);
+
+}  // namespace patty::transform

@@ -1,0 +1,205 @@
+#include "transform/testgen.hpp"
+
+#include <map>
+#include <set>
+
+#include "analysis/interpreter.hpp"
+#include "analysis/profiler.hpp"
+#include "lang/sema.hpp"
+#include "transform/plan.hpp"
+
+namespace patty::transform {
+
+using patterns::Candidate;
+using patterns::PatternKind;
+
+namespace {
+
+rt::TuningConfig config_with(const Candidate& c,
+                             const std::map<std::string, std::int64_t>&
+                                 overrides_by_suffix) {
+  rt::TuningConfig config = default_tuning({c});
+  for (const auto& [name, p] : config.params()) {
+    (void)p;
+    for (const auto& [suffix, value] : overrides_by_suffix) {
+      if (name.size() >= suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        config.set(name, value);
+      }
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
+std::vector<ParallelUnitTest> generate_unit_tests(
+    const std::vector<Candidate>& candidates, TestGenOptions options) {
+  std::vector<ParallelUnitTest> tests;
+  const std::int64_t R = options.max_replication;
+
+  for (const Candidate& c : candidates) {
+    const std::string base = std::string(pattern_kind_name(c.kind)) + "@" +
+                             c.location();
+    switch (c.kind) {
+      case PatternKind::Pipeline: {
+        tests.push_back({base + "/default", &c, default_tuning({c}), false});
+        tests.push_back({base + "/max-replication-ordered", &c,
+                         config_with(c, {{".replication", R}, {".order", 1}}),
+                         false});
+        tests.push_back({base + "/fused", &c,
+                         config_with(c, {{".replication", 1}}),
+                         false});
+        // Turn on every fusion flag.
+        {
+          rt::TuningConfig fused = default_tuning({c});
+          for (const auto& [name, p] : fused.params()) {
+            (void)p;
+            if (name.find(".fuse") != std::string::npos) fused.set(name, 1);
+          }
+          tests.back().config = std::move(fused);
+        }
+        tests.push_back({base + "/tiny-buffers", &c,
+                         config_with(c, {{".buffer", 1}, {".replication", R}}),
+                         false});
+        if (options.include_order_violation_probe) {
+          tests.push_back(
+              {base + "/order-preservation-off", &c,
+               config_with(c, {{".replication", R}, {".order", 0}}),
+               /*expects_possible_order_violation=*/true});
+        }
+        break;
+      }
+      case PatternKind::DataParallelLoop: {
+        tests.push_back({base + "/default", &c, default_tuning({c}), false});
+        tests.push_back({base + "/many-threads-fine-grain", &c,
+                         config_with(c, {{".threads", R}, {".grain", 1}}),
+                         false});
+        tests.push_back({base + "/two-threads-coarse", &c,
+                         config_with(c, {{".threads", 2}, {".grain", 64}}),
+                         false});
+        break;
+      }
+      case PatternKind::MasterWorker: {
+        tests.push_back({base + "/shared-pool", &c, default_tuning({c}), false});
+        tests.push_back({base + "/dedicated-crew", &c,
+                         config_with(c, {{".workers", R}}), false});
+        break;
+      }
+    }
+  }
+  return tests;
+}
+
+TestOutcome run_unit_test(const lang::Program& program,
+                          const ParallelUnitTest& test,
+                          std::size_t repetitions) {
+  TestOutcome outcome;
+  outcome.repetitions = repetitions;
+
+  // Sequential reference.
+  analysis::Interpreter reference(program);
+  analysis::Value ref_result;
+  try {
+    ref_result = reference.run_main();
+  } catch (const analysis::RuntimeError& e) {
+    outcome.detail = "sequential reference failed: " + e.message;
+    return outcome;
+  }
+  const std::string ref_output = reference.output();
+
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    ParallelPlanExecutor executor(program, {*test.candidate}, &test.config);
+    analysis::Value result;
+    try {
+      result = executor.run_main();
+    } catch (const analysis::RuntimeError& e) {
+      outcome.detail = "parallel run failed: " + e.message;
+      return outcome;
+    }
+    if (!result.equals(ref_result)) {
+      outcome.detail = "result mismatch on repetition " + std::to_string(rep) +
+                       ": sequential=" + ref_result.str() +
+                       " parallel=" + result.str();
+      return outcome;
+    }
+    if (executor.output() != ref_output) {
+      outcome.detail = "output mismatch on repetition " + std::to_string(rep);
+      return outcome;
+    }
+  }
+  outcome.passed = true;
+  outcome.detail = "equivalent over " + std::to_string(repetitions) + " runs";
+  return outcome;
+}
+
+std::vector<std::size_t> select_covering_inputs(
+    const std::vector<std::string>& variant_sources, std::string* error) {
+  // Profile each variant; collect its covered branch outcomes as
+  // (stmt line, taken) pairs — line-keyed so distinct parses align.
+  using Outcome = std::pair<std::uint32_t, bool>;
+  std::vector<std::set<Outcome>> covered(variant_sources.size());
+  std::set<Outcome> universe;
+
+  for (std::size_t v = 0; v < variant_sources.size(); ++v) {
+    DiagnosticSink diags;
+    auto program = lang::parse_and_check(variant_sources[v], diags);
+    if (!program) {
+      if (error) *error = "variant " + std::to_string(v) + ": " + diags.to_string();
+      return {};
+    }
+    analysis::Profiler profiler(*program);
+    analysis::Interpreter interp(*program, &profiler);
+    try {
+      interp.run_main();
+    } catch (const analysis::RuntimeError& e) {
+      if (error) *error = "variant " + std::to_string(v) + ": " + e.message;
+      return {};
+    }
+    for (const auto& [stmt_id, branch] : profiler.branches()) {
+      // Key by source line: ids differ across parses of different variants.
+      const lang::Stmt* st = nullptr;
+      for (const auto& cls : program->classes)
+        for (const auto& m : cls->methods)
+          lang::for_each_stmt(*m->body, [&](const lang::Stmt& s) {
+            if (s.id == stmt_id) st = &s;
+          });
+      const std::uint32_t line = st ? st->range.begin.line : 0;
+      if (branch.taken > 0) {
+        covered[v].insert({line, true});
+        universe.insert({line, true});
+      }
+      if (branch.not_taken > 0) {
+        covered[v].insert({line, false});
+        universe.insert({line, false});
+      }
+    }
+  }
+
+  // Greedy set cover.
+  std::vector<std::size_t> chosen;
+  std::set<Outcome> remaining = universe;
+  std::vector<bool> used(variant_sources.size(), false);
+  while (!remaining.empty()) {
+    std::size_t best = variant_sources.size();
+    std::size_t best_gain = 0;
+    for (std::size_t v = 0; v < variant_sources.size(); ++v) {
+      if (used[v]) continue;
+      std::size_t gain = 0;
+      for (const Outcome& o : covered[v])
+        if (remaining.count(o)) ++gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best == variant_sources.size()) break;  // nothing adds coverage
+    used[best] = true;
+    chosen.push_back(best);
+    for (const Outcome& o : covered[best]) remaining.erase(o);
+  }
+  return chosen;
+}
+
+}  // namespace patty::transform

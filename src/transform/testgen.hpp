@@ -1,0 +1,67 @@
+#pragma once
+// Parallel unit-test generation (paper §2.1: "we automatically generate
+// parallel unit tests for each tunable parallel pattern. After this, we
+// perform a path coverage analysis to generate a set of input data for each
+// unit test.").
+//
+// A generated test pins one tuning configuration of one candidate and
+// checks that the parallel execution is observationally equivalent to the
+// sequential one (program output and result value). The configurations are
+// chosen to stress exactly the knobs that can break semantics: maximum
+// replication, order preservation off (the undecidable case the paper
+// defers to testing), fusion, and tiny buffers. Repeated execution varies
+// the actual interleavings; the systematic exploration lives in
+// patty::race and is exercised through the same test structures.
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "patterns/candidate.hpp"
+#include "runtime/tuning.hpp"
+
+namespace patty::transform {
+
+struct ParallelUnitTest {
+  std::string name;
+  const patterns::Candidate* candidate = nullptr;
+  rt::TuningConfig config;
+  /// True when this configuration is semantically *suspect* (e.g. order
+  /// preservation disabled): a failure means the tuning value must be
+  /// excluded, not that the pattern is wrong (paper §2.2 OrderPreservation).
+  bool expects_possible_order_violation = false;
+};
+
+struct TestOutcome {
+  bool passed = false;
+  std::string detail;
+  std::size_t repetitions = 0;
+};
+
+struct TestGenOptions {
+  int max_replication = 4;
+  bool include_order_violation_probe = true;
+};
+
+/// Generate the unit-test suite for a set of candidates.
+std::vector<ParallelUnitTest> generate_unit_tests(
+    const std::vector<patterns::Candidate>& candidates,
+    TestGenOptions options = {});
+
+/// Execute one generated test: sequential reference vs. parallel plan under
+/// the test's tuning configuration, `repetitions` times (interleaving
+/// variance). Equivalence = identical program output and main() result.
+TestOutcome run_unit_test(const lang::Program& program,
+                          const ParallelUnitTest& test,
+                          std::size_t repetitions = 3);
+
+/// Path-coverage input selection: each entry of `variant_sources` is a
+/// complete MiniOO program (same code, different embedded input data). The
+/// result is a minimal-ish subset (greedy set cover) whose union covers
+/// every branch outcome any variant covers — the "set of input data"
+/// attached to the generated unit tests.
+std::vector<std::size_t> select_covering_inputs(
+    const std::vector<std::string>& variant_sources,
+    std::string* error = nullptr);
+
+}  // namespace patty::transform

@@ -1,0 +1,348 @@
+#include "tuning/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace patty::tuning {
+
+namespace {
+
+/// Flattened view of a TuningConfig: name-sorted parameters with their
+/// admissible value lists. Tuners work on index vectors into the domains.
+struct Space {
+  std::vector<std::string> names;
+  std::vector<std::vector<std::int64_t>> domains;
+
+  explicit Space(const rt::TuningConfig& config) {
+    for (const auto& [name, p] : config.params()) {
+      names.push_back(name);
+      domains.push_back(p.domain());
+    }
+  }
+
+  [[nodiscard]] std::size_t dims() const { return names.size(); }
+
+  [[nodiscard]] std::vector<std::size_t> indices_of(
+      const rt::TuningConfig& config) const {
+    std::vector<std::size_t> idx(dims(), 0);
+    for (std::size_t d = 0; d < dims(); ++d) {
+      const std::int64_t v = config.get_or(names[d], domains[d].front());
+      auto it = std::find(domains[d].begin(), domains[d].end(), v);
+      idx[d] = it == domains[d].end()
+                   ? 0
+                   : static_cast<std::size_t>(it - domains[d].begin());
+    }
+    return idx;
+  }
+
+  void apply(const std::vector<std::size_t>& idx,
+             rt::TuningConfig* config) const {
+    for (std::size_t d = 0; d < dims(); ++d)
+      config->set(names[d], domains[d][idx[d]]);
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> values(
+      const std::vector<std::size_t>& idx) const {
+    std::vector<std::int64_t> out(dims());
+    for (std::size_t d = 0; d < dims(); ++d) out[d] = domains[d][idx[d]];
+    return out;
+  }
+};
+
+/// Shared evaluation bookkeeping: caching, budget, history.
+struct Evaluator {
+  const Space& space;
+  rt::TuningConfig config;
+  const MeasureFn& measure;
+  std::size_t budget;
+  TuningRun run;
+  std::map<std::vector<std::size_t>, double> cache;
+
+  Evaluator(const Space& s, rt::TuningConfig c, const MeasureFn& m,
+            std::size_t b)
+      : space(s), config(std::move(c)), measure(m), budget(b) {}
+
+  [[nodiscard]] bool exhausted() const { return run.evaluations >= budget; }
+
+  double eval(const std::vector<std::size_t>& idx) {
+    auto it = cache.find(idx);
+    if (it != cache.end()) return it->second;
+    space.apply(idx, &config);
+    const double score = measure(config);
+    ++run.evaluations;
+    cache[idx] = score;
+    run.history.push_back({space.values(idx), score});
+    if (run.history.size() == 1 || score < run.best_score) {
+      run.best_score = score;
+      run.best = config;
+    }
+    return score;
+  }
+};
+
+class LinearTuner final : public Tuner {
+ public:
+  [[nodiscard]] std::string name() const override { return "linear"; }
+
+  TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
+                 std::size_t budget) override {
+    const Space space(config);
+    Evaluator ev(space, config, measure, budget);
+    std::vector<std::size_t> current = space.indices_of(config);
+    double current_score = ev.eval(current);
+
+    bool improved = true;
+    while (improved && !ev.exhausted()) {
+      improved = false;
+      for (std::size_t d = 0; d < space.dims() && !ev.exhausted(); ++d) {
+        std::size_t best_i = current[d];
+        for (std::size_t i = 0; i < space.domains[d].size(); ++i) {
+          if (i == current[d]) continue;
+          if (ev.exhausted()) break;
+          std::vector<std::size_t> probe = current;
+          probe[d] = i;
+          const double score = ev.eval(probe);
+          if (score < current_score) {
+            current_score = score;
+            best_i = i;
+          }
+        }
+        if (best_i != current[d]) {
+          current[d] = best_i;
+          improved = true;
+        }
+      }
+    }
+    return std::move(ev.run);
+  }
+};
+
+class RandomTuner final : public Tuner {
+ public:
+  explicit RandomTuner(std::uint64_t seed) : seed_(seed) {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+  TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
+                 std::size_t budget) override {
+    const Space space(config);
+    Evaluator ev(space, config, measure, budget);
+    Rng rng(seed_);
+    ev.eval(space.indices_of(config));  // include the starting point
+    // The whole space may be smaller than the budget: stop once every
+    // point has been evaluated (duplicates cost no budget).
+    std::uint64_t total = 1;
+    for (std::size_t d = 0; d < space.dims(); ++d)
+      total *= static_cast<std::uint64_t>(space.domains[d].size());
+    while (!ev.exhausted() && ev.cache.size() < total) {
+      std::vector<std::size_t> idx(space.dims());
+      for (std::size_t d = 0; d < space.dims(); ++d)
+        idx[d] = static_cast<std::size_t>(
+            rng.next_below(space.domains[d].size()));
+      if (ev.cache.count(idx)) continue;  // free; try another point
+      ev.eval(idx);
+    }
+    return std::move(ev.run);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class NelderMeadTuner final : public Tuner {
+ public:
+  explicit NelderMeadTuner(std::uint64_t seed) : seed_(seed) {}
+  [[nodiscard]] std::string name() const override { return "nelder-mead"; }
+
+  TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
+                 std::size_t budget) override {
+    const Space space(config);
+    Evaluator ev(space, config, measure, budget);
+    Rng rng(seed_);
+    const std::size_t n = space.dims();
+
+    auto clamp_round = [&](const std::vector<double>& x) {
+      std::vector<std::size_t> idx(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        const double hi = static_cast<double>(space.domains[d].size() - 1);
+        double v = std::round(x[d]);
+        v = std::max(0.0, std::min(hi, v));
+        idx[d] = static_cast<std::size_t>(v);
+      }
+      return idx;
+    };
+
+    struct Point {
+      std::vector<double> x;
+      double score;
+    };
+
+    // One simplex descent; restarts from random points reuse it while
+    // budget remains (discrete/boolean dimensions strand plain NM easily).
+    auto descend = [&](std::vector<double> x0) {
+      std::vector<Point> simplex;
+      simplex.push_back({x0, ev.eval(clamp_round(x0))});
+      for (std::size_t d = 0; d < n && !ev.exhausted(); ++d) {
+        std::vector<double> x = x0;
+        const double span = static_cast<double>(space.domains[d].size() - 1);
+        x[d] += std::max(1.0, span / 2.0) * (rng.chance(0.5) ? 1.0 : -1.0);
+        simplex.push_back({x, ev.eval(clamp_round(x))});
+      }
+      // Cached re-evaluations are free, so the budget alone does not bound
+      // the loop: cap iterations so converged simplexes stop spinning.
+      std::size_t iterations_left = budget + 16;
+      while (!ev.exhausted() && simplex.size() >= 2 && iterations_left-- > 0) {
+        std::sort(simplex.begin(), simplex.end(),
+                  [](const Point& a, const Point& b) { return a.score < b.score; });
+        const Point& worst = simplex.back();
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t i = 0; i + 1 < simplex.size(); ++i)
+          for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i].x[d];
+        for (double& c : centroid)
+          c /= static_cast<double>(simplex.size() - 1);
+
+        auto blend = [&](double alpha) {
+          std::vector<double> x(n);
+          for (std::size_t d = 0; d < n; ++d)
+            x[d] = centroid[d] + alpha * (centroid[d] - worst.x[d]);
+          return x;
+        };
+        std::vector<double> reflected = blend(1.0);
+        const double r_score = ev.eval(clamp_round(reflected));
+        if (r_score < simplex.front().score && !ev.exhausted()) {
+          std::vector<double> expanded = blend(2.0);
+          const double e_score = ev.eval(clamp_round(expanded));
+          simplex.back() = e_score < r_score ? Point{expanded, e_score}
+                                             : Point{reflected, r_score};
+        } else if (r_score < worst.score) {
+          simplex.back() = Point{reflected, r_score};
+        } else if (!ev.exhausted()) {
+          std::vector<double> contracted = blend(-0.5);
+          const double c_score = ev.eval(clamp_round(contracted));
+          if (c_score < worst.score) {
+            simplex.back() = Point{contracted, c_score};
+          } else {
+            // Shrink toward the best vertex; a fully collapsed simplex
+            // means this descent converged.
+            bool moved = false;
+            for (std::size_t i = 1; i < simplex.size() && !ev.exhausted();
+                 ++i) {
+              for (std::size_t d = 0; d < n; ++d) {
+                const double mid = (simplex[i].x[d] + simplex[0].x[d]) / 2.0;
+                if (std::fabs(mid - simplex[i].x[d]) > 1e-9) moved = true;
+                simplex[i].x[d] = mid;
+              }
+              simplex[i].score = ev.eval(clamp_round(simplex[i].x));
+            }
+            if (!moved) return;
+          }
+        }
+      }
+    };
+
+    const std::vector<std::size_t> start = space.indices_of(config);
+    std::vector<double> x0(n);
+    for (std::size_t d = 0; d < n; ++d) x0[d] = static_cast<double>(start[d]);
+    descend(std::move(x0));
+    while (!ev.exhausted()) {
+      std::vector<double> xr(n);
+      for (std::size_t d = 0; d < n; ++d)
+        xr[d] = static_cast<double>(rng.next_below(space.domains[d].size()));
+      const std::size_t before = ev.run.evaluations;
+      descend(std::move(xr));
+      if (ev.run.evaluations == before) break;  // space exhausted via cache
+    }
+    return std::move(ev.run);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class TabuTuner final : public Tuner {
+ public:
+  TabuTuner(std::uint64_t seed, std::size_t tenure)
+      : seed_(seed), tenure_(tenure) {}
+  [[nodiscard]] std::string name() const override { return "tabu"; }
+
+  TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
+                 std::size_t budget) override {
+    const Space space(config);
+    Evaluator ev(space, config, measure, budget);
+    Rng rng(seed_);
+    std::vector<std::size_t> current = space.indices_of(config);
+    double current_score = ev.eval(current);
+    std::deque<std::pair<std::size_t, std::size_t>> tabu;  // (dim, index)
+
+    auto is_tabu = [&](std::size_t d, std::size_t i) {
+      for (const auto& [td, ti] : tabu)
+        if (td == d && ti == i) return true;
+      return false;
+    };
+
+    while (!ev.exhausted()) {
+      // Neighborhood: +-1 step in each dimension.
+      std::vector<std::pair<std::size_t, std::size_t>> moves;
+      for (std::size_t d = 0; d < space.dims(); ++d) {
+        if (current[d] + 1 < space.domains[d].size())
+          moves.emplace_back(d, current[d] + 1);
+        if (current[d] > 0) moves.emplace_back(d, current[d] - 1);
+      }
+      if (moves.empty()) break;
+      rng.shuffle(moves);
+
+      bool moved = false;
+      std::size_t best_d = 0, best_i = 0;
+      double best_score = 0.0;
+      bool have_best = false;
+      for (const auto& [d, i] : moves) {
+        if (ev.exhausted()) break;
+        std::vector<std::size_t> probe = current;
+        probe[d] = i;
+        const double score = ev.eval(probe);
+        const bool aspiration = score < ev.run.best_score;
+        if (is_tabu(d, i) && !aspiration) continue;
+        if (!have_best || score < best_score) {
+          have_best = true;
+          best_score = score;
+          best_d = d;
+          best_i = i;
+        }
+      }
+      if (!have_best) break;
+      tabu.emplace_back(best_d, current[best_d]);  // forbid moving back
+      while (tabu.size() > tenure_) tabu.pop_front();
+      current[best_d] = best_i;
+      current_score = best_score;
+      (void)current_score;
+      moved = true;
+      (void)moved;
+    }
+    return std::move(ev.run);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t tenure_;
+};
+
+}  // namespace
+
+std::unique_ptr<Tuner> make_linear_tuner() {
+  return std::make_unique<LinearTuner>();
+}
+std::unique_ptr<Tuner> make_random_tuner(std::uint64_t seed) {
+  return std::make_unique<RandomTuner>(seed);
+}
+std::unique_ptr<Tuner> make_nelder_mead_tuner(std::uint64_t seed) {
+  return std::make_unique<NelderMeadTuner>(seed);
+}
+std::unique_ptr<Tuner> make_tabu_tuner(std::uint64_t seed,
+                                       std::size_t tenure) {
+  return std::make_unique<TabuTuner>(seed, tenure);
+}
+
+}  // namespace patty::tuning

@@ -1,0 +1,62 @@
+#pragma once
+// Auto-tuning (paper §2.1 "performance validation" / figure 4c).
+//
+// The tuner repeatedly initializes the tuning configuration, measures the
+// program, and proposes new values — the cycle Patty's IDE panel shows.
+// The paper's implementation "explores the search space linearly in each
+// dimension"; the references it names as future work are also implemented
+// here (Nelder-Mead simplex [30], tabu search [31]) plus seeded random
+// search as a baseline, so the tuner-convergence bench can compare them.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/tuning.hpp"
+#include "support/rng.hpp"
+
+namespace patty::tuning {
+
+/// Measures one configuration; smaller is better (e.g. runtime in seconds).
+using MeasureFn = std::function<double(const rt::TuningConfig&)>;
+
+struct Evaluation {
+  std::vector<std::int64_t> values;  // one per parameter, name-sorted
+  double score = 0.0;
+};
+
+struct TuningRun {
+  rt::TuningConfig best;
+  double best_score = 0.0;
+  std::size_t evaluations = 0;
+  std::vector<Evaluation> history;  // in evaluation order
+};
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Optimize starting from `config`'s current values; at most `budget`
+  /// calls to `measure`.
+  virtual TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
+                         std::size_t budget) = 0;
+};
+
+/// The paper's algorithm: sweep each dimension in turn, keeping the best
+/// value found, until a full pass improves nothing or the budget runs out.
+std::unique_ptr<Tuner> make_linear_tuner();
+
+/// Uniform random sampling of the search space (baseline).
+std::unique_ptr<Tuner> make_random_tuner(std::uint64_t seed);
+
+/// Nelder-Mead simplex on the index space of each parameter's domain,
+/// rounded to admissible values (ref [30]).
+std::unique_ptr<Tuner> make_nelder_mead_tuner(std::uint64_t seed);
+
+/// Tabu search over single-step neighborhood moves (ref [31]).
+std::unique_ptr<Tuner> make_tabu_tuner(std::uint64_t seed,
+                                       std::size_t tabu_tenure = 8);
+
+}  // namespace patty::tuning

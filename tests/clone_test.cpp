@@ -1,0 +1,149 @@
+// AST cloning tests: clones print identically, carry fresh node ids, and
+// preserve resolved semantic information (slots, field indices, targets).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lang/clone.hpp"
+#include "lang/printer.hpp"
+#include "lang/sema.hpp"
+
+namespace patty::lang {
+namespace {
+
+std::unique_ptr<Program> check(std::string_view src) {
+  DiagnosticSink diags;
+  auto p = parse_and_check(src, diags);
+  EXPECT_TRUE(p) << diags.to_string();
+  return p;
+}
+
+const char* kSource = R"(
+class Box { int v; }
+class A {
+  Box shared;
+  void init() { shared = new Box(); }
+  int F(int n, int[] xs) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+      if (xs[i] % 2 == 0) { total += xs[i]; }
+      else { continue; }
+    }
+    foreach (int x in xs) { shared.v = shared.v + x; }
+    while (total > 100) { total = total / 2; }
+    return total + len("s") + min(1, 2);
+  }
+}
+)";
+
+TEST(CloneTest, ClonePrintsIdentically) {
+  auto program = check(kSource);
+  const MethodDecl* f = program->classes[1]->methods[1].get();
+  for (const auto& st : f->body->stmts) {
+    StmtPtr copy = clone_stmt(*st, *program);
+    EXPECT_EQ(print_stmt(*st), print_stmt(*copy));
+  }
+}
+
+TEST(CloneTest, CloneGetsFreshIds) {
+  auto program = check(kSource);
+  const MethodDecl* f = program->classes[1]->methods[1].get();
+  std::set<int> original_ids;
+  for (const auto& st : f->body->stmts) {
+    for_each_stmt(*st, [&](const Stmt& s) { original_ids.insert(s.id); });
+    for_each_expr(*st, [&](const Expr& e) { original_ids.insert(e.id); });
+  }
+  for (const auto& st : f->body->stmts) {
+    StmtPtr copy = clone_stmt(*st, *program);
+    for_each_stmt(*copy, [&](const Stmt& s) {
+      EXPECT_FALSE(original_ids.count(s.id)) << "reused id " << s.id;
+    });
+    for_each_expr(*copy, [&](const Expr& e) {
+      EXPECT_FALSE(original_ids.count(e.id)) << "reused id " << e.id;
+    });
+  }
+}
+
+TEST(CloneTest, ResolvedInfoPreserved) {
+  auto program = check(kSource);
+  const MethodDecl* f = program->classes[1]->methods[1].get();
+  // `return total + len("s") + min(1, 2);` is the last statement.
+  const Stmt& ret = *f->body->stmts.back();
+  StmtPtr copy = clone_stmt(ret, *program);
+  bool saw_local = false, saw_builtin = false;
+  for_each_expr(*copy, [&](const Expr& e) {
+    if (e.kind == ExprKind::VarRef && e.as<VarRef>().is_local())
+      saw_local = true;
+    if (e.kind == ExprKind::Call &&
+        e.as<Call>().builtin != Builtin::None)
+      saw_builtin = true;
+    EXPECT_TRUE(e.type != nullptr);
+  });
+  EXPECT_TRUE(saw_local);
+  EXPECT_TRUE(saw_builtin);
+}
+
+TEST(CloneTest, FieldResolutionPreserved) {
+  auto program = check(kSource);
+  const MethodDecl* f = program->classes[1]->methods[1].get();
+  // foreach statement assigns shared.v — check owner_class survives.
+  const Stmt* foreach_stmt = nullptr;
+  for (const auto& st : f->body->stmts)
+    if (st->kind == StmtKind::Foreach) foreach_stmt = st.get();
+  ASSERT_TRUE(foreach_stmt);
+  StmtPtr copy = clone_stmt(*foreach_stmt, *program);
+  bool checked = false;
+  for_each_expr(*copy, [&](const Expr& e) {
+    if (e.kind == ExprKind::VarRef && !e.as<VarRef>().is_local()) {
+      EXPECT_NE(e.as<VarRef>().owner_class, nullptr);
+      checked = true;
+    }
+  });
+  EXPECT_TRUE(checked);
+}
+
+TEST(CloneTest, CloneIsDeep) {
+  auto program = check(kSource);
+  const MethodDecl* f = program->classes[1]->methods[1].get();
+  const Stmt& first = *f->body->stmts[0];  // int total = 0;
+  StmtPtr copy = clone_stmt(first, *program);
+  // Mutating the clone's init must not affect the original.
+  auto& decl = copy->as<VarDecl>();
+  decl.init->as<IntLit>().value = 99;
+  EXPECT_EQ(first.as<VarDecl>().init->as<IntLit>().value, 0);
+}
+
+TEST(CloneTest, AllExpressionKindsRoundTrip) {
+  auto program = check(R"(
+class B { int f; int M(int v) { return v; } }
+class A {
+  B b;
+  void F(int[] xs, list<int> ys) {
+    int a = 1 + 2 * 3 - 4 / 2 % 2;
+    double d = 1.5;
+    bool t = true && !false || 1 < 2;
+    string s = "x" + 1;
+    B nb = new B();
+    int[] arr = new int[3];
+    list<int> nl = new list<int>();
+    int idx = xs[0] + b.f + b.M(5);
+    B nul = null;
+    print(a + idx);
+    print(d);
+    print(t);
+    print(s);
+    print(nb == nul);
+    print(len(arr) + len(nl));
+  }
+}
+)");
+  const MethodDecl* f = program->classes[1]->methods[0].get();
+  for (const auto& st : f->body->stmts) {
+    StmtPtr copy = clone_stmt(*st, *program);
+    EXPECT_EQ(print_stmt(*st), print_stmt(*copy));
+  }
+}
+
+}  // namespace
+}  // namespace patty::lang

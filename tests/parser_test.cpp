@@ -1,0 +1,220 @@
+// Unit tests for the MiniOO parser: declarations, statements, expression
+// precedence, desugaring of compound assignment, and error recovery.
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+
+namespace patty::lang {
+namespace {
+
+std::unique_ptr<Program> parse_ok(std::string_view src) {
+  DiagnosticSink diags;
+  auto program = parse_source(src, diags);
+  EXPECT_TRUE(program != nullptr) << diags.to_string();
+  return program;
+}
+
+bool parse_fails(std::string_view src) {
+  DiagnosticSink diags;
+  auto program = parse_source(src, diags);
+  return program == nullptr && diags.has_errors();
+}
+
+TEST(ParserTest, EmptyClass) {
+  auto p = parse_ok("class A { }");
+  ASSERT_EQ(p->classes.size(), 1u);
+  EXPECT_EQ(p->classes[0]->name, "A");
+  EXPECT_TRUE(p->classes[0]->fields.empty());
+  EXPECT_TRUE(p->classes[0]->methods.empty());
+}
+
+TEST(ParserTest, FieldsAndMethods) {
+  auto p = parse_ok(R"(
+    class Image {
+      int width;
+      int height;
+      int[] pixels;
+      list<string> tags;
+      int Area() { return width * height; }
+    }
+  )");
+  const ClassDecl& cls = *p->classes[0];
+  ASSERT_EQ(cls.fields.size(), 4u);
+  EXPECT_EQ(cls.fields[0].type->kind, Type::Kind::Int);
+  EXPECT_EQ(cls.fields[2].type->kind, Type::Kind::Array);
+  EXPECT_EQ(cls.fields[3].type->kind, Type::Kind::List);
+  EXPECT_EQ(cls.fields[3].type->element->kind, Type::Kind::String);
+  ASSERT_EQ(cls.methods.size(), 1u);
+  EXPECT_EQ(cls.methods[0]->name, "Area");
+}
+
+TEST(ParserTest, MethodWithParams) {
+  auto p = parse_ok("class A { int Add(int x, double y) { return x; } }");
+  const MethodDecl& m = *p->classes[0]->methods[0];
+  ASSERT_EQ(m.params.size(), 2u);
+  EXPECT_EQ(m.params[0].name, "x");
+  EXPECT_EQ(m.params[1].type->kind, Type::Kind::Double);
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  auto p = parse_ok("class A { int F() { return 1 + 2 * 3; } }");
+  const auto& ret = p->classes[0]->methods[0]->body->stmts[0]->as<Return>();
+  const auto& add = ret.value->as<Binary>();
+  EXPECT_EQ(add.op, BinaryOp::Add);
+  EXPECT_EQ(add.rhs->as<Binary>().op, BinaryOp::Mul);
+}
+
+TEST(ParserTest, PrecedenceComparisonOverLogical) {
+  auto p = parse_ok("class A { bool F(int x) { return x < 1 && x > 0; } }");
+  const auto& ret = p->classes[0]->methods[0]->body->stmts[0]->as<Return>();
+  EXPECT_EQ(ret.value->as<Binary>().op, BinaryOp::And);
+}
+
+TEST(ParserTest, CompoundAssignDesugarsToBinary) {
+  auto p = parse_ok("class A { void F(int x) { x += 2; } }");
+  const auto& assign = p->classes[0]->methods[0]->body->stmts[0]->as<Assign>();
+  EXPECT_EQ(assign.target->kind, ExprKind::VarRef);
+  const auto& value = assign.value->as<Binary>();
+  EXPECT_EQ(value.op, BinaryOp::Add);
+  EXPECT_EQ(value.lhs->kind, ExprKind::VarRef);
+  EXPECT_EQ(value.rhs->as<IntLit>().value, 2);
+}
+
+TEST(ParserTest, IncrementDesugarsToPlusOne) {
+  auto p = parse_ok("class A { void F(int x) { x++; } }");
+  const auto& assign = p->classes[0]->methods[0]->body->stmts[0]->as<Assign>();
+  const auto& value = assign.value->as<Binary>();
+  EXPECT_EQ(value.op, BinaryOp::Add);
+  EXPECT_EQ(value.rhs->as<IntLit>().value, 1);
+}
+
+TEST(ParserTest, CompoundAssignOnIndexedTarget) {
+  auto p = parse_ok("class A { void F(int[] xs, int i) { xs[i] *= 3; } }");
+  const auto& assign = p->classes[0]->methods[0]->body->stmts[0]->as<Assign>();
+  EXPECT_EQ(assign.target->kind, ExprKind::IndexAccess);
+  const auto& value = assign.value->as<Binary>();
+  EXPECT_EQ(value.op, BinaryOp::Mul);
+  EXPECT_EQ(value.lhs->kind, ExprKind::IndexAccess);
+}
+
+TEST(ParserTest, ForLoopFull) {
+  auto p = parse_ok(
+      "class A { void F() { for (int i = 0; i < 10; i++) { } } }");
+  const auto& f = p->classes[0]->methods[0]->body->stmts[0]->as<For>();
+  ASSERT_TRUE(f.init);
+  EXPECT_EQ(f.init->kind, StmtKind::VarDecl);
+  ASSERT_TRUE(f.cond);
+  ASSERT_TRUE(f.step);
+  EXPECT_EQ(f.step->kind, StmtKind::Assign);
+}
+
+TEST(ParserTest, ForeachLoop) {
+  auto p = parse_ok(
+      "class A { list<int> xs; void F() { foreach (int x in xs) { } } }");
+  const auto& f = p->classes[0]->methods[0]->body->stmts[0]->as<Foreach>();
+  EXPECT_EQ(f.var_name, "x");
+  EXPECT_EQ(f.iterable->kind, ExprKind::VarRef);
+}
+
+TEST(ParserTest, IfElseChain) {
+  auto p = parse_ok(R"(
+    class A { int F(int x) {
+      if (x < 0) { return 0 - 1; }
+      else if (x == 0) { return 0; }
+      else { return 1; }
+    } }
+  )");
+  const auto& i = p->classes[0]->methods[0]->body->stmts[0]->as<If>();
+  ASSERT_TRUE(i.else_branch);
+  EXPECT_EQ(i.else_branch->kind, StmtKind::If);
+}
+
+TEST(ParserTest, MethodCallChainsAndFieldAccess) {
+  auto p = parse_ok(R"(
+    class F { F Next() { return this_next; } F this_next; }
+    class A { F f; void G() { f.Next().Next(); } }
+  )");
+  const auto& st = p->classes[1]->methods[0]->body->stmts[0]->as<ExprStmt>();
+  const auto& outer = st.expr->as<Call>();
+  EXPECT_EQ(outer.name, "Next");
+  EXPECT_EQ(outer.receiver->kind, ExprKind::Call);
+}
+
+TEST(ParserTest, NewClassArrayAndList) {
+  auto p = parse_ok(R"(
+    class B { }
+    class A { void F() {
+      B b = new B();
+      int[] xs = new int[10];
+      list<B> ys = new list<B>();
+    } }
+  )");
+  const auto& body = p->classes[1]->methods[0]->body->stmts;
+  EXPECT_EQ(body[0]->as<VarDecl>().init->kind, ExprKind::New);
+  EXPECT_EQ(body[1]->as<VarDecl>().init->kind, ExprKind::NewArray);
+  const auto& lst = body[2]->as<VarDecl>().init->as<NewArray>();
+  EXPECT_EQ(lst.allocated->kind, Type::Kind::List);
+  EXPECT_EQ(lst.size, nullptr);
+}
+
+TEST(ParserTest, AnnotationStatements) {
+  auto p = parse_ok(R"(
+    class A { void F() {
+      @tadl (A || B) => C
+      int x = 1;
+      @end
+    } }
+  )");
+  const auto& body = p->classes[0]->methods[0]->body->stmts;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0]->as<Annotation>().text, "tadl (A || B) => C");
+  EXPECT_EQ(body[2]->as<Annotation>().text, "end");
+}
+
+TEST(ParserTest, NodeIdsAreUnique) {
+  auto p = parse_ok("class A { int F(int x) { int y = x + 1; return y * 2; } }");
+  std::vector<int> ids;
+  for (const auto& s : p->classes[0]->methods[0]->body->stmts) {
+    for_each_stmt(*s, [&](const Stmt& st) { ids.push_back(st.id); });
+    for_each_expr(*s, [&](const Expr& e) { ids.push_back(e.id); });
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  EXPECT_GE(ids.size(), 8u);
+}
+
+TEST(ParserTest, ErrorMissingSemicolon) {
+  EXPECT_TRUE(parse_fails("class A { void F() { int x = 1 } }"));
+}
+
+TEST(ParserTest, ErrorStrayTokenAtTopLevel) {
+  EXPECT_TRUE(parse_fails("42 class A { }"));
+}
+
+TEST(ParserTest, ErrorUnclosedBrace) {
+  EXPECT_TRUE(parse_fails("class A { void F() { "));
+}
+
+TEST(ParserTest, ErrorRecoveryReportsMultipleErrors) {
+  DiagnosticSink diags;
+  parse_source("class A { void F() { int x = ; int y = ; } }", diags);
+  EXPECT_GE(diags.error_count(), 2u);
+}
+
+TEST(ParserTest, VarDeclVsExprDisambiguation) {
+  auto p = parse_ok(R"(
+    class Img { }
+    class A { Img i; void F() {
+      Img j = i;
+      i.ToString();
+    } }
+  )");
+  const auto& body = p->classes[1]->methods[0]->body->stmts;
+  EXPECT_EQ(body[0]->kind, StmtKind::VarDecl);
+  EXPECT_EQ(body[1]->kind, StmtKind::ExprStmt);
+}
+
+}  // namespace
+}  // namespace patty::lang

@@ -1,0 +1,126 @@
+// Printer tests: the pretty-printed output of a parsed program must itself
+// parse, and re-printing must be a fixed point (round-trip stability). This
+// property underpins the paper's transformation pipeline, which re-emits
+// annotated and parallelized source text.
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/sema.hpp"
+
+namespace patty::lang {
+namespace {
+
+std::string roundtrip(std::string_view src) {
+  DiagnosticSink diags;
+  auto program = parse_source(src, diags);
+  EXPECT_TRUE(program) << diags.to_string();
+  return print_program(*program);
+}
+
+TEST(PrinterTest, RoundTripIsFixedPoint) {
+  const char* src = R"(
+    class Image {
+      int width;
+      int height;
+      int Area() { return width * height; }
+    }
+    class Main {
+      void main() {
+        list<int> xs = new list<int>();
+        for (int i = 0; i < 10; i = i + 1) {
+          push(xs, i * i);
+        }
+        foreach (int x in xs) {
+          if (x % 2 == 0) { print(x); } else { print(0 - x); }
+        }
+      }
+    }
+  )";
+  const std::string once = roundtrip(src);
+  const std::string twice = roundtrip(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(PrinterTest, PrintedOutputParsesAndChecks) {
+  const char* src = R"(
+    class Filter {
+      int strength;
+      int Apply(int pixel) { return pixel + strength; }
+    }
+    class Main {
+      Filter f;
+      void main() {
+        f = new Filter();
+        int result = f.Apply(10);
+        print(result);
+      }
+    }
+  )";
+  const std::string printed = roundtrip(src);
+  DiagnosticSink diags;
+  auto reparsed = parse_and_check(printed, diags);
+  EXPECT_TRUE(reparsed) << diags.to_string() << "\n" << printed;
+}
+
+TEST(PrinterTest, ExprPrinting) {
+  DiagnosticSink diags;
+  auto p = parse_source(
+      "class A { int F(int x, int y) { return (x + y) * 2 - x % 3; } }", diags);
+  ASSERT_TRUE(p);
+  const auto& ret = p->classes[0]->methods[0]->body->stmts[0]->as<Return>();
+  EXPECT_EQ(print_expr(*ret.value), "((x + y) * 2) - (x % 3)");
+}
+
+TEST(PrinterTest, ParenthesizationPreservesPrecedence) {
+  // 1 + 2 * 3 must not print as (1 + 2) * 3.
+  const std::string printed =
+      roundtrip("class A { int F() { return 1 + 2 * 3; } }");
+  DiagnosticSink diags;
+  auto p = parse_source(printed, diags);
+  ASSERT_TRUE(p);
+  const auto& ret = p->classes[0]->methods[0]->body->stmts[0]->as<Return>();
+  const auto& add = ret.value->as<Binary>();
+  EXPECT_EQ(add.op, BinaryOp::Add);
+}
+
+TEST(PrinterTest, AnnotationsSurviveRoundTrip) {
+  const char* src = R"(
+class A {
+  void F() {
+    @tadl (A || B) => C
+    int x = 1;
+    @end
+  }
+}
+)";
+  const std::string printed = roundtrip(src);
+  EXPECT_NE(printed.find("@tadl (A || B) => C"), std::string::npos);
+  EXPECT_NE(printed.find("@end"), std::string::npos);
+  EXPECT_EQ(printed, roundtrip(printed));
+}
+
+TEST(PrinterTest, StringEscapesRoundTrip) {
+  const char* src =
+      "class A { void F() { print(\"line1\\nline2\\t\\\"q\\\"\"); } }";
+  const std::string once = roundtrip(src);
+  EXPECT_EQ(once, roundtrip(once));
+}
+
+TEST(PrinterTest, NewForms) {
+  const std::string printed = roundtrip(R"(
+    class B { }
+    class A { void F() {
+      B b = new B();
+      int[] xs = new int[5];
+      list<B> ys = new list<B>();
+    } }
+  )");
+  EXPECT_NE(printed.find("new B()"), std::string::npos);
+  EXPECT_NE(printed.find("new int[5]"), std::string::npos);
+  EXPECT_NE(printed.find("new list<B>()"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace patty::lang

@@ -1,0 +1,247 @@
+// Tests for the dynamic-analysis profiler and the SemanticModel facade:
+// execution counts, inclusive cost / runtime shares, loop trip counts,
+// observed dependences (optimistic), and branch coverage.
+
+#include <gtest/gtest.h>
+
+#include "analysis/semantic_model.hpp"
+#include "lang/sema.hpp"
+
+namespace patty::analysis {
+namespace {
+
+struct Model {
+  DiagnosticSink diags;
+  std::unique_ptr<lang::Program> program;
+  std::unique_ptr<SemanticModel> model;
+
+  explicit Model(std::string_view src, bool dynamic = true) {
+    program = lang::parse_and_check(src, diags);
+    EXPECT_TRUE(program) << diags.to_string();
+    SemanticModelOptions opts;
+    opts.run_dynamic = dynamic;
+    model = SemanticModel::build(*program, opts);
+  }
+
+  const lang::MethodDecl* method(const std::string& cls,
+                                 const std::string& name) const {
+    return program->find_class(cls)->find_method(name);
+  }
+};
+
+TEST(ProfilerTest, ExecutionCounts) {
+  Model m(R"(class Main { void main() {
+    for (int i = 0; i < 5; i++) { print(i); }
+  } })");
+  const auto& loop = m.method("Main", "main")->body->stmts[0]->as<lang::For>();
+  const lang::Stmt* body_print = loop.body->as<lang::Block>().stmts[0].get();
+  EXPECT_EQ(m.model->profile()->stmt_profile(body_print->id).exec_count, 5u);
+}
+
+TEST(ProfilerTest, LoopTripCount) {
+  Model m(R"(class Main { void main() {
+    for (int i = 0; i < 7; i++) { int x = i; }
+  } })");
+  const lang::Stmt* loop = m.method("Main", "main")->body->stmts[0].get();
+  const Profiler::LoopProfile* p = m.model->profile()->loop_profile(loop->id);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->entries, 1u);
+  EXPECT_EQ(p->total_iterations, 7u);
+}
+
+TEST(ProfilerTest, InclusiveCostCoversCallees) {
+  Model m(R"(class Main {
+    int heavy() { return work(1000); }
+    int light() { return work(10); }
+    void main() { heavy(); light(); }
+  })");
+  const lang::Stmt* call_heavy = m.method("Main", "main")->body->stmts[0].get();
+  const lang::Stmt* call_light = m.method("Main", "main")->body->stmts[1].get();
+  const double heavy_share = m.model->profile()->runtime_share(call_heavy->id);
+  const double light_share = m.model->profile()->runtime_share(call_light->id);
+  EXPECT_GT(heavy_share, 0.8);
+  EXPECT_LT(light_share, 0.2);
+  EXPECT_GT(light_share, 0.0);
+}
+
+TEST(ProfilerTest, RuntimeShareOfHotLoop) {
+  Model m(R"(class Main {
+    void main() {
+      for (int i = 0; i < 10; i++) { work(100); }
+      work(5);
+    }
+  })");
+  const lang::Stmt* loop = m.method("Main", "main")->body->stmts[0].get();
+  EXPECT_GT(m.model->runtime_share(*loop), 0.9);
+}
+
+TEST(ProfilerTest, BranchCoverage) {
+  Model m(R"(class Main { void main() {
+    for (int i = 0; i < 10; i++) {
+      if (i % 2 == 0) { print(i); }
+    }
+  } })");
+  const auto& branches = m.model->profile()->branches();
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches.begin()->second.taken, 5u);
+  EXPECT_EQ(branches.begin()->second.not_taken, 5u);
+}
+
+TEST(ProfilerTest, CallCounts) {
+  Model m(R"(class Main {
+    int f() { return 1; }
+    void main() { for (int i = 0; i < 3; i++) { f(); } }
+  })");
+  EXPECT_EQ(m.model->profile()->call_count(m.method("Main", "f")), 3u);
+}
+
+TEST(ProfilerTest, ObservedDepsDistinguishDisjointArrays) {
+  // The static analysis reports a spurious carried dependence between two
+  // int[] objects; the dynamic profile must NOT (optimistic analysis).
+  Model m(R"(class Main {
+    void main() {
+      int[] src = new int[10];
+      int[] dst = new int[10];
+      for (int i = 0; i < 10; i++) {
+        dst[i] = src[i] + 1;
+      }
+    }
+  })");
+  const lang::Stmt* loop = m.method("Main", "main")->body->stmts[2].get();
+  ASSERT_EQ(loop->kind, lang::StmtKind::For);
+  auto optimistic = m.model->loop_dependences(*loop, /*optimistic=*/true);
+  for (const Dep& d : optimistic) EXPECT_FALSE(d.carried) << d.str();
+  auto pessimistic = m.model->loop_dependences(*loop, /*optimistic=*/false);
+  bool any_carried = false;
+  for (const Dep& d : pessimistic) any_carried |= d.carried;
+  EXPECT_TRUE(any_carried);
+}
+
+TEST(ProfilerTest, ObservedCarriedDependenceOnRealRecurrence) {
+  Model m(R"(class Main {
+    void main() {
+      int[] a = new int[10];
+      for (int i = 1; i < 10; i++) {
+        a[i] = a[i - 1] + 1;
+      }
+      print(a[9]);
+    }
+  })");
+  const lang::Stmt* loop = m.method("Main", "main")->body->stmts[1].get();
+  auto deps = m.model->loop_dependences(*loop, /*optimistic=*/true);
+  bool carried_true = false;
+  for (const Dep& d : deps) {
+    if (d.kind == DepKind::True && d.carried) {
+      carried_true = true;
+      EXPECT_EQ(d.distance, 1);
+    }
+  }
+  EXPECT_TRUE(carried_true);
+}
+
+TEST(ProfilerTest, ObservedDistanceTwoRecurrence) {
+  Model m(R"(class Main {
+    void main() {
+      int[] a = new int[12];
+      a[0] = 1; a[1] = 1;
+      for (int i = 2; i < 12; i++) {
+        a[i] = a[i - 2];
+      }
+      print(a[11]);
+    }
+  })");
+  const lang::Stmt* loop = m.method("Main", "main")->body->stmts[3].get();
+  auto deps = m.model->loop_dependences(*loop, /*optimistic=*/true);
+  bool found = false;
+  for (const Dep& d : deps) {
+    if (d.kind == DepKind::True && d.carried) {
+      EXPECT_EQ(d.distance, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProfilerTest, AppendsToSameListAreCarriedConflicts) {
+  Model m(R"(class Main {
+    void main() {
+      list<int> out = new list<int>();
+      for (int i = 0; i < 5; i++) {
+        push(out, i);
+      }
+      print(len(out));
+    }
+  })");
+  const lang::Stmt* loop = m.method("Main", "main")->body->stmts[1].get();
+  auto deps = m.model->loop_dependences(*loop, /*optimistic=*/true);
+  bool carried_output_self = false;
+  for (const Dep& d : deps) {
+    if (d.kind == DepKind::Output && d.carried && d.from_id == d.to_id)
+      carried_output_self = true;
+  }
+  EXPECT_TRUE(carried_output_self);
+}
+
+TEST(ProfilerTest, LoopsDiscoveredWithNesting) {
+  Model m(R"(class Main {
+    void main() {
+      for (int i = 0; i < 2; i++) {
+        for (int j = 0; j < 2; j++) { print(i + j); }
+      }
+      while (false) { }
+    }
+  })",
+          /*dynamic=*/false);
+  ASSERT_EQ(m.model->loops().size(), 3u);
+  EXPECT_EQ(m.model->loops()[0].depth, 0);
+  EXPECT_EQ(m.model->loops()[1].depth, 1);
+  EXPECT_EQ(m.model->loops()[2].depth, 0);
+}
+
+TEST(ProfilerTest, StaticFallbackWhenLoopNotExecuted) {
+  Model m(R"(class Main {
+    void main() {
+      int[] a = new int[10];
+      if (len(a) > 100) {
+        for (int i = 1; i < 10; i++) { a[i] = a[i - 1]; }
+      }
+    }
+  })");
+  // Find the for loop (never executed).
+  const lang::Stmt* loop = nullptr;
+  for (const LoopInfo& li : m.model->loops()) loop = li.loop;
+  ASSERT_TRUE(loop);
+  EXPECT_FALSE(m.model->loop_was_profiled(*loop));
+  // Optimistic query falls back to the static (pessimistic) set.
+  auto deps = m.model->loop_dependences(*loop, /*optimistic=*/true);
+  bool carried = false;
+  for (const Dep& d : deps) carried |= d.carried;
+  EXPECT_TRUE(carried);
+}
+
+TEST(ProfilerTest, MemoryFootprintGrowsWithProgramActivity) {
+  Model small(R"(class Main { void main() { print(1); } })");
+  Model big(R"(class Main { void main() {
+    int[] a = new int[200];
+    for (int i = 0; i < 200; i++) { a[i] = i; }
+  } })");
+  EXPECT_GT(big.model->profile()->memory_footprint(),
+            small.model->profile()->memory_footprint());
+}
+
+TEST(SemanticModelTest, StmtByIdAndMethodOf) {
+  Model m(R"(class Main { void main() { print(1); } })", /*dynamic=*/false);
+  const lang::Stmt* st = m.method("Main", "main")->body->stmts[0].get();
+  EXPECT_EQ(m.model->stmt_by_id(st->id), st);
+  EXPECT_EQ(m.model->method_of(*st), m.method("Main", "main"));
+}
+
+TEST(SemanticModelTest, CfgCacheReturnsSameInstance) {
+  Model m("class Main { void main() { print(1); } }", /*dynamic=*/false);
+  const Cfg& a = m.model->cfg(*m.method("Main", "main"));
+  const Cfg& b = m.model->cfg(*m.method("Main", "main"));
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace patty::analysis

@@ -1,0 +1,229 @@
+// Semantic-analysis tests: name resolution (slots, implicit this), type
+// checking, builtin signatures, and error detection.
+
+#include <gtest/gtest.h>
+
+#include "lang/sema.hpp"
+
+namespace patty::lang {
+namespace {
+
+std::unique_ptr<Program> check_ok(std::string_view src) {
+  DiagnosticSink diags;
+  auto program = parse_and_check(src, diags);
+  EXPECT_TRUE(program != nullptr) << diags.to_string();
+  return program;
+}
+
+bool check_fails(std::string_view src, const std::string& fragment = "") {
+  DiagnosticSink diags;
+  auto program = parse_and_check(src, diags);
+  if (program != nullptr) return false;
+  if (!fragment.empty())
+    return diags.to_string().find(fragment) != std::string::npos;
+  return diags.has_errors();
+}
+
+TEST(SemaTest, LocalSlotsAssignedInOrder) {
+  auto p = check_ok("class A { int F(int a, int b) { int c = a; return c + b; } }");
+  const MethodDecl& m = *p->classes[0]->methods[0];
+  EXPECT_EQ(m.params[0].slot, 0);
+  EXPECT_EQ(m.params[1].slot, 1);
+  EXPECT_EQ(m.local_slot_count, 3);
+  EXPECT_EQ(m.slot_names[2], "c");
+}
+
+TEST(SemaTest, VarRefResolvesToLocal) {
+  auto p = check_ok("class A { int F(int a) { return a; } }");
+  const auto& ret = p->classes[0]->methods[0]->body->stmts[0]->as<Return>();
+  const auto& ref = ret.value->as<VarRef>();
+  EXPECT_EQ(ref.slot, 0);
+  EXPECT_EQ(ref.field_index, -1);
+}
+
+TEST(SemaTest, VarRefResolvesToImplicitThisField) {
+  auto p = check_ok("class A { int counter; int F() { return counter; } }");
+  const auto& ret = p->classes[0]->methods[0]->body->stmts[0]->as<Return>();
+  const auto& ref = ret.value->as<VarRef>();
+  EXPECT_EQ(ref.slot, -1);
+  EXPECT_EQ(ref.field_index, 0);
+  EXPECT_EQ(ref.type->kind, Type::Kind::Int);
+}
+
+TEST(SemaTest, LocalShadowsField) {
+  auto p = check_ok("class A { int x; int F() { int x = 3; return x; } }");
+  const auto& ret = p->classes[0]->methods[0]->body->stmts[1]->as<Return>();
+  EXPECT_GE(ret.value->as<VarRef>().slot, 0);
+}
+
+TEST(SemaTest, MethodCallResolvesAcrossClasses) {
+  auto p = check_ok(R"(
+    class Filter { int Apply(int v) { return v + 1; } }
+    class Main { Filter f; void main() { int r = f.Apply(2); print(r); } }
+  )");
+  const auto& decl = p->classes[1]->methods[0]->body->stmts[0]->as<VarDecl>();
+  const auto& call = decl.init->as<Call>();
+  ASSERT_NE(call.resolved, nullptr);
+  EXPECT_EQ(call.resolved->name, "Apply");
+  EXPECT_EQ(call.resolved->owner->name, "Filter");
+}
+
+TEST(SemaTest, ImplicitThisMethodCall) {
+  auto p = check_ok(
+      "class A { int Helper() { return 1; } int F() { return Helper(); } }");
+  const auto& ret = p->classes[0]->methods[1]->body->stmts[0]->as<Return>();
+  const auto& call = ret.value->as<Call>();
+  EXPECT_TRUE(call.implicit_this);
+  ASSERT_NE(call.resolved, nullptr);
+}
+
+TEST(SemaTest, ConstructorResolution) {
+  auto p = check_ok(R"(
+    class Point {
+      int x; int y;
+      void init(int ax, int ay) { x = ax; y = ay; }
+    }
+    class Main { void main() { Point p = new Point(1, 2); print(p.x); } }
+  )");
+  const auto& decl = p->classes[1]->methods[0]->body->stmts[0]->as<VarDecl>();
+  EXPECT_EQ(decl.init->as<New>().resolved->name, "Point");
+}
+
+TEST(SemaTest, IntWidensToDouble) {
+  check_ok("class A { double F() { double d = 3; return d + 1; } }");
+}
+
+TEST(SemaTest, StringConcatenation) {
+  check_ok(R"(class A { string F(int n) { return "n=" + n; } })");
+}
+
+TEST(SemaTest, NullAssignableToReferenceTypes) {
+  check_ok(R"(
+    class B { }
+    class A { void F() { B b = null; int[] xs = null; list<int> l = null; } }
+  )");
+}
+
+TEST(SemaTest, BuiltinSignatures) {
+  check_ok(R"(
+    class A { void F() {
+      list<int> xs = new list<int>();
+      push(xs, 4);
+      int n = len(xs);
+      int w = work(100);
+      double s = sqrt(2.0);
+      int a = abs(0 - 3);
+      int m = min(1, 2);
+      int fl = floor(2.7);
+      string t = str(42);
+      int c = clamp(5, 0, 10);
+      print(t);
+      print(n + w + a + m + fl + c);
+      print(s);
+    } }
+  )");
+}
+
+TEST(SemaTest, ErrorUnknownName) {
+  EXPECT_TRUE(check_fails("class A { int F() { return nope; } }", "unknown name"));
+}
+
+TEST(SemaTest, ErrorUnknownClassType) {
+  EXPECT_TRUE(check_fails("class A { Missing m; }", "unknown type"));
+}
+
+TEST(SemaTest, ErrorTypeMismatchAssign) {
+  EXPECT_TRUE(check_fails("class A { void F() { int x = true; } }",
+                          "cannot initialize"));
+}
+
+TEST(SemaTest, ErrorDoubleNarrowingRejected) {
+  EXPECT_TRUE(check_fails("class A { void F() { int x = 2.5; } }"));
+}
+
+TEST(SemaTest, ErrorConditionNotBool) {
+  EXPECT_TRUE(check_fails("class A { void F() { if (1) { } } }", "must be bool"));
+}
+
+TEST(SemaTest, ErrorBreakOutsideLoop) {
+  EXPECT_TRUE(check_fails("class A { void F() { break; } }", "outside of a loop"));
+}
+
+TEST(SemaTest, ErrorWrongArgumentCount) {
+  EXPECT_TRUE(check_fails(
+      "class A { int G(int x) { return x; } void F() { G(); } }",
+      "takes 1 argument"));
+}
+
+TEST(SemaTest, ErrorWrongArgumentType) {
+  EXPECT_TRUE(check_fails(
+      "class A { int G(int x) { return x; } void F() { G(true); } }"));
+}
+
+TEST(SemaTest, ErrorUnknownMethod) {
+  EXPECT_TRUE(check_fails(
+      "class B { } class A { B b; void F() { b.Nope(); } }", "no method"));
+}
+
+TEST(SemaTest, ErrorDuplicateClass) {
+  EXPECT_TRUE(check_fails("class A { } class A { }", "duplicate class"));
+}
+
+TEST(SemaTest, ErrorDuplicateField) {
+  EXPECT_TRUE(check_fails("class A { int x; int x; }", "duplicate field"));
+}
+
+TEST(SemaTest, ErrorRedeclarationInScope) {
+  EXPECT_TRUE(check_fails("class A { void F() { int x = 1; int x = 2; } }",
+                          "redeclaration"));
+}
+
+TEST(SemaTest, ScopedRedeclarationAllowed) {
+  check_ok("class A { void F() { { int x = 1; print(x); } { int x = 2; print(x); } } }");
+}
+
+TEST(SemaTest, ErrorForeachOverNonIterable) {
+  EXPECT_TRUE(check_fails(
+      "class A { void F() { foreach (int x in 5) { } } }", "foreach"));
+}
+
+TEST(SemaTest, ErrorReturnTypeMismatch) {
+  EXPECT_TRUE(check_fails("class A { int F() { return true; } }"));
+}
+
+TEST(SemaTest, ErrorVoidMethodReturnsValue) {
+  EXPECT_TRUE(check_fails("class A { void F() { return 3; } }",
+                          "void method cannot return"));
+}
+
+TEST(SemaTest, ErrorAssignToCall) {
+  EXPECT_TRUE(check_fails(
+      "class A { int G() { return 1; } void F() { G() = 2; } }",
+      "not assignable"));
+}
+
+TEST(SemaTest, ErrorPushTypeMismatch) {
+  EXPECT_TRUE(check_fails(
+      "class A { void F() { list<int> xs = new list<int>(); push(xs, true); } }",
+      "element type mismatch"));
+}
+
+TEST(SemaTest, ForeachElementTypeChecked) {
+  EXPECT_TRUE(check_fails(R"(
+    class A { void F() {
+      list<bool> xs = new list<bool>();
+      foreach (int x in xs) { }
+    } }
+  )"));
+}
+
+TEST(SemaTest, ExpressionTypesAnnotated) {
+  auto p = check_ok("class A { double F(int x) { return x * 0.5; } }");
+  const auto& ret = p->classes[0]->methods[0]->body->stmts[0]->as<Return>();
+  EXPECT_EQ(ret.value->type->kind, Type::Kind::Double);
+  const auto& mul = ret.value->as<Binary>();
+  EXPECT_EQ(mul.lhs->type->kind, Type::Kind::Int);
+}
+
+}  // namespace
+}  // namespace patty::lang

@@ -1,0 +1,179 @@
+// Study-simulation tests: determinism, group structure, the qualitative
+// orderings the paper reports (Patty fastest to first tool use, highest
+// effectivity; manual finishes first but misses locations and produces
+// false positives; Patty's comprehensibility beats Parallel Studio's).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "study/study.hpp"
+#include "support/stats.hpp"
+
+namespace patty::study {
+namespace {
+
+TEST(StudyTest, DeterministicUnderSeed) {
+  StudySimulator sim_a;
+  StudySimulator sim_b;
+  const StudyOutcome a = sim_a.run();
+  const StudyOutcome b = sim_b.run();
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].total_time_min, b.sessions[i].total_time_min);
+    EXPECT_EQ(a.sessions[i].locations_found, b.sessions[i].locations_found);
+  }
+}
+
+TEST(StudyTest, GroupSizesMatchPaper) {
+  const StudyOutcome o = StudySimulator().run();
+  int patty = 0, intel = 0, manual = 0;
+  for (const Session& s : o.sessions) {
+    switch (s.participant.group) {
+      case Group::Patty: ++patty; break;
+      case Group::ParallelStudio: ++intel; break;
+      case Group::Manual: ++manual; break;
+    }
+  }
+  EXPECT_EQ(patty, 3);
+  EXPECT_EQ(intel, 4);
+  EXPECT_EQ(manual, 3);
+  EXPECT_EQ(patty + intel + manual, 10);
+}
+
+TEST(StudyTest, GroupSkillAveragesBalanced) {
+  const StudyOutcome o = StudySimulator().run();
+  std::map<Group, std::vector<double>> se;
+  for (const Session& s : o.sessions)
+    se[s.participant.group].push_back(s.participant.se_skill);
+  const double patty = mean(se[Group::Patty]);
+  const double intel = mean(se[Group::ParallelStudio]);
+  const double manual = mean(se[Group::Manual]);
+  EXPECT_NEAR(patty, intel, 0.05);
+  EXPECT_NEAR(patty, manual, 0.05);
+}
+
+TEST(StudyTest, PattyToolFindsAllThreeLocations) {
+  const auto findings = StudySimulator::run_patty_tool();
+  EXPECT_EQ(findings.correct, 3);
+  EXPECT_EQ(findings.false_positives, 0);
+}
+
+TEST(StudyTest, EffectivityOrdering) {
+  // Paper §4.2: Patty avg 3.0 > Intel avg 2.25 > Manual avg 2.0.
+  const StudyOutcome o = StudySimulator().run();
+  auto found = [&](Group g) {
+    std::vector<double> v;
+    for (const Session& s : o.sessions)
+      if (s.participant.group == g) v.push_back(s.locations_found);
+    return mean(v);
+  };
+  EXPECT_EQ(found(Group::Patty), 3.0);
+  EXPECT_GT(found(Group::Patty), found(Group::ParallelStudio));
+  EXPECT_GE(found(Group::ParallelStudio), found(Group::Manual));
+}
+
+TEST(StudyTest, OnlyManualGroupProducesFalsePositives) {
+  const StudyOutcome o = StudySimulator().run();
+  int manual_fp = 0;
+  for (const Session& s : o.sessions) {
+    if (s.participant.group == Group::Manual) {
+      manual_fp += s.false_positives;
+    } else {
+      EXPECT_EQ(s.false_positives, 0) << group_name(s.participant.group);
+    }
+  }
+  EXPECT_GT(manual_fp, 0);
+}
+
+TEST(StudyTest, TimeOrderings) {
+  const StudyOutcome o = StudySimulator().run();
+  auto avg = [&](Group g, auto field) {
+    std::vector<double> v;
+    for (const Session& s : o.sessions)
+      if (s.participant.group == g) v.push_back(field(s));
+    return mean(v);
+  };
+  auto first_use = [](const Session& s) { return s.first_tool_use_min; };
+  auto first_id = [](const Session& s) { return s.first_identification_min; };
+  auto total = [](const Session& s) { return s.total_time_min; };
+
+  // Patty starts immediately; Intel needs to learn the process first.
+  EXPECT_LT(avg(Group::Patty, first_use), 1.0);
+  EXPECT_GT(avg(Group::ParallelStudio, first_use), 2.0);
+  // Manual group identifies the hotspot fastest; Intel takes > 2x Patty.
+  EXPECT_LT(avg(Group::Manual, first_id), avg(Group::Patty, first_id));
+  EXPECT_GT(avg(Group::ParallelStudio, first_id),
+            1.5 * avg(Group::Patty, first_id));
+  // Manual finishes first; Intel last.
+  EXPECT_LT(avg(Group::Manual, total), avg(Group::Patty, total));
+  EXPECT_LT(avg(Group::Patty, total), avg(Group::ParallelStudio, total));
+}
+
+TEST(StudyTest, ComprehensibilityFavorsPatty) {
+  const StudyOutcome o = StudySimulator().run();
+  auto avg_q = [&](Group g, auto field) {
+    std::vector<double> v;
+    for (std::size_t i = 0; i < o.sessions.size(); ++i)
+      if (o.sessions[i].participant.group == g)
+        v.push_back(field(o.questionnaires[i]));
+    return mean(v);
+  };
+  auto comprehensibility = [&](Group g) {
+    return (avg_q(g, [](const Questionnaire& q) { return q.clarity; }) +
+            avg_q(g, [](const Questionnaire& q) { return q.complexity; }) +
+            avg_q(g, [](const Questionnaire& q) { return q.perceivability; }) +
+            avg_q(g, [](const Questionnaire& q) { return q.learnability; })) /
+           4.0;
+  };
+  EXPECT_GT(comprehensibility(Group::Patty),
+            comprehensibility(Group::ParallelStudio));
+  EXPECT_GT(comprehensibility(Group::Patty), 1.5);
+}
+
+TEST(StudyTest, IntelSatisfactionHasHighVariance) {
+  // Paper: the multicore expert loved Parallel Studio; novices did not.
+  const StudyOutcome o = StudySimulator().run();
+  std::vector<double> patty_sat, intel_sat;
+  for (std::size_t i = 0; i < o.sessions.size(); ++i) {
+    const Group g = o.sessions[i].participant.group;
+    if (g == Group::Patty) patty_sat.push_back(o.questionnaires[i].satisfaction);
+    if (g == Group::ParallelStudio)
+      intel_sat.push_back(o.questionnaires[i].satisfaction);
+  }
+  EXPECT_GT(sample_stddev(intel_sat), sample_stddev(patty_sat));
+  EXPECT_GT(mean(patty_sat), mean(intel_sat));
+}
+
+TEST(StudyTest, FeatureCoverageMatchesPaper) {
+  const StudyOutcome o = StudySimulator().run();
+  ASSERT_EQ(o.features.size(), 9u);
+  int patty_cover = 0, intel_cover = 0;
+  for (const Feature& f : o.features) {
+    if (f.patty_has) ++patty_cover;
+    if (f.intel_has) ++intel_cover;
+    // Every manual participant answered for every feature.
+    EXPECT_EQ(f.desirability.size(), 3u) << f.name;
+  }
+  EXPECT_EQ(patty_cover, 5);
+  EXPECT_EQ(intel_cover, 2);
+}
+
+TEST(StudyTest, PattyCoversThreeOfTopFiveFeatures) {
+  const StudyOutcome o = StudySimulator().run();
+  std::vector<std::pair<double, const Feature*>> ranked;
+  for (const Feature& f : o.features) ranked.push_back({mean(f.desirability), &f});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  int patty_top5 = 0, intel_top5 = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (ranked[static_cast<std::size_t>(i)].second->patty_has) ++patty_top5;
+    if (ranked[static_cast<std::size_t>(i)].second->intel_has) ++intel_top5;
+  }
+  EXPECT_EQ(patty_top5, 3);
+  EXPECT_EQ(intel_top5, 1);
+}
+
+}  // namespace
+}  // namespace patty::study

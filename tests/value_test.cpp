@@ -1,0 +1,80 @@
+// Tests for the runtime value model: defaults, coercions, equality
+// semantics (structural for scalars, identity for references), rendering.
+
+#include <gtest/gtest.h>
+
+#include "analysis/value.hpp"
+
+namespace patty::analysis {
+namespace {
+
+TEST(ValueTest, DefaultsPerType) {
+  EXPECT_EQ(default_value(*lang::Type::int_t()).as_int(), 0);
+  EXPECT_EQ(default_value(*lang::Type::double_t()).as_double(), 0.0);
+  EXPECT_FALSE(default_value(*lang::Type::bool_t()).as_bool());
+  EXPECT_EQ(default_value(*lang::Type::string_t()).as_string(), "");
+  EXPECT_TRUE(default_value(*lang::Type::class_t("X")).is_null());
+  EXPECT_TRUE(
+      default_value(*lang::Type::array_t(lang::Type::int_t())).is_null());
+}
+
+TEST(ValueTest, KindPredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value::of_int(3).is_int());
+  EXPECT_TRUE(Value::of_double(1.5).is_double());
+  EXPECT_TRUE(Value::of_bool(true).is_bool());
+  EXPECT_TRUE(Value::of_string("x").is_string());
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value::of_int(7).to_double(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::of_double(2.5).to_double(), 2.5);
+  EXPECT_THROW(Value::of_string("x").to_double(), std::logic_error);
+}
+
+TEST(ValueTest, ScalarEquality) {
+  EXPECT_TRUE(Value::of_int(3).equals(Value::of_int(3)));
+  EXPECT_FALSE(Value::of_int(3).equals(Value::of_int(4)));
+  EXPECT_TRUE(Value::of_int(3).equals(Value::of_double(3.0)));
+  EXPECT_TRUE(Value::of_string("a").equals(Value::of_string("a")));
+  EXPECT_FALSE(Value::of_string("a").equals(Value::of_int(0)));
+  EXPECT_TRUE(Value().equals(Value()));
+  EXPECT_FALSE(Value().equals(Value::of_int(0)));
+}
+
+TEST(ValueTest, ReferenceIdentityEquality) {
+  auto obj = std::make_shared<Object>();
+  Value a = Value::of_object(obj);
+  Value b = Value::of_object(obj);
+  auto other = std::make_shared<Object>();
+  Value c = Value::of_object(other);
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+
+  auto arr = std::make_shared<ArrayVal>();
+  EXPECT_TRUE(Value::of_array(arr).equals(Value::of_array(arr)));
+  auto list = std::make_shared<ListVal>();
+  EXPECT_TRUE(Value::of_list(list).equals(Value::of_list(list)));
+  EXPECT_FALSE(Value::of_array(arr).equals(Value::of_list(list)));
+}
+
+TEST(ValueTest, Rendering) {
+  EXPECT_EQ(Value().str(), "null");
+  EXPECT_EQ(Value::of_int(42).str(), "42");
+  EXPECT_EQ(Value::of_bool(true).str(), "true");
+  EXPECT_EQ(Value::of_string("hey").str(), "hey");
+  auto arr = std::make_shared<ArrayVal>();
+  arr->elems.resize(3);
+  EXPECT_EQ(Value::of_array(arr).str(), "<array[3]>");
+}
+
+TEST(ValueTest, SharedMutationVisibleThroughCopies) {
+  auto list = std::make_shared<ListVal>();
+  Value a = Value::of_list(list);
+  Value b = a;  // copies share the heap object
+  b.as_list()->elems.push_back(Value::of_int(1));
+  EXPECT_EQ(a.as_list()->elems.size(), 1u);
+}
+
+}  // namespace
+}  // namespace patty::analysis
