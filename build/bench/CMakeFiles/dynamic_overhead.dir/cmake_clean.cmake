@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_overhead.dir/dynamic_overhead.cpp.o"
+  "CMakeFiles/dynamic_overhead.dir/dynamic_overhead.cpp.o.d"
+  "dynamic_overhead"
+  "dynamic_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effectivity.dir/effectivity.cpp.o"
+  "CMakeFiles/effectivity.dir/effectivity.cpp.o.d"
+  "effectivity"
+  "effectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

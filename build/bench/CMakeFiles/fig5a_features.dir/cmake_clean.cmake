@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_features.dir/fig5a_features.cpp.o"
+  "CMakeFiles/fig5a_features.dir/fig5a_features.cpp.o.d"
+  "fig5a_features"
+  "fig5a_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_times.dir/fig5b_times.cpp.o"
+  "CMakeFiles/fig5b_times.dir/fig5b_times.cpp.o.d"
+  "fig5b_times"
+  "fig5b_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_recall.dir/precision_recall.cpp.o"
+  "CMakeFiles/precision_recall.dir/precision_recall.cpp.o.d"
+  "precision_recall"
+  "precision_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

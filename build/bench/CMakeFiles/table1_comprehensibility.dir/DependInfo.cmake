@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_comprehensibility.cpp" "bench/CMakeFiles/table1_comprehensibility.dir/table1_comprehensibility.cpp.o" "gcc" "bench/CMakeFiles/table1_comprehensibility.dir/table1_comprehensibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/patty_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/patty_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/patty_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/patty_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/patty_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/patty_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/patty_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

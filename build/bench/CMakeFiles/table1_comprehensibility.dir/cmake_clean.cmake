@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_comprehensibility.dir/table1_comprehensibility.cpp.o"
+  "CMakeFiles/table1_comprehensibility.dir/table1_comprehensibility.cpp.o.d"
+  "table1_comprehensibility"
+  "table1_comprehensibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_comprehensibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

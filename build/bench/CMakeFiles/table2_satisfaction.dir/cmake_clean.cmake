@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_satisfaction.dir/table2_satisfaction.cpp.o"
+  "CMakeFiles/table2_satisfaction.dir/table2_satisfaction.cpp.o.d"
+  "table2_satisfaction"
+  "table2_satisfaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_satisfaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

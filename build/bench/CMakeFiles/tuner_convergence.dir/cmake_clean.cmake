@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_convergence.dir/tuner_convergence.cpp.o"
+  "CMakeFiles/tuner_convergence.dir/tuner_convergence.cpp.o.d"
+  "tuner_convergence"
+  "tuner_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

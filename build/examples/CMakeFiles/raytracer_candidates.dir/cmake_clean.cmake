@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytracer_candidates.dir/raytracer_candidates.cpp.o"
+  "CMakeFiles/raytracer_candidates.dir/raytracer_candidates.cpp.o.d"
+  "raytracer_candidates"
+  "raytracer_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytracer_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

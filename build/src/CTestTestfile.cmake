@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lang")
+subdirs("analysis")
+subdirs("runtime")
+subdirs("tadl")
+subdirs("patterns")
+subdirs("transform")
+subdirs("tuning")
+subdirs("race")
+subdirs("corpus")
+subdirs("study")

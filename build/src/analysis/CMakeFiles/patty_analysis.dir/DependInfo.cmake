@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/callgraph.cpp" "src/analysis/CMakeFiles/patty_analysis.dir/callgraph.cpp.o" "gcc" "src/analysis/CMakeFiles/patty_analysis.dir/callgraph.cpp.o.d"
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/patty_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/patty_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/dependence.cpp" "src/analysis/CMakeFiles/patty_analysis.dir/dependence.cpp.o" "gcc" "src/analysis/CMakeFiles/patty_analysis.dir/dependence.cpp.o.d"
+  "/root/repo/src/analysis/effects.cpp" "src/analysis/CMakeFiles/patty_analysis.dir/effects.cpp.o" "gcc" "src/analysis/CMakeFiles/patty_analysis.dir/effects.cpp.o.d"
+  "/root/repo/src/analysis/interpreter.cpp" "src/analysis/CMakeFiles/patty_analysis.dir/interpreter.cpp.o" "gcc" "src/analysis/CMakeFiles/patty_analysis.dir/interpreter.cpp.o.d"
+  "/root/repo/src/analysis/profiler.cpp" "src/analysis/CMakeFiles/patty_analysis.dir/profiler.cpp.o" "gcc" "src/analysis/CMakeFiles/patty_analysis.dir/profiler.cpp.o.d"
+  "/root/repo/src/analysis/semantic_model.cpp" "src/analysis/CMakeFiles/patty_analysis.dir/semantic_model.cpp.o" "gcc" "src/analysis/CMakeFiles/patty_analysis.dir/semantic_model.cpp.o.d"
+  "/root/repo/src/analysis/value.cpp" "src/analysis/CMakeFiles/patty_analysis.dir/value.cpp.o" "gcc" "src/analysis/CMakeFiles/patty_analysis.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/patty_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/patty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

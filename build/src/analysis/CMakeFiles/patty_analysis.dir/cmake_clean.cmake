@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_analysis.dir/callgraph.cpp.o"
+  "CMakeFiles/patty_analysis.dir/callgraph.cpp.o.d"
+  "CMakeFiles/patty_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/patty_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/patty_analysis.dir/dependence.cpp.o"
+  "CMakeFiles/patty_analysis.dir/dependence.cpp.o.d"
+  "CMakeFiles/patty_analysis.dir/effects.cpp.o"
+  "CMakeFiles/patty_analysis.dir/effects.cpp.o.d"
+  "CMakeFiles/patty_analysis.dir/interpreter.cpp.o"
+  "CMakeFiles/patty_analysis.dir/interpreter.cpp.o.d"
+  "CMakeFiles/patty_analysis.dir/profiler.cpp.o"
+  "CMakeFiles/patty_analysis.dir/profiler.cpp.o.d"
+  "CMakeFiles/patty_analysis.dir/semantic_model.cpp.o"
+  "CMakeFiles/patty_analysis.dir/semantic_model.cpp.o.d"
+  "CMakeFiles/patty_analysis.dir/value.cpp.o"
+  "CMakeFiles/patty_analysis.dir/value.cpp.o.d"
+  "libpatty_analysis.a"
+  "libpatty_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

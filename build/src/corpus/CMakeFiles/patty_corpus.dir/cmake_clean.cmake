@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_corpus.dir/eval.cpp.o"
+  "CMakeFiles/patty_corpus.dir/eval.cpp.o.d"
+  "CMakeFiles/patty_corpus.dir/programs.cpp.o"
+  "CMakeFiles/patty_corpus.dir/programs.cpp.o.d"
+  "CMakeFiles/patty_corpus.dir/synthetic.cpp.o"
+  "CMakeFiles/patty_corpus.dir/synthetic.cpp.o.d"
+  "libpatty_corpus.a"
+  "libpatty_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_lang.dir/ast.cpp.o"
+  "CMakeFiles/patty_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/patty_lang.dir/clone.cpp.o"
+  "CMakeFiles/patty_lang.dir/clone.cpp.o.d"
+  "CMakeFiles/patty_lang.dir/lexer.cpp.o"
+  "CMakeFiles/patty_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/patty_lang.dir/parser.cpp.o"
+  "CMakeFiles/patty_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/patty_lang.dir/printer.cpp.o"
+  "CMakeFiles/patty_lang.dir/printer.cpp.o.d"
+  "CMakeFiles/patty_lang.dir/sema.cpp.o"
+  "CMakeFiles/patty_lang.dir/sema.cpp.o.d"
+  "CMakeFiles/patty_lang.dir/type.cpp.o"
+  "CMakeFiles/patty_lang.dir/type.cpp.o.d"
+  "libpatty_lang.a"
+  "libpatty_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

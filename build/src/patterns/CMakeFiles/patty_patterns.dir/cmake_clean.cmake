@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_patterns.dir/detector.cpp.o"
+  "CMakeFiles/patty_patterns.dir/detector.cpp.o.d"
+  "libpatty_patterns.a"
+  "libpatty_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_race.dir/explorer.cpp.o"
+  "CMakeFiles/patty_race.dir/explorer.cpp.o.d"
+  "libpatty_race.a"
+  "libpatty_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

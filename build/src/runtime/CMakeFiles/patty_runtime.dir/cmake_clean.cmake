@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_runtime.dir/master_worker.cpp.o"
+  "CMakeFiles/patty_runtime.dir/master_worker.cpp.o.d"
+  "CMakeFiles/patty_runtime.dir/parallel_for.cpp.o"
+  "CMakeFiles/patty_runtime.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/patty_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/patty_runtime.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/patty_runtime.dir/tuning.cpp.o"
+  "CMakeFiles/patty_runtime.dir/tuning.cpp.o.d"
+  "libpatty_runtime.a"
+  "libpatty_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_study.dir/study.cpp.o"
+  "CMakeFiles/patty_study.dir/study.cpp.o.d"
+  "libpatty_study.a"
+  "libpatty_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/patty_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/patty_support.dir/rng.cpp.o"
+  "CMakeFiles/patty_support.dir/rng.cpp.o.d"
+  "CMakeFiles/patty_support.dir/stats.cpp.o"
+  "CMakeFiles/patty_support.dir/stats.cpp.o.d"
+  "CMakeFiles/patty_support.dir/table.cpp.o"
+  "CMakeFiles/patty_support.dir/table.cpp.o.d"
+  "libpatty_support.a"
+  "libpatty_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

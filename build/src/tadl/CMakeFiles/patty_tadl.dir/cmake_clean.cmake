@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_tadl.dir/annotator.cpp.o"
+  "CMakeFiles/patty_tadl.dir/annotator.cpp.o.d"
+  "CMakeFiles/patty_tadl.dir/tadl.cpp.o"
+  "CMakeFiles/patty_tadl.dir/tadl.cpp.o.d"
+  "libpatty_tadl.a"
+  "libpatty_tadl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_tadl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

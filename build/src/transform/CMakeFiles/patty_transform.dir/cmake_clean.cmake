@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_transform.dir/codegen.cpp.o"
+  "CMakeFiles/patty_transform.dir/codegen.cpp.o.d"
+  "CMakeFiles/patty_transform.dir/plan.cpp.o"
+  "CMakeFiles/patty_transform.dir/plan.cpp.o.d"
+  "CMakeFiles/patty_transform.dir/testgen.cpp.o"
+  "CMakeFiles/patty_transform.dir/testgen.cpp.o.d"
+  "libpatty_transform.a"
+  "libpatty_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpatty_transform.a"
+)

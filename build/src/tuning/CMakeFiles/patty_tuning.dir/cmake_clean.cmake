@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patty_tuning.dir/tuner.cpp.o"
+  "CMakeFiles/patty_tuning.dir/tuner.cpp.o.d"
+  "libpatty_tuning.a"
+  "libpatty_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patty_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

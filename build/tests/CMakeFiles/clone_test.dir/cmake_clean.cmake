@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clone_test.dir/clone_test.cpp.o"
+  "CMakeFiles/clone_test.dir/clone_test.cpp.o.d"
+  "clone_test"
+  "clone_test.pdb"
+  "clone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

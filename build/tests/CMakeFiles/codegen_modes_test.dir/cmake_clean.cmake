@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_modes_test.dir/codegen_modes_test.cpp.o"
+  "CMakeFiles/codegen_modes_test.dir/codegen_modes_test.cpp.o.d"
+  "codegen_modes_test"
+  "codegen_modes_test.pdb"
+  "codegen_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_edge_test.dir/detector_edge_test.cpp.o"
+  "CMakeFiles/detector_edge_test.dir/detector_edge_test.cpp.o.d"
+  "detector_edge_test"
+  "detector_edge_test.pdb"
+  "detector_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/patterns_test.cpp" "tests/CMakeFiles/patterns_test.dir/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/patterns_test.dir/patterns_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/patterns/CMakeFiles/patty_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/patty_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/patty_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/patty_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/patty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tadl_test.dir/tadl_test.cpp.o"
+  "CMakeFiles/tadl_test.dir/tadl_test.cpp.o.d"
+  "tadl_test"
+  "tadl_test.pdb"
+  "tadl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tadl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
