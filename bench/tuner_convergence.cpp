@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <optional>
 
+#include "observe/explain.hpp"
+#include "observe/trace.hpp"
 #include "runtime/pipeline.hpp"
 #include "support/table.hpp"
 #include "tuning/tuner.hpp"
@@ -103,6 +105,21 @@ int main() {
               "evaluations, untuned %.4f s\n%s\n",
               untuned, table.str().c_str());
   std::printf("Expected shape: every tuner improves on the untuned default; "
-              "the bottleneck stage B ends up replicated.\n");
+              "the bottleneck stage B ends up replicated.\n\n");
+
+  // Telemetry verdict: re-run the untuned pipeline with observability on and
+  // let observe::explain name the bottleneck the tuners had to discover by
+  // search (it should finger stage B and suggest StageReplication).
+  patty::observe::set_enabled(true);
+  measure_pipeline(make_space());
+  if (auto obs = patty::observe::latest_pipeline()) {
+    std::printf("telemetry of the untuned run:\n%s\n",
+                patty::observe::render(*obs).c_str());
+    const patty::observe::BottleneckReport report =
+        patty::observe::explain(*obs);
+    std::printf("explain() agrees with the tuners: bottleneck %s -> %s\n",
+                report.stage.c_str(), report.parameter.c_str());
+  }
+  patty::observe::set_enabled(false);
   return 0;
 }

@@ -6,16 +6,25 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "analysis/semantic_model.hpp"
 #include "corpus/corpus.hpp"
 #include "lang/sema.hpp"
+#include "observe/explain.hpp"
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
 #include "patterns/detector.hpp"
 #include "transform/plan.hpp"
 #include "tuning/tuner.hpp"
 
 int main() {
   using namespace patty;
+
+  // Telemetry on for the whole demo: every MeasureFn call becomes a
+  // "tuner.eval" trace span and every pipeline run publishes per-stage
+  // metrics that observe::explain turns into tuning advice.
+  observe::set_enabled(true);
 
   // The transformed application: the avistream pipeline plan.
   const corpus::CorpusProgram& app = corpus::avistream();
@@ -68,5 +77,27 @@ int main() {
   for (const auto& [name, p] : run.best.params()) {
     std::printf("  %s = %lld\n", name.c_str(), static_cast<long long>(p.value));
   }
+
+  // Re-run the best configuration once so the freshest pipeline observation
+  // reflects the tuned program, then explain where the time went.
+  measure(run.best);
+  if (auto obs = observe::latest_pipeline()) {
+    std::printf("\nper-stage telemetry of the tuned run:\n%s\n",
+                observe::render(*obs).c_str());
+  }
+
+  std::printf("runtime metrics:\n%s\n",
+              observe::Registry::global().snapshot().str().c_str());
+
+  // Chrome trace: one slice per tuner evaluation and per stage item.
+  const observe::TraceSnapshot trace = observe::drain();
+  const char* trace_path = "autotune_trace.json";
+  std::ofstream out(trace_path, std::ios::binary);
+  out << observe::chrome_trace_json(trace);
+  out.close();
+  std::printf("trace summary (%zu events):\n%s\n", trace.events.size(),
+              observe::trace_summary(trace).c_str());
+  std::printf("wrote %s -- open in chrome://tracing or ui.perfetto.dev\n",
+              trace_path);
   return 0;
 }

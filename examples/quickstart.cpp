@@ -10,10 +10,14 @@
 // parallel execution matches the sequential output.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "analysis/semantic_model.hpp"
 #include "corpus/corpus.hpp"
 #include "lang/sema.hpp"
+#include "observe/explain.hpp"
+#include "observe/trace.hpp"
 #include "patterns/detector.hpp"
 #include "tadl/annotator.hpp"
 #include "transform/codegen.hpp"
@@ -22,6 +26,10 @@
 
 int main() {
   using namespace patty;
+
+  // PATTY_TRACE=<file> records a Chrome trace of the run (see README).
+  const char* trace_path = std::getenv("PATTY_TRACE");
+  if (trace_path && *trace_path) observe::set_enabled(true);
 
   const corpus::CorpusProgram& example = corpus::avistream();
   std::printf("=== Input: %s (%zu LoC) ===\n%s\n", example.name.c_str(),
@@ -91,5 +99,18 @@ int main() {
               reference.output().c_str(), executor.output().c_str());
   std::printf("outputs %s\n",
               reference.output() == executor.output() ? "MATCH" : "DIFFER");
+
+  if (trace_path && *trace_path) {
+    if (auto obs = observe::latest_pipeline()) {
+      std::printf("\n=== Pipeline telemetry ===\n%s\n",
+                  observe::render(*obs).c_str());
+    }
+    const observe::TraceSnapshot trace = observe::drain();
+    std::ofstream out(trace_path, std::ios::binary);
+    out << observe::chrome_trace_json(trace);
+    std::printf("wrote %s (%zu events) -- open in chrome://tracing or "
+                "ui.perfetto.dev\n",
+                trace_path, trace.events.size());
+  }
   return reference.output() == executor.output() ? 0 : 1;
 }

@@ -1,0 +1,154 @@
+#include "observe/explain.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+#include "support/table.hpp"
+
+namespace patty::observe {
+
+namespace {
+
+struct PipelineRing {
+  std::mutex mutex;
+  std::deque<PipelineObservation> recent;
+  static constexpr std::size_t kKeep = 32;
+};
+
+PipelineRing& ring() {
+  static PipelineRing* r = new PipelineRing();  // immortal
+  return *r;
+}
+
+}  // namespace
+
+void record_pipeline(PipelineObservation obs) {
+  PipelineRing& r = ring();
+  std::scoped_lock lock(r.mutex);
+  r.recent.push_back(std::move(obs));
+  while (r.recent.size() > PipelineRing::kKeep) r.recent.pop_front();
+}
+
+std::optional<PipelineObservation> latest_pipeline() {
+  PipelineRing& r = ring();
+  std::scoped_lock lock(r.mutex);
+  if (r.recent.empty()) return std::nullopt;
+  return r.recent.back();
+}
+
+std::vector<PipelineObservation> recent_pipelines() {
+  PipelineRing& r = ring();
+  std::scoped_lock lock(r.mutex);
+  return {r.recent.begin(), r.recent.end()};
+}
+
+void clear_pipelines() {
+  PipelineRing& r = ring();
+  std::scoped_lock lock(r.mutex);
+  r.recent.clear();
+}
+
+BottleneckReport explain(const PipelineObservation& obs) {
+  BottleneckReport report;
+  if (obs.stages.empty()) {
+    report.stall = "idle";
+    report.detail = "no stages observed";
+    return report;
+  }
+  if (obs.sequential) {
+    report.stage = obs.stages.front().name;
+    report.stall = "sequential";
+    report.parameter = "SequentialExecution";
+    report.detail =
+        "pipeline ran inline (SequentialExecution); no stage-level stalls "
+        "to attribute";
+    return report;
+  }
+
+  // The bottleneck is the stage with the largest per-worker service time:
+  // replication divides the work a single worker must absorb, so busy time
+  // normalized by replication is the time the stream spends queued behind
+  // one worker of that stage.
+  double total_busy = 0.0;
+  std::size_t k = 0;
+  double k_service = -1.0;
+  for (std::size_t i = 0; i < obs.stages.size(); ++i) {
+    const StageObservation& s = obs.stages[i];
+    total_busy += s.busy_ms;
+    const double service =
+        s.busy_ms / static_cast<double>(std::max(1, s.replication));
+    if (service > k_service) {
+      k_service = service;
+      k = i;
+    }
+  }
+  const StageObservation& hot = obs.stages[k];
+  report.stage_index = k;
+  report.stage = hot.name;
+
+  // Overhead-bound: the stream spends almost no time computing relative to
+  // the wall clock — threading/queue plumbing dominates. The paper's
+  // remedies are fusing tiny stages or falling back to sequential.
+  if (obs.wall_ms > 0.0 && total_busy < 0.2 * obs.wall_ms) {
+    report.stall = "overhead-bound";
+    report.parameter =
+        obs.stages.size() > 1 ? "StageFusion / SequentialExecution"
+                              : "SequentialExecution";
+    report.detail =
+        "stages computed for " + fmt(total_busy) + " ms of a " +
+        fmt(obs.wall_ms) +
+        " ms wall: plumbing dominates; fuse adjacent stages or run "
+        "sequentially";
+    return report;
+  }
+
+  // Back-pressure evidence: upstream pushes into the bottleneck's input
+  // queue blocked, or the queue sat at capacity.
+  const bool queue_pressure =
+      hot.input_queue_full_waits > 0 ||
+      (hot.input_queue_capacity > 0 &&
+       hot.input_queue_high_water >= hot.input_queue_capacity);
+  report.stall = queue_pressure ? "queue-full" : "compute-bound";
+  report.parameter = "StageReplication(" + hot.name + ")";
+  report.detail = "stage '" + hot.name + "' is the bottleneck: " +
+                  fmt(hot.busy_ms) + " ms busy across " +
+                  std::to_string(hot.replication) + " worker(s)";
+  if (queue_pressure) {
+    report.detail += "; its input queue hit " +
+                     std::to_string(hot.input_queue_high_water) + "/" +
+                     std::to_string(hot.input_queue_capacity) +
+                     " with " + std::to_string(hot.input_queue_full_waits) +
+                     " blocked upstream pushes";
+    report.parameter += " or BufferCapacity";
+  }
+  report.detail += " -> raise " + report.parameter;
+  return report;
+}
+
+std::string render(const PipelineObservation& obs) {
+  Table t({"stage", "rep", "items", "busy ms", "in-wait ms", "out-wait ms",
+           "queue hi/cap", "full-waits", "items/s"});
+  for (const StageObservation& s : obs.stages) {
+    const double throughput =
+        obs.wall_ms > 0.0
+            ? static_cast<double>(s.items) / (obs.wall_ms / 1000.0)
+            : 0.0;
+    t.add_row({s.name, std::to_string(s.replication), std::to_string(s.items),
+               fmt(s.busy_ms), fmt(s.input_wait_ms), fmt(s.output_wait_ms),
+               std::to_string(s.input_queue_high_water) + "/" +
+                   std::to_string(s.input_queue_capacity),
+               std::to_string(s.input_queue_full_waits), fmt(throughput, 0)});
+  }
+  const BottleneckReport verdict = explain(obs);
+  std::string out = "pipeline '" + obs.pipeline + "': " +
+                    std::to_string(obs.elements) + " elements in " +
+                    fmt(obs.wall_ms) + " ms" +
+                    (obs.sequential ? " (sequential)" : "") + "\n";
+  out += t.str();
+  out += "bottleneck: " + (verdict.stage.empty() ? "-" : verdict.stage) +
+         " [" + verdict.stall + "] " + verdict.detail + "\n";
+  return out;
+}
+
+}  // namespace patty::observe

@@ -1,0 +1,72 @@
+#pragma once
+// Bottleneck explanation: turns a pipeline's per-stage telemetry into the
+// paper's vocabulary. The tuning cycle (§2.1, fig. 4c) measures one scalar
+// per configuration; this answers *why* a configuration is slow by mapping
+// the dominant stall to the tuning parameter that addresses it:
+//
+//   stage k compute-bound, its input queue runs full
+//       -> StageReplication(k)   (replicate the bottleneck stage)
+//   queues oscillate full/empty with balanced stages
+//       -> BufferCapacity        (raise the connecting buffer)
+//   per-element work tiny, wall dominated by plumbing
+//       -> StageFusion / SequentialExecution
+//
+// Pipelines publish a PipelineObservation per run() when telemetry is
+// enabled (see runtime/pipeline.hpp); the most recent observations are kept
+// in a small global ring so examples and benches can explain runs they did
+// not construct themselves (e.g. pipelines inside the plan executor).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace patty::observe {
+
+struct StageObservation {
+  std::string name;
+  int replication = 1;
+  std::uint64_t items = 0;
+  double busy_ms = 0.0;        // time inside the stage fn, summed over workers
+  double input_wait_ms = 0.0;  // blocked popping the input queue (starved)
+  double output_wait_ms = 0.0; // blocked pushing downstream (back-pressure)
+  std::uint64_t input_queue_full_waits = 0;   // upstream pushes that blocked
+  std::uint64_t input_queue_empty_waits = 0;  // pops here that blocked
+  std::size_t input_queue_high_water = 0;
+  std::size_t input_queue_capacity = 0;
+};
+
+struct PipelineObservation {
+  std::string pipeline;
+  bool sequential = false;
+  double wall_ms = 0.0;
+  std::uint64_t elements = 0;
+  std::vector<StageObservation> stages;
+};
+
+struct BottleneckReport {
+  std::size_t stage_index = 0;
+  std::string stage;
+  /// "compute-bound" | "queue-full" | "overhead-bound" | "sequential" | "idle"
+  std::string stall;
+  /// The paper's tuning parameter that addresses the stall, e.g.
+  /// "StageReplication(B)", "BufferCapacity", "StageFusion",
+  /// "SequentialExecution".
+  std::string parameter;
+  std::string detail;  // one-line prose explanation
+};
+
+/// Name the bottleneck stage and the tuning parameter that addresses it.
+BottleneckReport explain(const PipelineObservation& obs);
+
+/// Per-stage text table (support/table) followed by the explain() verdict.
+std::string render(const PipelineObservation& obs);
+
+/// Global ring of the most recent pipeline observations (telemetry-enabled
+/// runs publish here automatically).
+void record_pipeline(PipelineObservation obs);
+[[nodiscard]] std::optional<PipelineObservation> latest_pipeline();
+[[nodiscard]] std::vector<PipelineObservation> recent_pipelines();
+void clear_pipelines();
+
+}  // namespace patty::observe

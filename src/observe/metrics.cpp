@@ -1,0 +1,150 @@
+#include "observe/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace patty::observe {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double seen = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(seen, seen + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) {
+  double seen = target.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !target.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) {
+  double seen = target.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !target.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  if (n == 0) {
+    // First sample seeds min/max; races with a concurrent first sample
+    // resolve through the CAS loops below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  } else {
+    atomic_min_double(min_, v);
+    atomic_max_double(max_, v);
+  }
+  reservoir_[n % kReservoir].store(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.mean = snap.sum / static_cast<double>(snap.count);
+  const std::size_t n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(snap.count, kReservoir));
+  std::vector<double> sample;
+  sample.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    sample.push_back(reservoir_[i].load(std::memory_order_relaxed));
+  // One sort, three reads (the Quantiles helper from support/stats).
+  const Quantiles qs(std::move(sample));
+  snap.p50 = qs.q(0.50);
+  snap.p90 = qs.q(0.90);
+  snap.p99 = qs.q(0.99);
+  return snap;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::scoped_lock lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_)
+    snap.gauges[name] = {g->value(), g->max()};
+  for (const auto& [name, h] : histograms_)
+    snap.histograms[name] = h->snapshot();
+  return snap;
+}
+
+void Registry::reset() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsSnapshot::str() const {
+  std::string out;
+  if (!counters.empty()) {
+    Table t({"counter", "value"});
+    for (const auto& [name, v] : counters)
+      t.add_row({name, std::to_string(v)});
+    out += t.str();
+  }
+  if (!gauges.empty()) {
+    Table t({"gauge", "value", "max"});
+    for (const auto& [name, g] : gauges)
+      t.add_row({name, std::to_string(g.value), std::to_string(g.max)});
+    if (!out.empty()) out += "\n";
+    out += t.str();
+  }
+  if (!histograms.empty()) {
+    Table t({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : histograms)
+      t.add_row({name, std::to_string(h.count), fmt(h.mean), fmt(h.p50),
+                 fmt(h.p90), fmt(h.p99), fmt(h.max)});
+    if (!out.empty()) out += "\n";
+    out += t.str();
+  }
+  return out;
+}
+
+}  // namespace patty::observe

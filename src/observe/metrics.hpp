@@ -1,0 +1,141 @@
+#pragma once
+// Metrics registry: cheap atomic counters, gauges and histograms with a
+// snapshot API. The runtime components (pipeline, thread pool, parallel-for,
+// master/worker, tuner, race explorer) publish into the process-global
+// Registry; benches and examples read a MetricsSnapshot after the measured
+// region. Recording is lock-free (relaxed atomics); only name lookup takes a
+// mutex, so hot paths cache the returned reference (stable for the process
+// lifetime).
+//
+// Whether anything records at all is governed by observe::enabled() (see
+// trace.hpp): instrumentation sites guard with it, so with telemetry off the
+// cost is one relaxed atomic load per site — and zero when compiled out via
+// PATTY_OBSERVE_DISABLED.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace patty::observe {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge that also tracks its high-water mark (e.g. queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+  void add(std::int64_t delta) {
+    raise_max(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_max(std::int64_t v) {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Lock-free histogram: exact count/sum/min/max plus a wrapping sample
+/// reservoir (the most recent kReservoir values) from which the snapshot
+/// derives quantiles via support/stats Quantiles. Quantiles are therefore
+/// exact up to kReservoir samples and recency-weighted beyond that.
+class Histogram {
+ public:
+  static constexpr std::size_t kReservoir = 1024;
+
+  void record(double v);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::array<std::atomic<double>, kReservoir> reservoir_{};
+};
+
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Plain-text rendering (support/table), one section per metric kind.
+  [[nodiscard]] std::string str() const;
+};
+
+class Registry {
+ public:
+  /// Process-global registry; all runtime instrumentation publishes here.
+  static Registry& global();
+
+  /// Lookup-or-create. Returned references are stable: hot paths should
+  /// call once and cache.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every metric (keeps the instruments registered).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace patty::observe

@@ -1,0 +1,312 @@
+#include "observe/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "support/table.hpp"
+
+namespace patty::observe {
+
+namespace {
+
+#ifndef PATTY_OBSERVE_DISABLED
+// Env opt-in: PATTY_OBSERVE=1 enables telemetry before main() runs, so
+// examples and benches can be traced without code changes.
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("PATTY_OBSERVE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+#endif
+
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+void copy_capped(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = std::min(cap - 1, src.size());
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+/// Single-writer ring buffer; the drain side reads the published head with
+/// acquire and copies. Wrapped (overwritten) events count as dropped.
+///
+/// Writers fill the next slot in place (claim/publish) rather than copying a
+/// stack-constructed event in: the zero-init plus copy showed up as the
+/// dominant per-event cost in the overhead bench. The slot itself holds only
+/// the hot fixed-size fields (~96 bytes, two cache lines); the kDetailCap
+/// detail text lives in a parallel array that is touched only when an event
+/// actually attaches one — most hot-path events (pipeline items, worker
+/// tasks) carry no detail, and inlining a 1 KB detail field in every slot
+/// measurably widened the ring stride and cost several percent of overhead.
+struct ThreadBuffer {
+  static constexpr std::size_t kRingCapacity = 2048;
+
+  struct Hot {
+    char name[TraceEvent::kNameCap];
+    char cat[TraceEvent::kCatCap];
+    std::uint64_t ts_us;
+    std::uint64_t dur_us;
+    std::uint32_t tid;
+    char phase;
+    bool has_detail;
+  };
+  using DetailSlot = std::array<char, TraceEvent::kDetailCap>;
+
+  std::array<Hot, kRingCapacity> hot{};
+  std::unique_ptr<std::array<DetailSlot, kRingCapacity>> details =
+      std::make_unique<std::array<DetailSlot, kRingCapacity>>();
+  std::atomic<std::uint64_t> head{0};  // total events ever written
+
+  std::size_t claim() const {
+    return head.load(std::memory_order_relaxed) % kRingCapacity;
+  }
+  void publish() {
+    head.store(head.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
+  }
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> all;
+  std::vector<std::shared_ptr<ThreadBuffer>> free_list;
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* reg = new BufferRegistry();  // immortal
+  return *reg;
+}
+
+/// Holds this thread's buffer; returns it to the free list on thread exit
+/// (events stay visible in `all` until cleared).
+struct ThreadSlot {
+  std::shared_ptr<ThreadBuffer> buffer;
+  std::uint32_t tid = 0;
+
+  ~ThreadSlot() {
+    if (!buffer) return;
+    BufferRegistry& reg = registry();
+    std::scoped_lock lock(reg.mutex);
+    reg.free_list.push_back(buffer);
+  }
+};
+
+ThreadBuffer& local_buffer(std::uint32_t* tid_out) {
+  thread_local ThreadSlot slot;
+  if (!slot.buffer) {
+    BufferRegistry& reg = registry();
+    std::scoped_lock lock(reg.mutex);
+    if (!reg.free_list.empty()) {
+      slot.buffer = std::move(reg.free_list.back());
+      reg.free_list.pop_back();
+    } else {
+      slot.buffer = std::make_shared<ThreadBuffer>();
+      reg.all.push_back(slot.buffer);
+    }
+    slot.tid = reg.next_tid++;
+  }
+  *tid_out = slot.tid;
+  return *slot.buffer;
+}
+
+void record_event(std::string_view name, std::string_view cat,
+                  std::uint64_t ts_us, std::uint64_t dur_us,
+                  std::string_view detail, char phase) {
+  std::uint32_t tid = 0;
+  ThreadBuffer& buf = local_buffer(&tid);
+  const std::size_t slot = buf.claim();
+  ThreadBuffer::Hot& ev = buf.hot[slot];
+  copy_capped(ev.name, TraceEvent::kNameCap, name);
+  copy_capped(ev.cat, TraceEvent::kCatCap, cat);
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = tid;
+  ev.phase = phase;
+  ev.has_detail = !detail.empty();
+  if (ev.has_detail)
+    copy_capped((*buf.details)[slot].data(), TraceEvent::kDetailCap, detail);
+  buf.publish();
+}
+
+void append_json_escaped(std::string* out, const char* s) {
+  for (; *s; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20 || c >= 0x7f) {
+          // Control or non-ASCII byte (a torn concurrent write could leave
+          // anything): emit as a \u escape so the JSON stays valid.
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+#ifndef PATTY_OBSERVE_DISABLED
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  if (on) epoch();  // pin the epoch no later than first enablement
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch())
+          .count());
+}
+
+void record_complete(std::string_view name, std::string_view cat,
+                     std::uint64_t ts_us, std::uint64_t dur_us,
+                     std::string_view detail) {
+  if (!enabled()) return;
+  record_event(name, cat, ts_us, dur_us, detail, 'X');
+}
+
+void record_instant(std::string_view name, std::string_view cat,
+                    std::string_view detail) {
+  if (!enabled()) return;
+  record_event(name, cat, now_us(), 0, detail, 'i');
+}
+
+Span::Span(std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  active_ = true;
+  start_us_ = now_us();
+  copy_capped(name_, TraceEvent::kNameCap, name);
+  copy_capped(cat_, TraceEvent::kCatCap, cat);
+  detail_[0] = '\0';
+}
+
+void Span::set_detail(std::string_view detail) {
+  if (active_) copy_capped(detail_, TraceEvent::kDetailCap, detail);
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end = now_us();
+  record_event(name_, cat_, start_us_, end - start_us_, detail_, 'X');
+}
+
+TraceSnapshot drain() {
+  TraceSnapshot snap;
+  BufferRegistry& reg = registry();
+  std::scoped_lock lock(reg.mutex);
+  for (const auto& buf : reg.all) {
+    const std::uint64_t written = buf->head.load(std::memory_order_acquire);
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(written, ThreadBuffer::kRingCapacity);
+    snap.dropped += written - kept;
+    // Chronological order: oldest surviving slot first.
+    const std::uint64_t start = written - kept;
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      const std::size_t slot =
+          static_cast<std::size_t>((start + i) % ThreadBuffer::kRingCapacity);
+      const ThreadBuffer::Hot& hot = buf->hot[slot];
+      TraceEvent ev;
+      copy_capped(ev.name, TraceEvent::kNameCap, hot.name);
+      copy_capped(ev.cat, TraceEvent::kCatCap, hot.cat);
+      if (hot.has_detail)
+        copy_capped(ev.detail, TraceEvent::kDetailCap,
+                    (*buf->details)[slot].data());
+      ev.ts_us = hot.ts_us;
+      ev.dur_us = hot.dur_us;
+      ev.tid = hot.tid;
+      ev.phase = hot.phase;
+      snap.events.push_back(ev);
+    }
+  }
+  std::stable_sort(snap.events.begin(), snap.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return snap;
+}
+
+void clear() {
+  BufferRegistry& reg = registry();
+  std::scoped_lock lock(reg.mutex);
+  for (const auto& buf : reg.all) buf->head.store(0, std::memory_order_release);
+}
+
+std::string chrome_trace_json(const TraceSnapshot& snap) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : snap.events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    append_json_escaped(&out, ev.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(&out, ev.cat);
+    out += "\",\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(ev.tid);
+    out += ",\"ts\":" + std::to_string(ev.ts_us);
+    if (ev.phase == 'X') out += ",\"dur\":" + std::to_string(ev.dur_us);
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    if (ev.detail[0] != '\0') {
+      out += ",\"args\":{\"detail\":\"";
+      append_json_escaped(&out, ev.detail);
+      out += "\"}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string chrome_trace_json() { return chrome_trace_json(drain()); }
+
+std::string trace_summary(const TraceSnapshot& snap) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& ev : snap.events) {
+    Agg& a = by_name[ev.name];
+    ++a.count;
+    a.total_us += ev.dur_us;
+    a.max_us = std::max(a.max_us, ev.dur_us);
+  }
+  Table t({"event", "count", "total ms", "mean us", "max us"});
+  for (const auto& [name, a] : by_name) {
+    t.add_row({name, std::to_string(a.count),
+               fmt(static_cast<double>(a.total_us) / 1000.0),
+               fmt(a.count ? static_cast<double>(a.total_us) /
+                                 static_cast<double>(a.count)
+                           : 0.0),
+               std::to_string(a.max_us)});
+  }
+  std::string out = t.str();
+  if (snap.dropped > 0)
+    out += "(ring wrapped: " + std::to_string(snap.dropped) +
+           " oldest events dropped)\n";
+  return out;
+}
+
+}  // namespace patty::observe

@@ -1,0 +1,113 @@
+#pragma once
+// Trace recorder: per-thread event ring buffers holding scoped spans and
+// instant events, drained at snapshot time, exported as Chrome trace-event
+// JSON (loadable in chrome://tracing or https://ui.perfetto.dev) or as a
+// plain-text summary table.
+//
+// Recording is wait-free for the writer thread: events go into a fixed-size
+// thread-local ring (the most recent kRingCapacity events survive; older
+// ones are overwritten and counted as dropped). Buffers of exited threads
+// stay registered until drained and are recycled for new threads, so
+// short-lived pipeline workers neither lose events nor leak memory.
+//
+// Toggles:
+//   runtime      observe::set_enabled(true)  (or env PATTY_OBSERVE=1)
+//   compile time -DPATTY_OBSERVE_DISABLED    makes enabled() constexpr
+//                false so every guarded instrumentation site folds away.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace patty::observe {
+
+#ifdef PATTY_OBSERVE_DISABLED
+constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#else
+/// One relaxed atomic load; the guard every instrumentation site uses.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+#endif
+
+/// Microseconds since the process trace epoch (steady clock).
+std::uint64_t now_us();
+
+struct TraceEvent {
+  static constexpr std::size_t kNameCap = 48;
+  static constexpr std::size_t kCatCap = 16;
+  // Room for a full tuning configuration (a dozen qualified parameter names
+  // plus the score) — tuner.eval spans attach it as args.detail. Events are
+  // written into the ring in place and only the used bytes are copied, so a
+  // generous cap costs ring memory, not hot-path time.
+  static constexpr std::size_t kDetailCap = 1000;
+
+  char name[kNameCap] = {};
+  char cat[kCatCap] = {};
+  /// Free-form text attached as args.detail in the Chrome export.
+  char detail[kDetailCap] = {};
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;  // 0 for instant events
+  std::uint32_t tid = 0;
+  char phase = 'X';  // 'X' complete span, 'i' instant
+};
+
+/// Record a finished span with explicit timing (hot-path friendly: the
+/// caller reads the clock only when telemetry is enabled). No-op when
+/// disabled.
+void record_complete(std::string_view name, std::string_view cat,
+                     std::uint64_t ts_us, std::uint64_t dur_us,
+                     std::string_view detail = {});
+
+/// Record an instant event at now. No-op when disabled.
+void record_instant(std::string_view name, std::string_view cat,
+                    std::string_view detail = {});
+
+/// RAII span: captures the clock at construction, records a complete event
+/// at destruction. Costs one atomic load when telemetry is disabled.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view cat = "rt");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach free-form detail text (kept on the event as args.detail).
+  void set_detail(std::string_view detail);
+
+ private:
+  bool active_ = false;
+  std::uint64_t start_us_ = 0;
+  // Filled (and NUL-terminated) in the constructor only when telemetry is
+  // enabled; deliberately not zero-initialized here so an inactive Span
+  // costs one atomic load, not a kDetailCap-byte memset.
+  char name_[TraceEvent::kNameCap];
+  char cat_[TraceEvent::kCatCap];
+  char detail_[TraceEvent::kDetailCap];
+};
+
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;  // sorted by ts_us
+  std::uint64_t dropped = 0;       // overwritten by ring wrap before drain
+};
+
+/// Copy out everything currently recorded, across all threads (alive or
+/// exited). Threads still recording concurrently may contribute partially
+/// written events past the snapshot point; drain after quiescence for an
+/// exact trace.
+TraceSnapshot drain();
+
+/// Forget all recorded events (buffers stay registered).
+void clear();
+
+/// Chrome trace-event JSON ("traceEvents" array form).
+std::string chrome_trace_json(const TraceSnapshot& snap);
+/// Convenience: drain() + export.
+std::string chrome_trace_json();
+
+/// Plain-text summary (support/table): per event name the count, total and
+/// mean duration, plus a drop note when the rings wrapped.
+std::string trace_summary(const TraceSnapshot& snap);
+
+}  // namespace patty::observe

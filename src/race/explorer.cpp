@@ -6,6 +6,8 @@
 #include <set>
 #include <thread>
 
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
 #include "support/diagnostics.hpp"
 
 namespace patty::race {
@@ -360,6 +362,8 @@ ExploreResult explore(const std::vector<TaskFn>& tasks,
     result.exhausted = true;
     return result;
   }
+  const bool telemetry = observe::enabled();
+  observe::Span span("race.explore", "race");
 
   // DFS over scheduling decisions: each frame remembers the untried
   // alternatives at that step of the last execution.
@@ -409,6 +413,16 @@ ExploreResult explore(const std::vector<TaskFn>& tasks,
   result.races.assign(all_races.begin(), all_races.end());
   result.assertion_failures.assign(all_failures.begin(), all_failures.end());
   result.distinct_final_states = final_states.size();
+  if (telemetry) {
+    auto& reg = observe::Registry::global();
+    reg.counter("race.schedules_explored").add(result.schedules_explored);
+    reg.counter("race.deadlock_schedules").add(result.deadlock_schedules);
+    span.set_detail("tasks=" + std::to_string(tasks.size()) +
+                    " schedules=" + std::to_string(result.schedules_explored) +
+                    " races=" + std::to_string(result.races.size()) +
+                    " deadlocks=" +
+                    std::to_string(result.deadlock_schedules));
+  }
   return result;
 }
 

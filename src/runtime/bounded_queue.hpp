@@ -7,6 +7,7 @@
 // then fail. Multiple producers each call close via a producer count.
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -21,12 +22,25 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Occupancy telemetry, maintained unconditionally (a compare and two
+  /// increments under the already-held lock): the high-water mark says how
+  /// close the buffer ran to capacity, the wait counts say how often a
+  /// producer found it full / a consumer found it empty. observe::explain
+  /// turns these into the paper's BufferCapacity / StageReplication advice.
+  struct Stats {
+    std::size_t high_water = 0;
+    std::uint64_t full_waits = 0;
+    std::uint64_t empty_waits = 0;
+  };
+
   /// Blocks while full. Returns false (drops the element) if closed.
   bool push(T item) {
     std::unique_lock lock(mutex_);
+    if (items_.size() >= capacity_ && !closed_) ++stats_.full_waits;
     not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
     not_empty_.notify_one();
     return true;
   }
@@ -34,6 +48,7 @@ class BoundedQueue {
   /// Blocks while empty and not closed. nullopt = closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
+    if (items_.empty() && !closed_) ++stats_.empty_waits;
     not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
@@ -72,12 +87,18 @@ class BoundedQueue {
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  [[nodiscard]] Stats stats() const {
+    std::scoped_lock lock(mutex_);
+    return stats_;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  Stats stats_;
   bool closed_ = false;
 };
 

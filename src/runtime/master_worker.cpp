@@ -1,13 +1,49 @@
 #include "runtime/master_worker.hpp"
 
 #include <atomic>
+#include <string>
 
 #include <thread>
 
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
+
 namespace patty::rt {
+
+namespace {
+
+/// Master/worker instruments, resolved once (registry refs are stable).
+struct MwMetrics {
+  observe::Counter& runs;
+  observe::Counter& tasks;
+  observe::Gauge& queue_depth;
+  observe::Histogram& task_us;
+};
+
+MwMetrics& mw_metrics() {
+  static MwMetrics m{
+      observe::Registry::global().counter("master_worker.runs"),
+      observe::Registry::global().counter("master_worker.tasks"),
+      observe::Registry::global().gauge("master_worker.queue_depth"),
+      observe::Registry::global().histogram("master_worker.task_us"),
+  };
+  return m;
+}
+
+}  // namespace
 
 void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
   if (tasks.empty()) return;
+  const bool telemetry = observe::enabled();
+  observe::Span span("master_worker.run", "mw");
+  if (telemetry) {
+    span.set_detail("tasks=" + std::to_string(tasks.size()) +
+                    " workers=" + std::to_string(workers_));
+    MwMetrics& m = mw_metrics();
+    m.runs.add();
+    m.tasks.add(tasks.size());
+    m.queue_depth.set(static_cast<std::int64_t>(tasks.size()));
+  }
   if (tasks.size() == 1 || workers_ == 1) {
     for (const auto& t : tasks) t();
     return;
@@ -20,6 +56,7 @@ void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
       return;
     }
     // Shared pool: no thread creation cost; the common configuration.
+    // Task latency lands in the pool's own telemetry via submit().
     TaskGroup group;
     for (const auto& t : tasks) group.run_on(ThreadPool::shared(), t);
     group.wait();
@@ -36,7 +73,15 @@ void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= tasks.size()) return;
-        tasks[i]();
+        if (!telemetry) {
+          tasks[i]();
+        } else {
+          const std::uint64_t t0 = observe::now_us();
+          tasks[i]();
+          const std::uint64_t dur = observe::now_us() - t0;
+          mw_metrics().task_us.record(static_cast<double>(dur));
+          observe::record_complete("mw.task", "mw", t0, dur);
+        }
       }
     });
   }

@@ -2,14 +2,35 @@
 
 #include <algorithm>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace patty::rt {
 
 namespace {
+
+/// Loop instruments, resolved once (registry references are stable).
+struct LoopMetrics {
+  observe::Counter& loops;
+  observe::Counter& sequential_fallbacks;
+  observe::Counter& chunks;
+  observe::Histogram& chunk_us;
+};
+
+LoopMetrics& loop_metrics() {
+  static LoopMetrics m{
+      observe::Registry::global().counter("parallel_for.loops"),
+      observe::Registry::global().counter("parallel_for.sequential"),
+      observe::Registry::global().counter("parallel_for.chunks"),
+      observe::Registry::global().histogram("parallel_for.chunk_us"),
+  };
+  return m;
+}
 
 std::int64_t effective_threads(const ParallelForTuning& tuning) {
   if (tuning.threads > 0) return tuning.threads;
@@ -34,18 +55,39 @@ void parallel_for_chunked(
   if (begin >= end) return;
   const std::int64_t range = end - begin;
   const std::int64_t threads = effective_threads(tuning);
+  const bool telemetry = observe::enabled();
+  if (telemetry) loop_metrics().loops.add();
   // Nested parallelism runs inline: a pool worker waiting on pool tasks
   // deadlocks when the pool is small (see ThreadPool::on_worker_thread).
   if (tuning.sequential || threads <= 1 || range == 1 ||
       ThreadPool::on_worker_thread()) {
+    if (telemetry) loop_metrics().sequential_fallbacks.add();
     fn(begin, end);
     return;
   }
   const std::int64_t grain = effective_grain(range, tuning, threads);
+  observe::Span span("parallel_for", "loop");
+  span.set_detail("range=" + std::to_string(range) +
+                  " grain=" + std::to_string(grain) +
+                  " threads=" + std::to_string(threads));
   TaskGroup group;
   for (std::int64_t lo = begin; lo < end; lo += grain) {
     const std::int64_t hi = std::min(end, lo + grain);
-    group.run_on(ThreadPool::shared(), [&fn, lo, hi] { fn(lo, hi); });
+    if (!telemetry) {
+      group.run_on(ThreadPool::shared(), [&fn, lo, hi] { fn(lo, hi); });
+    } else {
+      group.run_on(ThreadPool::shared(), [&fn, lo, hi] {
+        const std::uint64_t t0 = observe::now_us();
+        fn(lo, hi);
+        const std::uint64_t dur = observe::now_us() - t0;
+        LoopMetrics& m = loop_metrics();
+        m.chunks.add();
+        m.chunk_us.record(static_cast<double>(dur));
+        observe::record_complete("pf.chunk", "loop", t0, dur,
+                                 std::to_string(lo) + ".." +
+                                     std::to_string(hi));
+      });
+    }
   }
   group.wait();
 }

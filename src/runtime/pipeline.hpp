@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "observe/explain.hpp"
+#include "observe/trace.hpp"
 #include "runtime/bounded_queue.hpp"
 #include "support/diagnostics.hpp"
 
@@ -30,6 +32,9 @@ namespace patty::rt {
 struct PipelineConfig {
   std::size_t buffer_capacity = 16;
   bool sequential = false;  // SequentialExecution tuning parameter
+  /// Name under which telemetry-enabled runs publish their per-stage
+  /// observation (observe::recent_pipelines) and trace spans.
+  std::string name = "pipeline";
 };
 
 template <typename T>
@@ -47,6 +52,9 @@ class Pipeline {
     std::uint64_t elements = 0;
     std::size_t threads_used = 0;
     std::size_t stages_after_fusion = 0;
+    /// Per-stage telemetry of this run; null unless observe::enabled() was
+    /// true when run() started. Also published to observe::recent_pipelines.
+    std::shared_ptr<const observe::PipelineObservation> observation;
   };
 
   Pipeline(std::vector<Stage> stages, PipelineConfig config = {})
@@ -82,13 +90,39 @@ class Pipeline {
                std::function<void(T&&)> sink) {
     RunStats stats;
     stats.stages_after_fusion = effective_.size();
+    // Telemetry is decided once per run: one relaxed atomic load. When off
+    // (the default) the only per-item cost below is a null-pointer check.
+    const bool telemetry = observe::enabled();
+    const std::uint64_t run_start_us = telemetry ? observe::now_us() : 0;
+    observe::Span run_span("pipeline.run", "pipeline");
+    run_span.set_detail(config_.name);
+
     if (config_.sequential) {
       stats.threads_used = 0;
+      std::vector<std::unique_ptr<StageTelemetry>> telem;
+      if (telemetry)
+        for (std::size_t i = 0; i < effective_.size(); ++i)
+          telem.push_back(std::make_unique<StageTelemetry>());
       while (std::optional<T> item = source()) {
-        for (const Stage& s : effective_) s.fn(*item);
+        if (!telemetry) {
+          for (const Stage& s : effective_) s.fn(*item);
+        } else {
+          for (std::size_t i = 0; i < effective_.size(); ++i) {
+            const std::uint64_t t0 = observe::now_us();
+            effective_[i].fn(*item);
+            const std::uint64_t t1 = observe::now_us();
+            telem[i]->items.fetch_add(1, std::memory_order_relaxed);
+            telem[i]->busy_us.fetch_add(t1 - t0, std::memory_order_relaxed);
+            observe::record_complete(effective_[i].name, "pipeline", t0,
+                                     t1 - t0);
+          }
+        }
         sink(std::move(*item));
         ++stats.elements;
       }
+      if (telemetry)
+        publish_observation(&stats, /*sequential=*/true, run_start_us, telem,
+                            nullptr);
       return stats;
     }
 
@@ -108,15 +142,21 @@ class Pipeline {
       states.push_back(std::move(st));
     }
 
+    std::vector<std::unique_ptr<StageTelemetry>> telem;
+    if (telemetry)
+      for (std::size_t i = 0; i < n_stages; ++i)
+        telem.push_back(std::make_unique<StageTelemetry>());
+
     std::vector<std::thread> threads;
     for (std::size_t i = 0; i < n_stages; ++i) {
       const Stage& stage = effective_[i];
       const bool restore =
           stage.preserve_order && stage.replication > 1;
+      StageTelemetry* tm = telemetry ? telem[i].get() : nullptr;
       for (int w = 0; w < stage.replication; ++w) {
-        threads.emplace_back([this, i, restore, &queues, &states] {
+        threads.emplace_back([this, i, restore, tm, &queues, &states] {
           worker(effective_[i], *queues[i], *queues[i + 1], *states[i],
-                 restore);
+                 restore, tm);
         });
       }
       stats.threads_used += static_cast<std::size_t>(stage.replication);
@@ -141,6 +181,9 @@ class Pipeline {
     }
     generator.join();
     for (std::thread& t : threads) t.join();
+    if (telemetry)
+      publish_observation(&stats, /*sequential=*/false, run_start_us, telem,
+                          &queues);
     return stats;
   }
 
@@ -177,34 +220,109 @@ class Pipeline {
     std::uint64_t next_seq = 0;
   };
 
+  /// Per-stage run telemetry, shared by all workers of the stage. Written
+  /// with relaxed atomics; read once after the join barrier in run().
+  struct StageTelemetry {
+    std::atomic<std::uint64_t> items{0};
+    std::atomic<std::uint64_t> busy_us{0};
+    std::atomic<std::uint64_t> in_wait_us{0};   // blocked popping input
+    std::atomic<std::uint64_t> out_wait_us{0};  // blocked pushing output
+  };
+
   void worker(const Stage& stage, BoundedQueue<Item>& in,
-              BoundedQueue<Item>& out, StageState& state, bool restore) {
-    while (std::optional<Item> item = in.pop()) {
+              BoundedQueue<Item>& out, StageState& state, bool restore,
+              StageTelemetry* tm) {
+    // Three clock reads per item when instrumented: the post-push read
+    // doubles as the next iteration's pre-pop timestamp.
+    std::uint64_t t_pop = tm ? observe::now_us() : 0;
+    while (true) {
+      std::optional<Item> item = in.pop();
+      if (!item) break;
+      std::uint64_t t_work = 0;
+      if (tm) {
+        t_work = observe::now_us();
+        tm->in_wait_us.fetch_add(t_work - t_pop, std::memory_order_relaxed);
+      }
       stage.fn(item->value);
+      std::uint64_t t_push = 0;
+      if (tm) {
+        t_push = observe::now_us();
+        tm->items.fetch_add(1, std::memory_order_relaxed);
+        tm->busy_us.fetch_add(t_push - t_work, std::memory_order_relaxed);
+        observe::record_complete(stage.name, "pipeline", t_work,
+                                 t_push - t_work);
+      }
       if (!restore) {
         out.push(std::move(*item));
-        continue;
+      } else {
+        // Order restore: emit the longest ready run starting at next_seq.
+        // The push happens under the reorder mutex: releasing it first would
+        // let another worker emit a later run ahead of this one. A full out
+        // queue serializes this stage briefly but cannot deadlock (downstream
+        // drains independently of this mutex).
+        std::scoped_lock lock(state.reorder_mutex);
+        state.pending.emplace(item->seq, std::move(item->value));
+        while (!state.pending.empty() &&
+               state.pending.begin()->first == state.next_seq) {
+          auto first = state.pending.begin();
+          Item ready{first->first, std::move(first->second)};
+          state.pending.erase(first);
+          ++state.next_seq;
+          out.push(std::move(ready));
+        }
       }
-      // Order restore: emit the longest ready run starting at next_seq.
-      // The push happens under the reorder mutex: releasing it first would
-      // let another worker emit a later run ahead of this one. A full out
-      // queue serializes this stage briefly but cannot deadlock (downstream
-      // drains independently of this mutex).
-      std::scoped_lock lock(state.reorder_mutex);
-      state.pending.emplace(item->seq, std::move(item->value));
-      while (!state.pending.empty() &&
-             state.pending.begin()->first == state.next_seq) {
-        auto first = state.pending.begin();
-        Item ready{first->first, std::move(first->second)};
-        state.pending.erase(first);
-        ++state.next_seq;
-        out.push(std::move(ready));
+      if (tm) {
+        t_pop = observe::now_us();
+        tm->out_wait_us.fetch_add(t_pop - t_push, std::memory_order_relaxed);
       }
     }
     if (state.active_workers.fetch_sub(1) == 1) {
       // Last worker of this stage: downstream sees end-of-stream.
       out.close();
     }
+  }
+
+  /// Assemble the per-stage observation, publish it to the global ring and
+  /// attach it to the run's stats. `queues` is null for sequential runs.
+  void publish_observation(
+      RunStats* stats, bool sequential, std::uint64_t run_start_us,
+      const std::vector<std::unique_ptr<StageTelemetry>>& telem,
+      const std::vector<std::unique_ptr<BoundedQueue<Item>>>* queues) {
+    auto obs = std::make_shared<observe::PipelineObservation>();
+    obs->pipeline = config_.name;
+    obs->sequential = sequential;
+    obs->wall_ms =
+        static_cast<double>(observe::now_us() - run_start_us) / 1000.0;
+    obs->elements = stats->elements;
+    for (std::size_t i = 0; i < effective_.size(); ++i) {
+      observe::StageObservation so;
+      so.name = effective_[i].name;
+      so.replication = sequential ? 1 : effective_[i].replication;
+      if (i < telem.size()) {
+        so.items = telem[i]->items.load(std::memory_order_relaxed);
+        so.busy_ms = static_cast<double>(
+                         telem[i]->busy_us.load(std::memory_order_relaxed)) /
+                     1000.0;
+        so.input_wait_ms =
+            static_cast<double>(
+                telem[i]->in_wait_us.load(std::memory_order_relaxed)) /
+            1000.0;
+        so.output_wait_ms =
+            static_cast<double>(
+                telem[i]->out_wait_us.load(std::memory_order_relaxed)) /
+            1000.0;
+      }
+      if (queues) {
+        const auto qs = (*queues)[i]->stats();
+        so.input_queue_high_water = qs.high_water;
+        so.input_queue_capacity = (*queues)[i]->capacity();
+        so.input_queue_full_waits = qs.full_waits;
+        so.input_queue_empty_waits = qs.empty_waits;
+      }
+      obs->stages.push_back(std::move(so));
+    }
+    observe::record_pipeline(*obs);
+    stats->observation = std::move(obs);
   }
 
   PipelineConfig config_;

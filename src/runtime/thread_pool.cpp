@@ -2,10 +2,35 @@
 
 #include <algorithm>
 
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
+
 namespace patty::rt {
 
 namespace {
 thread_local bool g_on_pool_worker = false;
+
+/// Pool instruments, resolved once (registry references are stable).
+struct PoolMetrics {
+  observe::Counter& submitted;
+  observe::Counter& executed;
+  observe::Counter& idle_waits;
+  observe::Gauge& queue_depth;
+  observe::Histogram& queue_wait_us;
+  observe::Histogram& exec_us;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m{
+      observe::Registry::global().counter("threadpool.submitted"),
+      observe::Registry::global().counter("threadpool.executed"),
+      observe::Registry::global().counter("threadpool.idle_waits"),
+      observe::Registry::global().gauge("threadpool.queue_depth"),
+      observe::Registry::global().histogram("threadpool.queue_wait_us"),
+      observe::Registry::global().histogram("threadpool.exec_us"),
+  };
+  return m;
+}
 }  // namespace
 
 bool ThreadPool::on_worker_thread() { return g_on_pool_worker; }
@@ -31,9 +56,27 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (observe::enabled()) {
+    // Task latency telemetry: wrap so queue wait (submit -> start) and
+    // execution time land in the pool histograms. Only built when enabled,
+    // so the disabled path keeps the original single-move submit.
+    PoolMetrics& m = pool_metrics();
+    m.submitted.add();
+    task = [inner = std::move(task), enqueued = observe::now_us()] {
+      PoolMetrics& pm = pool_metrics();
+      const std::uint64_t start = observe::now_us();
+      pm.queue_wait_us.record(static_cast<double>(start - enqueued));
+      inner();
+      pm.exec_us.record(static_cast<double>(observe::now_us() - start));
+      pm.executed.add();
+    };
+  }
   {
     std::scoped_lock lock(mutex_);
     tasks_.push_back(std::move(task));
+    if (observe::enabled())
+      pool_metrics().queue_depth.set(
+          static_cast<std::int64_t>(tasks_.size()));
   }
   work_available_.notify_one();
 }
@@ -44,6 +87,8 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
+      if (tasks_.empty() && !stopping_ && observe::enabled())
+        pool_metrics().idle_waits.add();
       work_available_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping and drained
       task = std::move(tasks_.front());

@@ -22,9 +22,8 @@ double sample_stddev(const std::vector<double>& xs) {
   return std::sqrt(acc / static_cast<double>(xs.size() - 1));
 }
 
-double quantile(std::vector<double> xs, double q) {
+double quantile_sorted(const std::vector<double>& xs, double q) {
   if (xs.empty()) fatal("quantile of empty vector");
-  std::sort(xs.begin(), xs.end());
   if (q <= 0.0) return xs.front();
   if (q >= 1.0) return xs.back();
   const double pos = q * static_cast<double>(xs.size() - 1);
@@ -32,6 +31,20 @@ double quantile(std::vector<double> xs, double q) {
   const double frac = pos - static_cast<double>(lo);
   if (lo + 1 >= xs.size()) return xs.back();
   return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) fatal("quantile of empty vector");
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, q);
+}
+
+Quantiles::Quantiles(std::vector<double> xs) : sorted_(std::move(xs)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Quantiles::q(double quantile) const {
+  return quantile_sorted(sorted_, quantile);
 }
 
 double min_of(const std::vector<double>& xs) {

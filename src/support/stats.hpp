@@ -14,6 +14,28 @@ double sample_stddev(const std::vector<double>& xs);
 /// Linear-interpolated quantile, q in [0,1]. xs need not be sorted.
 double quantile(std::vector<double> xs, double q);
 
+/// Sorted-input variant of `quantile`: no copy, no re-sort. xs must be
+/// sorted ascending and non-empty.
+double quantile_sorted(const std::vector<double>& xs, double q);
+
+/// Sorts the sample once so several quantiles can be read without the
+/// per-call copy+sort that `quantile` pays. Use whenever more than one
+/// quantile of the same sample is needed (q25/q75 pairs, histogram
+/// snapshots reporting p50/p90/p99, ...).
+class Quantiles {
+ public:
+  explicit Quantiles(std::vector<double> xs);
+
+  /// Linear-interpolated quantile, q in [0,1]. The sample must be non-empty.
+  [[nodiscard]] double q(double quantile) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
 double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);
 

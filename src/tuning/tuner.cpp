@@ -5,6 +5,8 @@
 #include <deque>
 #include <map>
 
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
 #include "support/diagnostics.hpp"
 
 namespace patty::tuning {
@@ -72,7 +74,45 @@ struct Evaluator {
     auto it = cache.find(idx);
     if (it != cache.end()) return it->second;
     space.apply(idx, &config);
+    // One trace span per MeasureFn call, with the probed configuration
+    // (and afterwards the score) attached: the tuning cycle becomes a row
+    // of "tuner.eval" slices in the Chrome trace.
+    const bool telemetry = observe::enabled();
+    observe::Span span("tuner.eval", "tuning");
     const double score = measure(config);
+    if (telemetry) {
+      // Score first (it must survive the detail cap), then the probed
+      // values with the shared qualifier prefix stripped — parameter names
+      // like "VideoApp.Process.pipeline@38.buffer" would otherwise crowd
+      // the whole configuration out of the span.
+      std::size_t prefix = 0;
+      if (space.dims() > 1) {
+        const std::string& first = space.names.front();
+        std::size_t common = first.size();
+        for (const std::string& n : space.names)
+          common = std::min(
+              common,
+              static_cast<std::size_t>(
+                  std::mismatch(first.begin(),
+                                first.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        std::min(common, n.size())),
+                                n.begin())
+                      .first -
+                  first.begin()));
+        const std::size_t dot = first.rfind('.', common);
+        if (dot != std::string::npos) prefix = dot + 1;
+      }
+      std::string detail = "score=" + std::to_string(score);
+      for (std::size_t d = 0; d < space.dims(); ++d) {
+        detail += ' ';
+        detail += space.names[d].substr(prefix) + "=" +
+                  std::to_string(space.domains[d][idx[d]]);
+      }
+      span.set_detail(detail);
+      observe::Registry::global().counter("tuner.evaluations").add();
+      observe::Registry::global().histogram("tuner.score").record(score);
+    }
     ++run.evaluations;
     cache[idx] = score;
     run.history.push_back({space.values(idx), score});

@@ -1,0 +1,289 @@
+// Telemetry layer tests: instrument semantics (counter, gauge, histogram),
+// registry identity, trace recording under concurrency (well-formed Chrome
+// JSON, per-thread event ordering), the disabled path recording nothing,
+// and observe::explain mapping a synthetic observation to the paper's
+// tuning parameters.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "observe/explain.hpp"
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
+
+// Tests that need events recorded skip under -DPATTY_OBSERVE_DISABLED,
+// where set_enabled is a no-op by design.
+#ifdef PATTY_OBSERVE_DISABLED
+#define PATTY_REQUIRE_TELEMETRY() \
+  GTEST_SKIP() << "telemetry compiled out (PATTY_OBSERVE=OFF)"
+#else
+#define PATTY_REQUIRE_TELEMETRY() static_cast<void>(0)
+#endif
+
+namespace patty::observe {
+namespace {
+
+/// Minimal structural JSON check: braces/brackets balance outside strings,
+/// strings close, escapes are sane, no raw control characters. Not a full
+/// parser, but catches the failure modes of hand-emitted JSON (unescaped
+/// detail text, truncated arrays).
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+class ObserveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    clear();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    clear();
+  }
+};
+
+TEST_F(ObserveTest, CounterAddsAndResets) {
+  Counter& c = Registry::global().counter("test.counter.basic");
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObserveTest, GaugeTracksValueAndHighWater) {
+  Gauge& g = Registry::global().gauge("test.gauge.basic");
+  g.set(3);
+  g.set(9);
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.max(), 9);
+  g.add(-5);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 9);
+}
+
+TEST_F(ObserveTest, HistogramSnapshotStatsAndQuantiles) {
+  Histogram& h = Registry::global().histogram("test.histogram.basic");
+  h.reset();
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_NEAR(snap.mean, 50.5, 1e-9);
+  EXPECT_NEAR(snap.p50, 50.5, 1.5);
+  EXPECT_NEAR(snap.p90, 90.0, 1.5);
+  EXPECT_NEAR(snap.p99, 99.0, 1.5);
+}
+
+TEST_F(ObserveTest, RegistryReturnsTheSameInstrument) {
+  Counter& a = Registry::global().counter("test.registry.same");
+  Counter& b = Registry::global().counter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST_F(ObserveTest, SnapshotListsRecordedInstruments) {
+  Registry::global().counter("test.snapshot.counter").add(3);
+  Registry::global().gauge("test.snapshot.gauge").set(12);
+  Registry::global().histogram("test.snapshot.hist").record(1.5);
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("test.snapshot.counter"), 3u);
+  EXPECT_EQ(snap.gauges.at("test.snapshot.gauge").value, 12);
+  EXPECT_EQ(snap.histograms.at("test.snapshot.hist").count, 1u);
+  const std::string text = snap.str();
+  EXPECT_NE(text.find("test.snapshot.counter"), std::string::npos);
+  EXPECT_NE(text.find("test.snapshot.gauge"), std::string::npos);
+}
+
+TEST_F(ObserveTest, DisabledPathRecordsNothing) {
+  ASSERT_FALSE(enabled());
+  {
+    Span span("should.not.appear", "test");
+    span.set_detail("nope");
+  }
+  record_complete("also.not", "test", 0, 1);
+  record_instant("nor.this", "test");
+  const TraceSnapshot snap = drain();
+  EXPECT_TRUE(snap.events.empty());
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST_F(ObserveTest, SpanRecordsNameCategoryAndDetail) {
+  PATTY_REQUIRE_TELEMETRY();
+  set_enabled(true);
+  {
+    Span span("unit.span", "test");
+    span.set_detail("k=1 note=\"quoted\"\n");
+  }
+  const TraceSnapshot snap = drain();
+  ASSERT_EQ(snap.events.size(), 1u);
+  EXPECT_STREQ(snap.events[0].name, "unit.span");
+  EXPECT_STREQ(snap.events[0].cat, "test");
+  EXPECT_EQ(snap.events[0].phase, 'X');
+  const std::string json = chrome_trace_json(snap);
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("unit.span"), std::string::npos);
+}
+
+TEST_F(ObserveTest, ConcurrentSpansProduceWellFormedTrace) {
+  PATTY_REQUIRE_TELEMETRY();
+  set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpans; ++i) {
+        Span span("worker.span", "test");
+        span.set_detail("thread=" + std::to_string(t) +
+                        " iter=" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const TraceSnapshot snap = drain();
+  ASSERT_EQ(snap.events.size(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+  EXPECT_EQ(snap.dropped, 0u);
+
+  // Distinct thread ids; ring buffers are recycled across threads but all
+  // eight ran concurrently, so eight ids must appear.
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : snap.events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+
+  // Spans of one thread are lexically nested scopes run back to back: per
+  // tid they must not overlap (end <= next start) once sorted by ts.
+  for (const std::uint32_t tid : tids) {
+    std::uint64_t prev_end = 0;
+    for (const TraceEvent& e : snap.events) {  // snapshot is ts-sorted
+      if (e.tid != tid) continue;
+      EXPECT_GE(e.ts_us, prev_end);
+      prev_end = e.ts_us + e.dur_us;
+    }
+  }
+
+  const std::string json = chrome_trace_json(snap);
+  EXPECT_TRUE(json_well_formed(json));
+  const std::string summary = trace_summary(snap);
+  EXPECT_NE(summary.find("worker.span"), std::string::npos);
+}
+
+TEST_F(ObserveTest, RingDropsOldestAndCounts) {
+  PATTY_REQUIRE_TELEMETRY();
+  set_enabled(true);
+  constexpr int kEvents = 3000;  // > kRingCapacity on one thread
+  for (int i = 0; i < kEvents; ++i)
+    record_complete("flood", "test", static_cast<std::uint64_t>(i), 1);
+  const TraceSnapshot snap = drain();
+  EXPECT_LT(snap.events.size(), static_cast<std::size_t>(kEvents));
+  EXPECT_EQ(snap.events.size() + snap.dropped,
+            static_cast<std::size_t>(kEvents));
+  // The survivors are the most recent events.
+  ASSERT_FALSE(snap.events.empty());
+  EXPECT_EQ(snap.events.back().ts_us,
+            static_cast<std::uint64_t>(kEvents - 1));
+}
+
+TEST_F(ObserveTest, ExplainNamesTheSlowStageAndParameter) {
+  PipelineObservation obs;
+  obs.pipeline = "synthetic";
+  obs.wall_ms = 100.0;
+  obs.elements = 1000;
+  StageObservation a;
+  a.name = "A";
+  a.busy_ms = 20.0;
+  StageObservation b;
+  b.name = "B";
+  b.busy_ms = 80.0;
+  b.input_queue_full_waits = 40;
+  b.input_queue_high_water = 16;
+  b.input_queue_capacity = 16;
+  StageObservation c;
+  c.name = "C";
+  c.busy_ms = 15.0;
+  obs.stages = {a, b, c};
+
+  const BottleneckReport report = explain(obs);
+  EXPECT_EQ(report.stage, "B");
+  EXPECT_EQ(report.stage_index, 1u);
+  EXPECT_EQ(report.stall, "queue-full");
+  EXPECT_NE(report.parameter.find("StageReplication(B)"), std::string::npos);
+  EXPECT_NE(report.parameter.find("BufferCapacity"), std::string::npos);
+  const std::string text = render(obs);
+  EXPECT_NE(text.find("bottleneck: B"), std::string::npos);
+}
+
+TEST_F(ObserveTest, ExplainFlagsOverheadBoundPipelines) {
+  PipelineObservation obs;
+  obs.pipeline = "tiny-stages";
+  obs.wall_ms = 100.0;
+  StageObservation a;
+  a.name = "A";
+  a.busy_ms = 2.0;
+  StageObservation b;
+  b.name = "B";
+  b.busy_ms = 3.0;
+  obs.stages = {a, b};
+  const BottleneckReport report = explain(obs);
+  EXPECT_EQ(report.stall, "overhead-bound");
+  EXPECT_NE(report.parameter.find("StageFusion"), std::string::npos);
+}
+
+TEST_F(ObserveTest, ExplainHandlesSequentialRuns) {
+  PipelineObservation obs;
+  obs.pipeline = "seq";
+  obs.sequential = true;
+  StageObservation a;
+  a.name = "A";
+  obs.stages = {a};
+  const BottleneckReport report = explain(obs);
+  EXPECT_EQ(report.stall, "sequential");
+  EXPECT_EQ(report.parameter, "SequentialExecution");
+}
+
+}  // namespace
+}  // namespace patty::observe

@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
+#include "observe/explain.hpp"
+#include "observe/trace.hpp"
 #include "runtime/pipeline.hpp"
 
 namespace patty::rt {
@@ -191,6 +195,55 @@ TEST(PipelineTest, TinyBufferCapacityStillCompletes) {
   p.run(counting_source(200), [&](Elem&& e) { out.push_back(e); });
   ASSERT_EQ(out.size(), 200u);
   for (const Elem& e : out) EXPECT_EQ(e.value, e.id + 3);
+}
+
+TEST(PipelineTest, ExplainIdentifiesSlowMiddleStage) {
+  // Telemetry on: the run must publish a per-stage observation whose
+  // bottleneck verdict names the deliberately slow middle stage. Sleep-based
+  // work keeps busy-time attribution robust on single-core hosts.
+#ifdef PATTY_OBSERVE_DISABLED
+  GTEST_SKIP() << "telemetry compiled out (PATTY_OBSERVE=OFF)";
+#endif
+  observe::set_enabled(true);
+  PipelineConfig cfg;
+  cfg.buffer_capacity = 4;
+  cfg.name = "slow-middle";
+  Pipeline<Elem> p(
+      {
+          {"A", [](Elem&) {}, 1, false, false},
+          {"B",
+           [](Elem&) {
+             std::this_thread::sleep_for(std::chrono::milliseconds(2));
+           },
+           1, false, false},
+          {"C", [](Elem&) {}, 1, false, false},
+      },
+      cfg);
+  auto stats = p.run(counting_source(60), [](Elem&&) {});
+  observe::set_enabled(false);
+
+  ASSERT_NE(stats.observation, nullptr);
+  EXPECT_EQ(stats.observation->pipeline, "slow-middle");
+  EXPECT_EQ(stats.observation->elements, 60u);
+  ASSERT_EQ(stats.observation->stages.size(), 3u);
+  EXPECT_EQ(stats.observation->stages[1].items, 60u);
+
+  const observe::BottleneckReport report =
+      observe::explain(*stats.observation);
+  EXPECT_EQ(report.stage, "B");
+  EXPECT_EQ(report.stage_index, 1u);
+  EXPECT_NE(report.parameter.find("StageReplication(B)"), std::string::npos)
+      << report.parameter;
+  // B sleeps while A streams: B's input queue must have filled.
+  EXPECT_GT(stats.observation->stages[1].input_queue_full_waits, 0u);
+  EXPECT_EQ(report.stall, "queue-full");
+}
+
+TEST(PipelineTest, NoObservationWhenTelemetryDisabled) {
+  ASSERT_FALSE(observe::enabled());
+  Pipeline<Elem> p({{"s", [](Elem&) {}, 1, false, false}});
+  auto stats = p.run(counting_source(10), [](Elem&&) {});
+  EXPECT_EQ(stats.observation, nullptr);
 }
 
 // --- Property sweep over the tuning space -------------------------------------
