@@ -1,0 +1,456 @@
+// Runtime-core throughput harness for the lock-free scheduler/queue rewrite:
+//
+//   1. Fine-grained task throughput: a binary spawn tree of empty-body tasks
+//      run on the work-stealing pool and on a faithful replica of the old
+//      central-queue pool (one mutex + deque + condvar notify per submit).
+//   2. Stage-queue ops/sec per backend (locking BoundedQueue, SPSC ring,
+//      MPMC ring) across producer/consumer topologies, single and batched.
+//   3. End-to-end pipeline items/sec as a function of per-item stage cost,
+//      queue backend, and BatchSize.
+//
+// Results go to stdout as a table and to BENCH_runtime.json. Flags:
+//   --short         reduced sizes (what the perf-smoke ctest entry runs)
+//   --assert-smoke  exit nonzero unless the work-stealing pool beats the
+//                   mutex-pool baseline on the task benchmark
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/pipeline.hpp"
+#include "runtime/stage_queue.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace patty::rt;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// --- baseline fixture --------------------------------------------------------
+
+/// The pre-rewrite pool, verbatim in structure: one central deque guarded by
+/// one mutex, a condvar notify on every submit, std::function tasks. This is
+/// the unit the speedup claim is measured against.
+class MutexPool {
+ public:
+  explicit MutexPool(std::size_t threads) {
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~MutexPool() {
+    {
+      std::scoped_lock lock(mutex_);
+      stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::scoped_lock lock(mutex_);
+      tasks_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
+  }
+
+ private:
+  void worker_loop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        work_available_.wait(lock,
+                             [&] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// The pre-rewrite join primitive: outstanding count and condvar behind one
+/// mutex, so every add() and finish() takes a lock. Fork-join callers
+/// (parallel_for, master/worker) paid this per task on top of the pool's
+/// central queue.
+class MutexTaskGroup {
+ public:
+  void add(std::size_t n = 1) {
+    std::scoped_lock lock(mutex_);
+    outstanding_ += n;
+  }
+
+  void finish() {
+    std::scoped_lock lock(mutex_);
+    if (outstanding_ > 0) --outstanding_;
+    if (outstanding_ == 0) done_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+
+  void run_on(MutexPool& pool, std::function<void()> task) {
+    add();
+    pool.submit([this, task = std::move(task)] {
+      task();
+      finish();
+    });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t outstanding_ = 0;
+};
+
+// --- 1. fine-grained task throughput ----------------------------------------
+
+/// Spawn a binary tree covering `n` leaf units; every node is a pool task
+/// with an empty body. Tasks spawned from inside a task exercise the full
+/// pre/post task machinery: own-deque submit_fast + atomic TaskGroup on the
+/// work-stealing side, central-queue std::function submit + mutex TaskGroup
+/// on the baseline (exactly what the old parallel_for paid per chunk).
+void spawn_tree_ws(ThreadPool& pool, TaskGroup& group, std::int64_t n) {
+  while (n > 1) {
+    const std::int64_t half = n / 2;
+    group.add();
+    pool.submit_fast([&pool, &group, half] {
+      spawn_tree_ws(pool, group, half);
+      group.finish();
+    });
+    n -= half;
+  }
+}
+
+void spawn_tree_mutex(MutexPool& pool, MutexTaskGroup& group,
+                      std::int64_t n) {
+  while (n > 1) {
+    const std::int64_t half = n / 2;
+    group.run_on(pool, [&pool, &group, half] {
+      spawn_tree_mutex(pool, group, half);
+    });
+    n -= half;
+  }
+}
+
+struct TaskResult {
+  std::int64_t tasks = 0;
+  double seconds = 0;
+  double tasks_per_sec = 0;
+};
+
+TaskResult run_task_bench_ws(std::size_t threads, std::int64_t n) {
+  ThreadPool pool(threads);
+  TaskGroup group;
+  const auto t0 = Clock::now();
+  group.add();
+  pool.submit_fast([&pool, &group, n] {
+    spawn_tree_ws(pool, group, n);
+    group.finish();
+  });
+  group.wait();
+  TaskResult r;
+  r.tasks = n;  // n - 1 spawned nodes + the root; call it n
+  r.seconds = seconds_since(t0);
+  r.tasks_per_sec = static_cast<double>(r.tasks) / r.seconds;
+  return r;
+}
+
+TaskResult run_task_bench_mutex(std::size_t threads, std::int64_t n) {
+  MutexPool pool(threads);
+  MutexTaskGroup group;
+  const auto t0 = Clock::now();
+  group.run_on(pool,
+               [&pool, &group, n] { spawn_tree_mutex(pool, group, n); });
+  group.wait();
+  TaskResult r;
+  r.tasks = n;
+  r.seconds = seconds_since(t0);
+  r.tasks_per_sec = static_cast<double>(r.tasks) / r.seconds;
+  return r;
+}
+
+// --- 2. queue ops/sec --------------------------------------------------------
+
+struct QueueResult {
+  std::string backend;
+  std::size_t producers = 0;
+  std::size_t consumers = 0;
+  std::size_t batch = 0;
+  std::int64_t items = 0;
+  double seconds = 0;
+  double items_per_sec = 0;
+};
+
+QueueResult run_queue_bench(QueueBackend forced, std::size_t producers,
+                            std::size_t consumers, std::size_t batch,
+                            std::int64_t total_items) {
+  auto q = make_stage_queue<std::int64_t>(1024, producers, consumers, forced);
+  QueueResult r;
+  r.backend = q->backend();
+  r.producers = producers;
+  r.consumers = consumers;
+  r.batch = batch;
+  r.items = total_items;
+
+  const auto t0 = Clock::now();
+  std::atomic<std::size_t> producers_left{producers};
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::int64_t share =
+          total_items / static_cast<std::int64_t>(producers) +
+          (p == 0 ? total_items % static_cast<std::int64_t>(producers) : 0);
+      if (batch <= 1) {
+        for (std::int64_t i = 0; i < share; ++i) q->push(i);
+      } else {
+        std::vector<std::int64_t> buf;
+        buf.reserve(batch);
+        for (std::int64_t i = 0; i < share; ++i) {
+          buf.push_back(i);
+          if (buf.size() == batch) q->push_n(&buf);
+        }
+        if (!buf.empty()) q->push_n(&buf);
+      }
+      if (producers_left.fetch_sub(1) == 1) q->close();
+    });
+  }
+  std::atomic<std::int64_t> consumed{0};
+  for (std::size_t c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      std::int64_t local = 0;
+      if (batch <= 1) {
+        while (q->pop()) ++local;
+      } else {
+        std::vector<std::int64_t> buf;
+        while (q->pop_n(&buf, batch))
+          local += static_cast<std::int64_t>(buf.size());
+      }
+      consumed.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  r.seconds = seconds_since(t0);
+  r.items_per_sec = static_cast<double>(r.items) / r.seconds;
+  if (consumed.load() != total_items) {
+    std::fprintf(stderr, "queue bench lost elements: %lld of %lld\n",
+                 static_cast<long long>(consumed.load()),
+                 static_cast<long long>(total_items));
+    std::exit(2);
+  }
+  return r;
+}
+
+// --- 3. pipeline items/sec ---------------------------------------------------
+
+/// Simulated per-item stage cost: a serially-dependent LCG chain the
+/// optimizer cannot collapse (the result feeds the item).
+std::uint64_t spin_work(std::uint64_t x, int iters) {
+  for (int i = 0; i < iters; ++i) x = x * 6364136223846793005ull + 1442695040888963407ull;
+  return x;
+}
+
+struct PipelineResult {
+  std::string backend;
+  std::size_t batch = 0;
+  int spin = 0;  // LCG iterations per stage per item
+  std::int64_t items = 0;
+  double seconds = 0;
+  double items_per_sec = 0;
+};
+
+PipelineResult run_pipeline_bench(QueueBackend backend, std::size_t batch,
+                                  int spin, std::int64_t total_items) {
+  struct Elem {
+    std::uint64_t v;
+  };
+  PipelineConfig cfg;
+  cfg.buffer_capacity = 256;
+  cfg.batch_size = batch;
+  cfg.queue_backend = backend;
+  cfg.name = "bench.runtime_throughput";
+  std::vector<typename Pipeline<Elem>::Stage> stages;
+  stages.push_back({"scale", [spin](Elem& e) { e.v = spin_work(e.v, spin); },
+                    1, false, false});
+  stages.push_back({"offset", [spin](Elem& e) { e.v = spin_work(e.v, spin); },
+                    2, false, false});
+  stages.push_back({"fold", [spin](Elem& e) { e.v = spin_work(e.v, spin); },
+                    1, false, false});
+  Pipeline<Elem> pipeline(std::move(stages), cfg);
+
+  std::int64_t produced = 0;
+  std::uint64_t sink_acc = 0;
+  const auto t0 = Clock::now();
+  pipeline.run(
+      [&]() -> std::optional<Elem> {
+        if (produced >= total_items) return std::nullopt;
+        return Elem{static_cast<std::uint64_t>(produced++)};
+      },
+      [&](Elem&& e) { sink_acc ^= e.v; });
+  PipelineResult r;
+  r.backend = backend == QueueBackend::Locking ? "locking" : "auto";
+  r.batch = batch;
+  r.spin = spin;
+  r.items = total_items;
+  r.seconds = seconds_since(t0);
+  r.items_per_sec = static_cast<double>(r.items) / r.seconds;
+  if (sink_acc == 0xdeadbeef) std::fprintf(stderr, "(unlikely)\n");
+  return r;
+}
+
+// --- report ------------------------------------------------------------------
+
+void append_json_number(std::string* out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.1f", key, v);
+  *out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  bool assert_smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--short")) short_mode = true;
+    if (!std::strcmp(argv[i], "--assert-smoke")) assert_smoke = true;
+  }
+
+  const std::int64_t task_n = short_mode ? 200'000 : 1'000'000;
+  const std::int64_t queue_n = short_mode ? 50'000 : 400'000;
+  const std::int64_t pipe_n = short_mode ? 20'000 : 100'000;
+  constexpr std::size_t kThreads = 4;
+
+  std::printf("== fine-grained tasks (empty body, binary spawn tree, %lld "
+              "tasks, %zu threads) ==\n",
+              static_cast<long long>(task_n), kThreads);
+  const TaskResult mutex_r = run_task_bench_mutex(kThreads, task_n);
+  const TaskResult ws_r = run_task_bench_ws(kThreads, task_n);
+  const double speedup = mutex_r.seconds / ws_r.seconds;
+  std::printf("  mutex pool: %9.0f tasks/s  (%.3fs)\n", mutex_r.tasks_per_sec,
+              mutex_r.seconds);
+  std::printf("  ws pool:    %9.0f tasks/s  (%.3fs)\n", ws_r.tasks_per_sec,
+              ws_r.seconds);
+  std::printf("  speedup:    %.2fx\n", speedup);
+
+  std::printf("\n== stage-queue throughput (%lld items, capacity 1024) ==\n",
+              static_cast<long long>(queue_n));
+  struct QueueCase {
+    QueueBackend backend;
+    std::size_t producers, consumers, batch;
+  };
+  const QueueCase cases[] = {
+      {QueueBackend::Locking, 1, 1, 1},  {QueueBackend::Auto, 1, 1, 1},
+      {QueueBackend::Auto, 1, 1, 16},    {QueueBackend::Locking, 2, 2, 1},
+      {QueueBackend::Auto, 2, 2, 1},     {QueueBackend::Auto, 2, 2, 16},
+      {QueueBackend::Auto, 1, 3, 1},
+  };
+  std::vector<QueueResult> queue_results;
+  for (const QueueCase& c : cases) {
+    queue_results.push_back(
+        run_queue_bench(c.backend, c.producers, c.consumers, c.batch, queue_n));
+    const QueueResult& r = queue_results.back();
+    std::printf("  %-7s %zup%zuc batch=%-2zu : %9.0f items/s\n",
+                r.backend.c_str(), r.producers, r.consumers, r.batch,
+                r.items_per_sec);
+  }
+
+  std::printf("\n== pipeline throughput (3 stages, middle stage x2, %lld "
+              "items) ==\n",
+              static_cast<long long>(pipe_n));
+  struct PipeCase {
+    QueueBackend backend;
+    std::size_t batch;
+    int spin;
+  };
+  const PipeCase pipe_cases[] = {
+      {QueueBackend::Locking, 1, 0}, {QueueBackend::Auto, 1, 0},
+      {QueueBackend::Auto, 8, 0},    {QueueBackend::Locking, 1, 200},
+      {QueueBackend::Auto, 1, 200},  {QueueBackend::Auto, 8, 200},
+  };
+  std::vector<PipelineResult> pipe_results;
+  for (const PipeCase& c : pipe_cases) {
+    pipe_results.push_back(
+        run_pipeline_bench(c.backend, c.batch, c.spin, pipe_n));
+    const PipelineResult& r = pipe_results.back();
+    std::printf("  %-7s batch=%-2zu spin=%-4d : %9.0f items/s\n",
+                r.backend.c_str(), r.batch, r.spin, r.items_per_sec);
+  }
+
+  // BENCH_runtime.json, for the driver and for cross-PR comparison.
+  std::string json = "{\n";
+  json += std::string("  \"mode\": \"") + (short_mode ? "short" : "full") +
+          "\",\n";
+  json += "  \"tasks\": {";
+  append_json_number(&json, "count", static_cast<double>(task_n));
+  json += ", ";
+  append_json_number(&json, "mutex_pool_per_sec", mutex_r.tasks_per_sec);
+  json += ", ";
+  append_json_number(&json, "ws_pool_per_sec", ws_r.tasks_per_sec);
+  json += ", ";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"speedup\": %.3f", speedup);
+    json += buf;
+  }
+  json += "},\n  \"queues\": [\n";
+  for (std::size_t i = 0; i < queue_results.size(); ++i) {
+    const QueueResult& r = queue_results[i];
+    json += "    {\"backend\": \"" + r.backend + "\", \"producers\": " +
+            std::to_string(r.producers) + ", \"consumers\": " +
+            std::to_string(r.consumers) + ", \"batch\": " +
+            std::to_string(r.batch) + ", ";
+    append_json_number(&json, "items_per_sec", r.items_per_sec);
+    json += i + 1 < queue_results.size() ? "},\n" : "}\n";
+  }
+  json += "  ],\n  \"pipeline\": [\n";
+  for (std::size_t i = 0; i < pipe_results.size(); ++i) {
+    const PipelineResult& r = pipe_results[i];
+    json += "    {\"backend\": \"" + r.backend + "\", \"batch\": " +
+            std::to_string(r.batch) + ", \"spin\": " + std::to_string(r.spin) +
+            ", ";
+    append_json_number(&json, "items_per_sec", r.items_per_sec);
+    json += i + 1 < pipe_results.size() ? "},\n" : "}\n";
+  }
+  json += "  ]\n}\n";
+  if (std::FILE* f = std::fopen("BENCH_runtime.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_runtime.json\n");
+  }
+
+  if (assert_smoke && speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "perf-smoke FAILED: work-stealing pool (%.0f tasks/s) did "
+                 "not beat the mutex pool (%.0f tasks/s)\n",
+                 ws_r.tasks_per_sec, mutex_r.tasks_per_sec);
+    return 1;
+  }
+  return 0;
+}

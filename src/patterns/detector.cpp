@@ -321,6 +321,12 @@ PipelineOutcome detect_pipeline(const SemanticModel& model, const Stmt& loop,
   add_param("buffer", rt::TuningKind::Int, 16, 1, 49,
             "capacity of inter-stage buffers");
   cand.tuning.back().step = 16;
+  // BatchSize: elements moved per queue operation. Amortizes stage-queue
+  // synchronization on fine-grained streams; coarse domain {1,5,9} for the
+  // same budget reason as the buffer depth.
+  add_param("batch", rt::TuningKind::Int, 1, 1, 9,
+            "BatchSize: elements per stage-queue operation");
+  cand.tuning.back().step = 4;
 
   cand.reason = "loop with " + std::to_string(cand.stages.size()) +
                 " stages, " + std::to_string(deps.size()) + " dependences (" +

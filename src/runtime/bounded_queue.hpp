@@ -34,43 +34,57 @@ class BoundedQueue {
   };
 
   /// Blocks while full. Returns false (drops the element) if closed.
+  /// The wakeup is signalled after the lock is released: notifying while
+  /// still holding the mutex wakes a waiter that immediately blocks on the
+  /// lock we still own (a "hurry up and wait" handoff).
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    if (items_.size() >= capacity_ && !closed_) ++stats_.full_waits;
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
+    {
+      std::unique_lock lock(mutex_);
+      if (items_.size() >= capacity_ && !closed_) ++stats_.full_waits;
+      not_full_.wait(lock,
+                     [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Blocks while empty and not closed. nullopt = closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    if (items_.empty() && !closed_) ++stats_.empty_waits;
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::unique_lock lock(mutex_);
+      if (items_.empty() && !closed_) ++stats_.empty_waits;
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
 
   /// Non-blocking pop; nullopt when empty (closed or not).
   std::optional<T> try_pop() {
-    std::scoped_lock lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::scoped_lock lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
 
   /// End of stream: wakes all waiters. Remaining items stay poppable.
   void close() {
-    std::scoped_lock lock(mutex_);
-    closed_ = true;
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
     not_empty_.notify_all();
     not_full_.notify_all();
   }

@@ -56,9 +56,24 @@ void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
       return;
     }
     // Shared pool: no thread creation cost; the common configuration.
-    // Task latency lands in the pool's own telemetry via submit().
+    // submit_fast with a by-reference capture: the tasks vector outlives
+    // group.wait(), so no per-task std::function copy is needed.
     TaskGroup group;
-    for (const auto& t : tasks) group.run_on(ThreadPool::shared(), t);
+    group.add(tasks.size());
+    for (const auto& t : tasks) {
+      ThreadPool::shared().submit_fast([&group, &t, telemetry] {
+        if (!telemetry) {
+          t();
+        } else {
+          const std::uint64_t t0 = observe::now_us();
+          t();
+          const std::uint64_t dur = observe::now_us() - t0;
+          mw_metrics().task_us.record(static_cast<double>(dur));
+          observe::record_complete("mw.task", "mw", t0, dur);
+        }
+        group.finish();
+      });
+    }
     group.wait();
     return;
   }

@@ -42,16 +42,65 @@ std::int64_t effective_grain(std::int64_t range,
                              const ParallelForTuning& tuning,
                              std::int64_t threads) {
   if (tuning.grain > 0) return tuning.grain;
-  const std::int64_t g = range / (threads * 4);
+  // Auto grain: ~8 chunks per thread gives stealing room without drowning
+  // in scheduling overhead. Clamped to >=1: small ranges must not
+  // degenerate to zero-width (infinite) or per-iteration chunks.
+  const std::int64_t g = range / (threads * 8);
   return std::max<std::int64_t>(1, g);
+}
+
+/// Shared state of one splitting loop. Chunks run through the function
+/// pointer; telemetry mirrors the old static-chunking implementation.
+struct SplitCtx {
+  detail::ChunkInvoker invoke;
+  void* ctx;
+  std::int64_t grain;
+  bool telemetry;
+  TaskGroup group;
+
+  void run_leaf(std::int64_t lo, std::int64_t hi) {
+    if (!telemetry) {
+      invoke(ctx, lo, hi);
+      return;
+    }
+    const std::uint64_t t0 = observe::now_us();
+    invoke(ctx, lo, hi);
+    const std::uint64_t dur = observe::now_us() - t0;
+    LoopMetrics& m = loop_metrics();
+    m.chunks.add();
+    m.chunk_us.record(static_cast<double>(dur));
+    observe::record_complete("pf.chunk", "loop", t0, dur,
+                             std::to_string(lo) + ".." + std::to_string(hi));
+  }
+};
+
+/// Split-half until the grain floor: spawn the right half (stealable from
+/// the deque top — thieves get the biggest remaining piece), keep the left.
+/// The midpoint is rounded up to a grain multiple, so every split point is
+/// grain-aligned and an explicit grain G produces exactly ceil(range/G)
+/// leaves of width <= G.
+void run_range(SplitCtx& c, std::int64_t lo, std::int64_t hi) {
+  while (hi - lo > c.grain) {
+    const std::int64_t half = (hi - lo) / 2;
+    const std::int64_t mid =
+        lo + ((half + c.grain - 1) / c.grain) * c.grain;
+    c.group.add(1);
+    ThreadPool::shared().submit_fast([&c, mid, hi] {
+      run_range(c, mid, hi);
+      c.group.finish();
+    });
+    hi = mid;
+  }
+  c.run_leaf(lo, hi);
 }
 
 }  // namespace
 
-void parallel_for_chunked(
-    std::int64_t begin, std::int64_t end,
-    const std::function<void(std::int64_t, std::int64_t)>& fn,
-    ParallelForTuning tuning) {
+namespace detail {
+
+void parallel_for_driver(std::int64_t begin, std::int64_t end,
+                         ChunkInvoker invoke, void* ctx,
+                         const ParallelForTuning& tuning) {
   if (begin >= end) return;
   const std::int64_t range = end - begin;
   const std::int64_t threads = effective_threads(tuning);
@@ -62,7 +111,7 @@ void parallel_for_chunked(
   if (tuning.sequential || threads <= 1 || range == 1 ||
       ThreadPool::on_worker_thread()) {
     if (telemetry) loop_metrics().sequential_fallbacks.add();
-    fn(begin, end);
+    invoke(ctx, begin, end);
     return;
   }
   const std::int64_t grain = effective_grain(range, tuning, threads);
@@ -70,32 +119,28 @@ void parallel_for_chunked(
   span.set_detail("range=" + std::to_string(range) +
                   " grain=" + std::to_string(grain) +
                   " threads=" + std::to_string(threads));
-  TaskGroup group;
-  for (std::int64_t lo = begin; lo < end; lo += grain) {
-    const std::int64_t hi = std::min(end, lo + grain);
-    if (!telemetry) {
-      group.run_on(ThreadPool::shared(), [&fn, lo, hi] { fn(lo, hi); });
-    } else {
-      group.run_on(ThreadPool::shared(), [&fn, lo, hi] {
-        const std::uint64_t t0 = observe::now_us();
-        fn(lo, hi);
-        const std::uint64_t dur = observe::now_us() - t0;
-        LoopMetrics& m = loop_metrics();
-        m.chunks.add();
-        m.chunk_us.record(static_cast<double>(dur));
-        observe::record_complete("pf.chunk", "loop", t0, dur,
-                                 std::to_string(lo) + ".." +
-                                     std::to_string(hi));
-      });
-    }
-  }
-  group.wait();
+  SplitCtx c{invoke, ctx, grain, telemetry, {}};
+  // The caller participates: it keeps splitting left halves and runs leaves
+  // itself while pool workers steal and process the spawned right halves.
+  run_range(c, begin, end);
+  c.group.wait();
+}
+
+}  // namespace detail
+
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    ParallelForTuning tuning) {
+  parallel_for_blocked(
+      begin, end,
+      [&fn](std::int64_t lo, std::int64_t hi) { fn(lo, hi); }, tuning);
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& fn,
                   ParallelForTuning tuning) {
-  parallel_for_chunked(
+  parallel_for_blocked(
       begin, end,
       [&fn](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t i = lo; i < hi; ++i) fn(i);
@@ -110,7 +155,7 @@ std::int64_t parallel_reduce(
     ParallelForTuning tuning) {
   std::mutex result_mutex;
   std::int64_t result = init;
-  parallel_for_chunked(
+  parallel_for_blocked(
       begin, end,
       [&](std::int64_t lo, std::int64_t hi) {
         std::int64_t partial = init;

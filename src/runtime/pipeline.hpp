@@ -12,6 +12,7 @@
 // The element type is a template parameter: the code generator instantiates
 // Pipeline over interpreter environments, the C++ examples over structs.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -24,7 +25,7 @@
 
 #include "observe/explain.hpp"
 #include "observe/trace.hpp"
-#include "runtime/bounded_queue.hpp"
+#include "runtime/stage_queue.hpp"
 #include "support/diagnostics.hpp"
 
 namespace patty::rt {
@@ -32,6 +33,15 @@ namespace patty::rt {
 struct PipelineConfig {
   std::size_t buffer_capacity = 16;
   bool sequential = false;  // SequentialExecution tuning parameter
+  /// BatchSize tuning parameter: elements moved per queue operation.
+  /// Workers pop/push up to this many items per synchronization point, which
+  /// amortizes queue overhead on fine-grained streams at the cost of some
+  /// pipelining latency. 1 (the default) reproduces item-at-a-time behavior.
+  std::size_t batch_size = 1;
+  /// Stage-queue implementation. Auto picks the SPSC ring for unreplicated
+  /// edges and the MPMC ring for replicated neighbours; Locking forces the
+  /// legacy mutex-based BoundedQueue.
+  QueueBackend queue_backend = QueueBackend::Auto;
   /// Name under which telemetry-enabled runs publish their per-stage
   /// observation (observe::recent_pipelines) and trace spans.
   std::string name = "pipeline";
@@ -127,12 +137,22 @@ class Pipeline {
     }
 
     const std::size_t n_stages = effective_.size();
-    // queues[i] feeds stage i; queues[n_stages] feeds the sink.
-    std::vector<std::unique_ptr<BoundedQueue<Item>>> queues;
+    // queues[i] feeds stage i; queues[n_stages] feeds the sink. Backend per
+    // edge from the stage topology: the generator and the sink are single
+    // producer/consumer endpoints; a stage contributes its replication.
+    std::vector<std::unique_ptr<StageQueue<Item>>> queues;
     queues.reserve(n_stages + 1);
-    for (std::size_t i = 0; i <= n_stages; ++i)
-      queues.push_back(
-          std::make_unique<BoundedQueue<Item>>(config_.buffer_capacity));
+    for (std::size_t i = 0; i <= n_stages; ++i) {
+      const std::size_t producers =
+          i == 0 ? 1
+                 : static_cast<std::size_t>(effective_[i - 1].replication);
+      const std::size_t consumers =
+          i < n_stages ? static_cast<std::size_t>(effective_[i].replication)
+                       : 1;
+      queues.push_back(make_stage_queue<Item>(config_.buffer_capacity,
+                                              producers, consumers,
+                                              config_.queue_backend));
+    }
 
     std::vector<std::unique_ptr<StageState>> states;
     states.reserve(n_stages);
@@ -165,19 +185,32 @@ class Pipeline {
     // The StreamGenerator needs its own thread: if the caller thread both
     // fed the first queue and drained the last one, a stream longer than
     // the total buffer capacity would fill every queue and deadlock.
-    std::thread generator([&queues, &source] {
+    const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
+    std::thread generator([&queues, &source, batch] {
       std::uint64_t seq = 0;
+      std::vector<Item> buf;
+      buf.reserve(batch);
       while (std::optional<T> item = source()) {
-        queues.front()->push(Item{seq++, std::move(*item)});
+        buf.push_back(Item{seq++, std::move(*item)});
+        if (buf.size() >= batch && queues.front()->push_n(&buf) < batch)
+          break;  // closed downstream
       }
+      if (!buf.empty()) queues.front()->push_n(&buf);
       queues.front()->close();
     });
     ++stats.threads_used;
 
-    // Caller thread is the sink: drain the last queue.
-    while (std::optional<Item> item = queues.back()->pop()) {
-      sink(std::move(item->value));
-      ++stats.elements;
+    // Caller thread is the sink: drain the last queue (batched pops keep
+    // FIFO order; elements arrive already order-restored when requested).
+    {
+      std::vector<Item> drained;
+      drained.reserve(batch);
+      while (queues.back()->pop_n(&drained, batch)) {
+        for (Item& item : drained) {
+          sink(std::move(item.value));
+          ++stats.elements;
+        }
+      }
     }
     generator.join();
     for (std::thread& t : threads) t.join();
@@ -229,31 +262,38 @@ class Pipeline {
     std::atomic<std::uint64_t> out_wait_us{0};  // blocked pushing output
   };
 
-  void worker(const Stage& stage, BoundedQueue<Item>& in,
-              BoundedQueue<Item>& out, StageState& state, bool restore,
-              StageTelemetry* tm) {
-    // Three clock reads per item when instrumented: the post-push read
-    // doubles as the next iteration's pre-pop timestamp.
+  void worker(const Stage& stage, StageQueue<Item>& in, StageQueue<Item>& out,
+              StageState& state, bool restore, StageTelemetry* tm) {
+    // BatchSize: pop up to `batch` items per queue synchronization, run the
+    // stage body over the whole batch, push the results in one batched call
+    // (relative order inside a batch is preserved by push_n). Per-item
+    // telemetry granularity is unchanged; wait time is counted per batch.
+    const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
+    std::vector<Item> buf;
+    buf.reserve(batch);
     std::uint64_t t_pop = tm ? observe::now_us() : 0;
-    while (true) {
-      std::optional<Item> item = in.pop();
-      if (!item) break;
+    while (in.pop_n(&buf, batch)) {
       std::uint64_t t_work = 0;
       if (tm) {
         t_work = observe::now_us();
         tm->in_wait_us.fetch_add(t_work - t_pop, std::memory_order_relaxed);
       }
-      stage.fn(item->value);
-      std::uint64_t t_push = 0;
-      if (tm) {
-        t_push = observe::now_us();
-        tm->items.fetch_add(1, std::memory_order_relaxed);
-        tm->busy_us.fetch_add(t_push - t_work, std::memory_order_relaxed);
-        observe::record_complete(stage.name, "pipeline", t_work,
-                                 t_push - t_work);
+      if (!tm) {
+        for (Item& item : buf) stage.fn(item.value);
+      } else {
+        std::uint64_t t0 = t_work;
+        for (Item& item : buf) {
+          stage.fn(item.value);
+          const std::uint64_t t1 = observe::now_us();
+          tm->items.fetch_add(1, std::memory_order_relaxed);
+          tm->busy_us.fetch_add(t1 - t0, std::memory_order_relaxed);
+          observe::record_complete(stage.name, "pipeline", t0, t1 - t0);
+          t0 = t1;
+        }
       }
+      std::uint64_t t_push = tm ? observe::now_us() : 0;
       if (!restore) {
-        out.push(std::move(*item));
+        out.push_n(&buf);
       } else {
         // Order restore: emit the longest ready run starting at next_seq.
         // The push happens under the reorder mutex: releasing it first would
@@ -261,7 +301,10 @@ class Pipeline {
         // queue serializes this stage briefly but cannot deadlock (downstream
         // drains independently of this mutex).
         std::scoped_lock lock(state.reorder_mutex);
-        state.pending.emplace(item->seq, std::move(item->value));
+        for (Item& item : buf) {
+          state.pending.emplace(item.seq, std::move(item.value));
+        }
+        buf.clear();
         while (!state.pending.empty() &&
                state.pending.begin()->first == state.next_seq) {
           auto first = state.pending.begin();
@@ -287,7 +330,7 @@ class Pipeline {
   void publish_observation(
       RunStats* stats, bool sequential, std::uint64_t run_start_us,
       const std::vector<std::unique_ptr<StageTelemetry>>& telem,
-      const std::vector<std::unique_ptr<BoundedQueue<Item>>>* queues) {
+      const std::vector<std::unique_ptr<StageQueue<Item>>>* queues) {
     auto obs = std::make_shared<observe::PipelineObservation>();
     obs->pipeline = config_.name;
     obs->sequential = sequential;

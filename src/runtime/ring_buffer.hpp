@@ -1,0 +1,267 @@
+#pragma once
+// Lock-free bounded rings for the pipeline's stage-connecting buffers.
+//
+//   SpscRing  Lamport ring with cached indices: one producer, one consumer.
+//             The hot path touches only the owner's cached copy of the
+//             remote index; the shared atomic is re-read only when the
+//             cached view says full/empty. Batched pop amortizes the index
+//             publication over up to `n` elements.
+//   MpmcRing  Vyukov bounded MPMC queue: every slot carries a sequence
+//             number; producers/consumers claim a position with one CAS and
+//             then synchronize on the slot's own sequence, so unrelated
+//             pushes and pops never contend on the same cache line.
+//
+// Both rings allocate the next power of two of the requested capacity but
+// enforce the *logical* capacity (the BufferCapacity tuning value), so a
+// capacity-3 buffer still exerts capacity-3 backpressure. The SPSC check is
+// exact (the single producer is the only one adding); the MPMC check can
+// transiently overshoot by at most producers-1 elements under a photo-finish
+// race, which backpressure tuning tolerates.
+//
+// Elements live in raw aligned storage (no default-construction
+// requirement); the destructor drains whatever was left behind.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace patty::rt {
+
+namespace ring_detail {
+inline std::size_t round_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace ring_detail
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity ? capacity : 1),
+        slots_(ring_detail::round_pow2(capacity_)),
+        mask_(slots_ - 1),
+        storage_(new Cell[slots_]) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  ~SpscRing() {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    for (std::uint64_t h = head_.load(std::memory_order_relaxed); h != t; ++h)
+      slot(h)->~T();
+  }
+
+  /// Producer only. False when full.
+  bool try_push(T&& value) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (t - cached_head_ >= capacity_) return false;
+    }
+    ::new (static_cast<void*>(slot(t))) T(std::move(value));
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer only. Moves up to `n` elements out of `items` (from the
+  /// front); returns how many were accepted. One index publication for the
+  /// whole batch.
+  std::size_t try_push_n(T* items, std::size_t n) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    std::uint64_t free = capacity_ - (t - cached_head_);
+    if (free < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - (t - cached_head_);
+    }
+    const std::size_t take = n < free ? n : static_cast<std::size_t>(free);
+    for (std::size_t i = 0; i < take; ++i)
+      ::new (static_cast<void*>(slot(t + i))) T(std::move(items[i]));
+    if (take) tail_.store(t + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Consumer only. nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (h == cached_tail_) return std::nullopt;
+    }
+    T* p = slot(h);
+    std::optional<T> value(std::move(*p));
+    p->~T();
+    head_.store(h + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer only. Appends up to `max` elements to `out`; returns count.
+  std::size_t try_pop_n(std::vector<T>* out, std::size_t max) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    std::uint64_t avail = cached_tail_ - h;
+    if (avail < max) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - h;
+    }
+    const std::size_t take = max < avail ? max : static_cast<std::size_t>(avail);
+    for (std::size_t i = 0; i < take; ++i) {
+      T* p = slot(h + i);
+      out->push_back(std::move(*p));
+      p->~T();
+    }
+    if (take) head_.store(h + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Approximate from a racing thread; exact from producer or consumer side.
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return t > h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct alignas(alignof(T)) Cell {
+    unsigned char bytes[sizeof(T)];
+  };
+  T* slot(std::uint64_t i) {
+    return reinterpret_cast<T*>(
+        storage_[static_cast<std::size_t>(i) & mask_].bytes);
+  }
+
+  const std::uint64_t capacity_;  // logical (tuning value)
+  const std::size_t slots_;       // pow2 >= capacity_
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> storage_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next pop
+  alignas(64) std::uint64_t cached_tail_ = 0;       // consumer's view
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next push
+  alignas(64) std::uint64_t cached_head_ = 0;       // producer's view
+};
+
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t capacity)
+      : capacity_(capacity ? capacity : 1),
+        // At least two slots: with one, "ready to dequeue at pos" and
+        // "ready to enqueue at pos+1" share the sequence value pos+1, so a
+        // producer could reuse the slot while a consumer is mid-read. The
+        // logical-capacity check below still enforces the configured bound.
+        slots_(ring_detail::round_pow2(capacity_ < 2 ? 2 : capacity_)),
+        mask_(slots_ - 1),
+        cells_(new Cell[slots_]) {
+    for (std::size_t i = 0; i < slots_; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  ~MpmcRing() {
+    while (try_pop()) {
+    }
+  }
+
+  /// Any producer. False when full (logical capacity).
+  bool try_push(T&& value) {
+    if (capacity_ != slots_ && size() >= capacity_) return false;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    Cell* cell;
+    for (;;) {
+      cell = &cells_[static_cast<std::size_t>(pos) & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // full ring
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    ::new (static_cast<void*>(cell->storage())) T(std::move(value));
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t try_push_n(T* items, std::size_t n) {
+    std::size_t pushed = 0;
+    while (pushed < n && try_push(std::move(items[pushed]))) ++pushed;
+    return pushed;
+  }
+
+  /// Any consumer. nullopt when empty.
+  std::optional<T> try_pop() {
+    std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Cell* cell;
+    for (;;) {
+      cell = &cells_[static_cast<std::size_t>(pos) & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    T* p = cell->storage();
+    std::optional<T> value(std::move(*p));
+    p->~T();
+    cell->seq.store(pos + slots_, std::memory_order_release);
+    return value;
+  }
+
+  std::size_t try_pop_n(std::vector<T>* out, std::size_t max) {
+    std::size_t popped = 0;
+    while (popped < max) {
+      std::optional<T> v = try_pop();
+      if (!v) break;
+      out->push_back(std::move(*v));
+      ++popped;
+    }
+    return popped;
+  }
+
+  /// Approximate under concurrency (two racing loads).
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t e = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::uint64_t d = dequeue_pos_.load(std::memory_order_relaxed);
+    return e > d ? static_cast<std::size_t>(e - d) : 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    return static_cast<std::size_t>(capacity_);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq;
+    alignas(alignof(T)) unsigned char bytes[sizeof(T)];
+    T* storage() { return reinterpret_cast<T*>(bytes); }
+  };
+
+  const std::uint64_t capacity_;  // logical (tuning value)
+  const std::size_t slots_;       // pow2 >= capacity_
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace patty::rt

@@ -1,9 +1,12 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "observe/metrics.hpp"
 #include "observe/trace.hpp"
+#include "runtime/ring_buffer.hpp"
+#include "runtime/ws_deque.hpp"
 
 namespace patty::rt {
 
@@ -15,6 +18,7 @@ struct PoolMetrics {
   observe::Counter& submitted;
   observe::Counter& executed;
   observe::Counter& idle_waits;
+  observe::Counter& steals;
   observe::Gauge& queue_depth;
   observe::Histogram& queue_wait_us;
   observe::Histogram& exec_us;
@@ -25,12 +29,46 @@ PoolMetrics& pool_metrics() {
       observe::Registry::global().counter("threadpool.submitted"),
       observe::Registry::global().counter("threadpool.executed"),
       observe::Registry::global().counter("threadpool.idle_waits"),
+      observe::Registry::global().counter("threadpool.steals"),
       observe::Registry::global().gauge("threadpool.queue_depth"),
       observe::Registry::global().histogram("threadpool.queue_wait_us"),
       observe::Registry::global().histogram("threadpool.exec_us"),
   };
   return m;
 }
+
+std::uint64_t xorshift64(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+}  // namespace
+
+/// Per-worker scheduling state. The deque holds this worker's own tasks
+/// (LIFO pop); other workers steal from its top (FIFO).
+struct ThreadPool::Worker {
+  WsDeque<Job*> deque;
+  std::uint64_t rng;
+};
+
+/// Central submission ring for tasks coming from non-worker threads. The
+/// overflow deque behind it keeps submit() unbounded (the old pool's deque
+/// had no capacity limit either, and callers rely on submit never blocking
+/// or running tasks inline).
+struct ThreadPool::Injector {
+  explicit Injector(std::size_t capacity) : ring(capacity) {}
+  MpmcRing<Job*> ring;
+};
+
+namespace {
+/// Which worker of which pool the calling thread is, for same-pool
+/// submit-to-own-deque routing. (Opaque pointer: Worker is private.)
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  void* worker = nullptr;
+};
+thread_local WorkerIdentity g_worker_identity;
 }  // namespace
 
 bool ThreadPool::on_worker_thread() { return g_on_pool_worker; }
@@ -41,18 +79,59 @@ ThreadPool::ThreadPool(std::size_t threads) {
     n = std::thread::hardware_concurrency();
     if (n == 0) n = 1;
   }
+  injector_ = std::make_unique<Injector>(4096);
   workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->rng = 0x9e3779b97f4a7c15ull * (i + 1) + 0x2545f4914f6cdd1dull;
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_seq_cst);
   {
-    std::scoped_lock lock(mutex_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
   }
-  work_available_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  // Workers only exit once pending_ hit zero, so nothing should remain; be
+  // defensive anyway (leaked-but-unrun beats leaked-and-lost memory).
+  while (std::optional<Job*> j = injector_->ring.try_pop()) (*j)->run(*j);
+  for (Job* j : overflow_) j->run(j);
+}
+
+void ThreadPool::wake_one() {
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    {
+      // Empty critical section: serializes with a worker between its
+      // pending_ re-check and wait(), so the notify cannot land in that
+      // window and get lost.
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+    }
+    wake_.notify_one();
+  }
+}
+
+void ThreadPool::enqueue(Job* job) {
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  const WorkerIdentity& id = g_worker_identity;
+  if (id.pool == this) {
+    static_cast<Worker*>(id.worker)->deque.push(job);
+  } else if (!injector_->ring.try_push(std::move(job))) {
+    {
+      std::lock_guard<std::mutex> lock(overflow_mutex_);
+      overflow_.push_back(job);
+    }
+    overflow_size_.fetch_add(1, std::memory_order_release);
+  }
+  if (observe::enabled())
+    pool_metrics().queue_depth.set(
+        static_cast<std::int64_t>(pending_.load(std::memory_order_relaxed)));
+  wake_one();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -71,30 +150,70 @@ void ThreadPool::submit(std::function<void()> task) {
       pm.executed.add();
     };
   }
-  {
-    std::scoped_lock lock(mutex_);
-    tasks_.push_back(std::move(task));
-    if (observe::enabled())
-      pool_metrics().queue_depth.set(
-          static_cast<std::int64_t>(tasks_.size()));
-  }
-  work_available_.notify_one();
+  submit_fast(std::move(task));
 }
 
-void ThreadPool::worker_loop() {
-  g_on_pool_worker = true;
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      if (tasks_.empty() && !stopping_ && observe::enabled())
-        pool_metrics().idle_waits.add();
-      work_available_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping and drained
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+ThreadPool::Job* ThreadPool::find_job(Worker& self) {
+  // Own work first (LIFO: cache-warm, and what recursive splitting wants).
+  if (std::optional<Job*> j = self.deque.pop()) return *j;
+  // External submissions.
+  if (std::optional<Job*> j = injector_->ring.try_pop()) return *j;
+  if (overflow_size_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    if (!overflow_.empty()) {
+      Job* j = overflow_.front();
+      overflow_.pop_front();
+      overflow_size_.fetch_sub(1, std::memory_order_release);
+      return j;
     }
-    task();
+  }
+  // Steal from randomized victims; a couple of sweeps before giving up.
+  const std::size_t n = workers_.size();
+  if (n > 1) {
+    const bool telemetry = observe::enabled();
+    for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
+      Worker& victim = *workers_[xorshift64(self.rng) % n];
+      if (&victim == &self) continue;
+      if (std::optional<Job*> j = victim.deque.steal()) {
+        if (telemetry) pool_metrics().steals.add();
+        return *j;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  g_on_pool_worker = true;
+  Worker& self = *workers_[index];
+  g_worker_identity = {this, &self};
+  for (;;) {
+    if (Job* job = find_job(self)) {
+      // Claim-time decrement: pending_ tracks *unclaimed* work, so a
+      // sleeping-candidate worker is not kept spinning by a long-running
+      // task elsewhere.
+      pending_.fetch_sub(1, std::memory_order_seq_cst);
+      job->run(job);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_seq_cst) == 0)
+      return;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (pending_.load(std::memory_order_seq_cst) > 0 ||
+        stopping_.load(std::memory_order_acquire)) {
+      // Work arrived (or shutdown started) between the failed scan and the
+      // sleeper registration: don't sleep.
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (observe::enabled()) pool_metrics().idle_waits.add();
+    // Bounded park: the seq_cst sleeper/pending handshake makes a lost
+    // wakeup impossible in theory; the timeout turns "in theory" into a
+    // worst-case 100 ms hiccup in practice.
+    wake_.wait_for(lock, std::chrono::milliseconds(100));
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -107,20 +226,28 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-void TaskGroup::add(std::size_t n) {
-  std::scoped_lock lock(mutex_);
-  outstanding_ += n;
-}
-
 void TaskGroup::finish() {
-  std::scoped_lock lock(mutex_);
-  if (outstanding_ > 0) --outstanding_;
-  if (outstanding_ == 0) done_.notify_all();
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Same Dekker shape as the pool's sleep protocol: wait() publishes its
+    // registration (seq_cst) before re-checking outstanding_, we order the
+    // final decrement before the waiter check.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_relaxed) > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+      }
+      done_.notify_all();
+    }
+  }
 }
 
 void TaskGroup::wait() {
-  std::unique_lock lock(mutex_);
-  done_.wait(lock, [&] { return outstanding_ == 0; });
+  if (outstanding_.load(std::memory_order_acquire) == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  while (outstanding_.load(std::memory_order_seq_cst) != 0)
+    done_.wait_for(lock, std::chrono::milliseconds(50));
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void TaskGroup::run_on(ThreadPool& pool, std::function<void()> task) {

@@ -1,14 +1,31 @@
 #pragma once
-// Fixed-size thread pool plus a TaskGroup join primitive. Used by the
+// Work-stealing thread pool plus a TaskGroup join primitive. Used by the
 // master/worker pattern and parallel-for; pipelines bind threads to stages
 // directly (stage binding) and do not go through the pool.
+//
+// Each worker owns a Chase–Lev deque (LIFO pop keeps caches warm, FIFO
+// steal hands thieves the largest remaining subtree). External submitters
+// feed a bounded MPMC injector ring, with a mutex-protected overflow list
+// behind it so submit() never blocks and never runs tasks inline. Workers
+// sleep on a condvar only when the whole pool is starved; producers take
+// the wakeup lock only when a sleeper is registered, so the steady-state
+// submit path is lock-free.
+//
+// Tasks are heap-allocated Job nodes dispatched through a plain function
+// pointer. submit_fast<F>() stores the callable directly in the node — no
+// std::function type-erasure allocation on the hot path; submit() keeps the
+// std::function API (and its per-task telemetry wrapper) on top of it.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace patty::rt {
@@ -24,7 +41,26 @@ class ThreadPool {
 
   void submit(std::function<void()> task);
 
-  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+  /// Hot-path submission: one allocation sized to the callable, function-
+  /// pointer dispatch, no std::function. From a worker thread the task goes
+  /// straight into that worker's own deque (LIFO).
+  template <typename F>
+  void submit_fast(F&& fn) {
+    using Fn = std::decay_t<F>;
+    struct JobOf final : Job {
+      explicit JobOf(Fn f) : fn(std::move(f)) {}
+      Fn fn;
+    };
+    auto* job = new JobOf(std::forward<F>(fn));
+    job->run = [](Job* j) {
+      auto* self = static_cast<JobOf*>(j);
+      self->fn();
+      delete self;
+    };
+    enqueue(job);
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
 
   /// Process-wide shared pool (lazily constructed, default-sized).
   static ThreadPool& shared();
@@ -37,20 +73,46 @@ class ThreadPool {
   static bool on_worker_thread();
 
  private:
-  void worker_loop();
+  /// Intrusive task node; `run` executes and frees it.
+  struct Job {
+    void (*run)(Job*) = nullptr;
+  };
+  struct Worker;  // per-worker deque + RNG, defined in the .cpp
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  void enqueue(Job* job);
+  Job* find_job(Worker& self);
+  void worker_loop(std::size_t index);
+  void wake_one();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  /// Submitted-but-unclaimed task count; doubles as the Dekker flag of the
+  /// sleep protocol (worker: register sleeper, re-check pending; producer:
+  /// bump pending, check sleepers — both seq_cst).
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::atomic<bool> stopping_{false};
+
+  struct Injector;  // bounded MPMC ring, defined in the .cpp
+  std::unique_ptr<Injector> injector_;
+  std::mutex overflow_mutex_;
+  std::deque<Job*> overflow_;
+  std::atomic<std::size_t> overflow_size_{0};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
 };
 
 /// Counts outstanding tasks; wait() blocks until all finished. RAII-friendly:
-/// add() before submit, finish() inside the task (see run_on).
+/// add() before submit, finish() inside the task (see run_on). Lock-free on
+/// the add/finish side: the mutex is touched only when a waiter is parked.
 class TaskGroup {
  public:
-  void add(std::size_t n = 1);
+  void add(std::size_t n = 1) {
+    outstanding_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   void finish();
   void wait();
 
@@ -58,9 +120,10 @@ class TaskGroup {
   void run_on(ThreadPool& pool, std::function<void()> task);
 
  private:
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::uint32_t> waiters_{0};
   std::mutex mutex_;
   std::condition_variable done_;
-  std::size_t outstanding_ = 0;
 };
 
 }  // namespace patty::rt

@@ -1,0 +1,148 @@
+#pragma once
+// Chase–Lev work-stealing deque (the Le/Pop/Cohen/Nardelli weak-memory
+// formulation). One owner thread pushes and pops at the bottom (LIFO, cache
+// warm); any number of thieves steal from the top (FIFO, oldest = largest
+// remaining subtree under recursive splitting). Lock-free: the only
+// contended operation is a single CAS on `top`, taken by thieves and by the
+// owner only on the last-element race.
+//
+// T must be trivially copyable (the pool stores Job pointers) so cells can
+// be std::atomic<T>: racy cell reads are then real atomic loads, which keeps
+// the structure exact under TSan instead of relying on benign races.
+//
+// Memory-ordering notes (see DESIGN.md "Runtime core"):
+//   * owner push:  relaxed cell store, release store of bottom — a thief
+//     that acquires bottom sees the element.
+//   * owner pop:   store bottom, seq_cst fence, load top. The fence pairs
+//     with the thief's CAS so owner and thief cannot both take the last
+//     element.
+//   * steal:       acquire top, seq_cst fence, acquire bottom, read cell,
+//     then CAS top (seq_cst). A failed CAS means another thief or the owner
+//     won; the element must not be used.
+// Grown arrays are retired, not freed: a concurrent thief may still read a
+// cell of the old array. Retired arrays are reclaimed in the destructor.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace patty::rt {
+
+template <typename T>
+class WsDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WsDeque cells are std::atomic<T>");
+
+ public:
+  explicit WsDeque(std::size_t initial_capacity = 256)
+      : array_(new Array(round_pow2(initial_capacity))) {}
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  ~WsDeque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (Array* a : retired_) delete a;
+  }
+
+  /// Owner only. Never fails: grows (2x) when full.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(a->capacity)) {
+      a = grow(a, t, b);
+    }
+    a->cell(b).store(std::move(value), std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. LIFO: most recently pushed element.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Empty: restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = a->cell(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via the top CAS.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        // A thief won.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  /// Any thread. FIFO: oldest element, or nullopt when empty or lost race.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    Array* a = array_.load(std::memory_order_acquire);
+    T value = a->cell(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost to the owner or another thief
+    }
+    return value;
+  }
+
+  /// Approximate occupancy (racy reads; exact only when quiescent).
+  [[nodiscard]] std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  struct Array {
+    explicit Array(std::size_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T>[cap]) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+    std::atomic<T>& cell(std::int64_t i) {
+      return cells[static_cast<std::size_t>(i) & mask];
+    }
+  };
+
+  static std::size_t round_pow2(std::size_t n) {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Array(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i)
+      bigger->cell(i).store(old->cell(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    array_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // thieves may still be reading it
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Array*> array_;
+  std::vector<Array*> retired_;  // owner-only
+};
+
+}  // namespace patty::rt

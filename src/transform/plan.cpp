@@ -390,6 +390,8 @@ struct ParallelPlanExecutor::Impl {
     rt::PipelineConfig cfg;
     cfg.buffer_capacity =
         static_cast<std::size_t>(std::max<std::int64_t>(1, param(c, ".buffer", 16)));
+    cfg.batch_size =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, param(c, ".batch", 1)));
     rt::Pipeline<Elem> pipeline(std::move(rt_stages), cfg);
 
     std::size_t next = 0;

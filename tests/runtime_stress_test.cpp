@@ -1,0 +1,391 @@
+// Concurrency stress tests for the lock-free runtime core: the Chase–Lev
+// work-stealing deque, both rings, and the blocking StageQueue wrappers.
+// Labeled `stress` so they run in the sanitizer configurations:
+//
+//   cmake -B build-tsan -DPATTY_SANITIZE=thread && cmake --build build-tsan
+//   ctest --test-dir build-tsan -L stress
+//
+// Sizes are moderate (tens of thousands of operations): under TSan on a
+// single-core host each test still finishes in seconds, while the close/
+// drain and conservation properties they check are schedule-independent.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "runtime/ring_buffer.hpp"
+#include "runtime/stage_queue.hpp"
+#include "runtime/ws_deque.hpp"
+
+namespace {
+
+using namespace patty::rt;
+
+// --- WsDeque -----------------------------------------------------------------
+
+TEST(WsDequeStress, OwnerLifoThievesFifoSingleThread) {
+  WsDeque<int*> d(8);
+  std::vector<int> vals(6);
+  for (int i = 0; i < 6; ++i) {
+    vals[i] = i;
+    d.push(&vals[i]);
+  }
+  // Thief sees the oldest element, owner the newest.
+  ASSERT_TRUE(d.steal().has_value());
+  EXPECT_EQ(**d.steal(), 1);
+  EXPECT_EQ(**d.pop(), 5);
+  EXPECT_EQ(**d.pop(), 4);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(WsDequeStress, GrowsPastInitialCapacity) {
+  WsDeque<int*> d(4);
+  constexpr int kN = 10000;
+  std::vector<int> vals(kN);
+  for (int i = 0; i < kN; ++i) {
+    vals[i] = i;
+    d.push(&vals[i]);
+  }
+  long long sum = 0;
+  while (std::optional<int*> p = d.pop()) sum += **p;
+  EXPECT_EQ(sum, static_cast<long long>(kN) * (kN - 1) / 2);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WsDequeStress, ConcurrentPushPopStealConservesEveryElement) {
+  // Owner pushes kN elements while interleaving pops; three thieves steal
+  // continuously. Every element must be claimed exactly once.
+  constexpr int kN = 50000;
+  constexpr int kThieves = 3;
+  WsDeque<int*> d(64);
+  std::vector<int> vals(kN);
+  std::atomic<bool> done{false};
+  std::vector<std::vector<int>> stolen(kThieves);
+  std::vector<int> popped;
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&, t] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (std::optional<int*> p = d.steal())
+          stolen[static_cast<std::size_t>(t)].push_back(**p);
+        else
+          std::this_thread::yield();
+      }
+      // Final sweep after the owner finished.
+      while (std::optional<int*> p = d.steal())
+        stolen[static_cast<std::size_t>(t)].push_back(**p);
+    });
+  }
+
+  for (int i = 0; i < kN; ++i) {
+    vals[static_cast<std::size_t>(i)] = i;
+    d.push(&vals[static_cast<std::size_t>(i)]);
+    if ((i & 3) == 0) {
+      if (std::optional<int*> p = d.pop()) popped.push_back(**p);
+    }
+  }
+  while (std::optional<int*> p = d.pop()) popped.push_back(**p);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  std::vector<int> all = popped;
+  for (const auto& s : stolen) all.insert(all.end(), s.begin(), s.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kN));
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+}
+
+// --- SpscRing ----------------------------------------------------------------
+
+TEST(SpscRingStress, CapacityIsExact) {
+  SpscRing<int> r(3);  // 4 slots allocated, 3 usable
+  EXPECT_EQ(r.capacity(), 3u);
+  int v = 0;
+  EXPECT_TRUE(r.try_push(std::move(v)));
+  v = 1;
+  EXPECT_TRUE(r.try_push(std::move(v)));
+  v = 2;
+  EXPECT_TRUE(r.try_push(std::move(v)));
+  v = 3;
+  EXPECT_FALSE(r.try_push(std::move(v)));
+  EXPECT_EQ(*r.try_pop(), 0);
+  EXPECT_TRUE(r.try_push(std::move(v)));
+}
+
+TEST(SpscRingStress, BatchedPushPopRoundTrips) {
+  SpscRing<int> r(8);
+  std::vector<int> in(5);
+  std::iota(in.begin(), in.end(), 10);
+  EXPECT_EQ(r.try_push_n(in.data(), in.size()), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(r.try_pop_n(&out, 3), 3u);
+  EXPECT_EQ(r.try_pop_n(&out, 10), 2u);
+  EXPECT_EQ(out, std::vector<int>({10, 11, 12, 13, 14}));
+}
+
+TEST(SpscRingStress, ConcurrentOrderAndConservation) {
+  constexpr int kN = 100000;
+  SpscRing<int> r(16);
+  std::vector<int> seen;
+  seen.reserve(kN);
+  std::thread consumer([&] {
+    while (seen.size() < kN) {
+      if (std::optional<int> v = r.try_pop())
+        seen.push_back(*v);
+      else
+        std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < kN; ++i) {
+    int v = i;
+    while (!r.try_push(std::move(v))) std::this_thread::yield();
+  }
+  consumer.join();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i)
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)], i) << "FIFO order violated";
+}
+
+// --- MpmcRing ----------------------------------------------------------------
+
+TEST(MpmcRingStress, LogicalCapacityRespectedSingleThread) {
+  MpmcRing<int> r(3);  // 4 slots allocated, 3 usable
+  EXPECT_EQ(r.capacity(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    EXPECT_TRUE(r.try_push(std::move(v)));
+  }
+  int v = 3;
+  EXPECT_FALSE(r.try_push(std::move(v)));
+  EXPECT_EQ(*r.try_pop(), 0);
+  EXPECT_TRUE(r.try_push(std::move(v)));
+}
+
+TEST(MpmcRingStress, CapacityOneDoesNotWedge) {
+  // Regression: a one-slot Vyukov ring deadlocks (dequeue-ready and next
+  // enqueue-ready share a sequence value); the ring must allocate >= 2
+  // slots while still enforcing logical capacity 1.
+  MpmcRing<int> r(1);
+  EXPECT_EQ(r.capacity(), 1u);
+  for (int i = 0; i < 1000; ++i) {
+    int v = i;
+    ASSERT_TRUE(r.try_push(std::move(v)));
+    int w = i;
+    ASSERT_FALSE(r.try_push(std::move(w))) << "logical capacity 1 exceeded";
+    ASSERT_EQ(*r.try_pop(), i);
+  }
+}
+
+TEST(MpmcRingStress, ManyProducersManyConsumersConserveSum) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 20000;
+  MpmcRing<long long> r(64);
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> producers_done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        long long v = static_cast<long long>(p) * kPerProducer + i;
+        while (!r.try_push(std::move(v))) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        if (std::optional<long long> v = r.try_pop()) {
+          consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load(std::memory_order_acquire) &&
+                   consumed_count.load(std::memory_order_relaxed) ==
+                       kProducers * kPerProducer) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  producers_done.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; ++c)
+    threads[static_cast<std::size_t>(kProducers + c)].join();
+
+  const long long n = static_cast<long long>(kProducers) * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+}
+
+// --- StageQueue blocking contract (mirrors the BoundedQueue tests) ----------
+
+struct QueueParam {
+  const char* name;
+  std::size_t producers;
+  std::size_t consumers;
+  QueueBackend backend;
+};
+
+class StageQueueContract : public ::testing::TestWithParam<QueueParam> {
+ protected:
+  std::unique_ptr<StageQueue<int>> make(std::size_t capacity) {
+    const QueueParam& p = GetParam();
+    return make_stage_queue<int>(capacity, p.producers, p.consumers,
+                                 p.backend);
+  }
+};
+
+TEST_P(StageQueueContract, BackendSelectionMatchesTopology) {
+  auto q = make(4);
+  EXPECT_STREQ(q->backend(), GetParam().name);
+}
+
+TEST_P(StageQueueContract, FifoOrderSingleThread) {
+  auto q = make(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q->push(i));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(*q->pop(), i);
+}
+
+TEST_P(StageQueueContract, PopAfterCloseDrainsThenFails) {
+  auto q = make(8);
+  q->push(1);
+  q->push(2);
+  q->close();
+  EXPECT_EQ(*q->pop(), 1);
+  EXPECT_EQ(*q->pop(), 2);
+  EXPECT_FALSE(q->pop().has_value());
+}
+
+TEST_P(StageQueueContract, PushAfterCloseIsRejected) {
+  auto q = make(8);
+  q->close();
+  EXPECT_FALSE(q->push(7));
+  EXPECT_EQ(q->size(), 0u);
+}
+
+TEST_P(StageQueueContract, TryPopNonBlocking) {
+  auto q = make(4);
+  EXPECT_FALSE(q->try_pop().has_value());
+  q->push(9);
+  EXPECT_EQ(*q->try_pop(), 9);
+  EXPECT_FALSE(q->try_pop().has_value());
+}
+
+TEST_P(StageQueueContract, BlockedPushWakesOnPopAndCountsFullWait) {
+  auto q = make(1);
+  EXPECT_TRUE(q->push(1));
+  std::thread t([&] { EXPECT_TRUE(q->push(2)); });
+  // Give the pusher a moment to block, then make room.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(*q->pop(), 1);
+  t.join();
+  EXPECT_EQ(*q->pop(), 2);
+  EXPECT_GE(q->stats().full_waits, 1u);
+  EXPECT_GE(q->stats().high_water, 1u);
+}
+
+TEST_P(StageQueueContract, BlockedPopWakesOnCloseAndCountsEmptyWait) {
+  auto q = make(4);
+  std::thread t([&] { EXPECT_FALSE(q->pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q->close();
+  t.join();
+  EXPECT_GE(q->stats().empty_waits, 1u);
+}
+
+TEST_P(StageQueueContract, BatchedPopNWaitsThenGrabsAvailable) {
+  auto q = make(8);
+  for (int i = 0; i < 5; ++i) q->push(i);
+  std::vector<int> out;
+  EXPECT_TRUE(q->pop_n(&out, 3));
+  EXPECT_EQ(out, std::vector<int>({0, 1, 2}));
+  EXPECT_TRUE(q->pop_n(&out, 8));  // only 2 left; must not block for more
+  EXPECT_EQ(out, std::vector<int>({3, 4}));
+  q->close();
+  EXPECT_FALSE(q->pop_n(&out, 4));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(StageQueueContract, BatchedPushNDeliversInOrder) {
+  auto q = make(4);
+  std::vector<int> batch = {1, 2, 3, 4, 5, 6, 7};
+  std::thread consumer([&] {
+    std::vector<int> got;
+    std::vector<int> buf;
+    while (q->pop_n(&buf, 2))
+      got.insert(got.end(), buf.begin(), buf.end());
+    EXPECT_EQ(got, std::vector<int>({1, 2, 3, 4, 5, 6, 7}));
+  });
+  EXPECT_EQ(q->push_n(&batch), 7u);  // blocks through the cap-4 queue
+  EXPECT_TRUE(batch.empty());
+  q->close();
+  consumer.join();
+}
+
+TEST_P(StageQueueContract, PushNAfterCloseAcceptsNothing) {
+  auto q = make(4);
+  q->close();
+  std::vector<int> batch = {1, 2, 3};
+  EXPECT_EQ(q->push_n(&batch), 0u);
+}
+
+TEST_P(StageQueueContract, ConcurrentStreamUnderTinyCapacity) {
+  // The pipeline's actual topology per parameterization, with the smallest
+  // buffer: producers push a disjoint id space, consumers drain until
+  // end-of-stream; the union must be exact.
+  const QueueParam& p = GetParam();
+  constexpr int kPerProducer = 10000;
+  auto q = make(1);
+  std::atomic<long long> sum{0};
+  std::atomic<long long> count{0};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < p.consumers; ++c) {
+    threads.emplace_back([&] {
+      std::vector<int> buf;
+      while (q->pop_n(&buf, 4)) {
+        for (int v : buf) sum.fetch_add(v, std::memory_order_relaxed);
+        count.fetch_add(static_cast<long long>(buf.size()),
+                        std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  std::atomic<std::size_t> producers_left{p.producers};
+  for (std::size_t w = 0; w < p.producers; ++w) {
+    producers.emplace_back([&, w] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q->push(static_cast<int>(w) * kPerProducer + i));
+      if (producers_left.fetch_sub(1) == 1) q->close();
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (std::size_t c = 0; c < p.consumers; ++c)
+    threads[c].join();
+  const long long n = static_cast<long long>(p.producers) * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_GE(q->stats().high_water, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, StageQueueContract,
+    ::testing::Values(QueueParam{"spsc", 1, 1, QueueBackend::Auto},
+                      QueueParam{"mpmc", 2, 2, QueueBackend::Auto},
+                      QueueParam{"mpmc", 1, 4, QueueBackend::LockFree},
+                      QueueParam{"locking", 2, 2, QueueBackend::Locking}),
+    [](const ::testing::TestParamInfo<QueueParam>& info) {
+      return std::string(info.param.name) + "_" +
+             std::to_string(info.param.producers) + "p" +
+             std::to_string(info.param.consumers) + "c";
+    });
+
+}  // namespace

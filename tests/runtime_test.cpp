@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <thread>
@@ -227,6 +228,35 @@ TEST(ParallelForTest, GrainRespected) {
                        },
                        t);
   EXPECT_EQ(chunks.load(), 10);
+}
+
+TEST(ParallelForTest, AutoGrainClampedForTinyRanges) {
+  // Regression: with range < threads * 8 the auto-grain formula
+  // range / (threads * 8) truncates to zero; it must clamp to 1, not
+  // divide the range into zero-width chunks (infinite split / no progress).
+  std::array<std::atomic<int>, 5> hits{};
+  ParallelForTuning t;
+  t.threads = 16;  // threads * 8 = 128 >> range
+  t.grain = 0;     // auto
+  parallel_for(0, 5, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; }, t);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, BlockedFastPathMatchesStdFunctionPath) {
+  // parallel_for_blocked takes the chunk functor as a template parameter
+  // (no std::function allocation); it must cover the same chunks.
+  std::vector<std::atomic<int>> hits(512);
+  ParallelForTuning t;
+  t.grain = 32;
+  t.threads = 4;  // force the parallel path even on single-core hosts
+  parallel_for_blocked(0, 512,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         EXPECT_LE(hi - lo, 32);
+                         for (std::int64_t i = lo; i < hi; ++i)
+                           ++hits[static_cast<std::size_t>(i)];
+                       },
+                       t);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ParallelForTest, ReduceSum) {
