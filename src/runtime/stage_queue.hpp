@@ -173,7 +173,7 @@ class RingStageQueue final : public StageQueue<T> {
 
   std::optional<T> pop() override {
     if (std::optional<T> v = ring_.try_pop()) {
-      after_pop();
+      after_pop(1);
       return v;
     }
     return pop_slow();
@@ -187,13 +187,13 @@ class RingStageQueue final : public StageQueue<T> {
       out->push_back(std::move(*first));
       if (max > 1) ring_.try_pop_n(out, max - 1);
     }
-    after_pop();
+    after_pop(out->size());
     return true;
   }
 
   std::optional<T> try_pop() override {
     std::optional<T> v = ring_.try_pop();
-    if (v) after_pop();
+    if (v) after_pop(1);
     return v;
   }
 
@@ -237,7 +237,6 @@ class RingStageQueue final : public StageQueue<T> {
            !high_water_.compare_exchange_weak(seen, occupancy,
                                               std::memory_order_relaxed)) {
     }
-    (void)pushed;
     // Dekker edge: the element store (release on the ring index) must be
     // ordered before the waiter-count load, and the consumer's count store
     // before its ring re-check. seq_cst on both sides closes the window.
@@ -246,17 +245,27 @@ class RingStageQueue final : public StageQueue<T> {
       {
         std::lock_guard<std::mutex> lock(mutex_);
       }
-      not_empty_.notify_one();
+      // A batch made several elements available: one wakeup would leave the
+      // other parked consumers to recover only via the bounded-park timeout.
+      if (pushed > 1)
+        not_empty_.notify_all();
+      else
+        not_empty_.notify_one();
     }
   }
 
-  void after_pop() {
+  void after_pop(std::size_t freed) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (push_waiters_.load(std::memory_order_relaxed) > 0) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
       }
-      not_full_.notify_one();
+      // Same breadth rule as after_push: a batch pop freed several slots,
+      // so wake every parked producer, not just one.
+      if (freed > 1)
+        not_full_.notify_all();
+      else
+        not_full_.notify_one();
     }
   }
 
@@ -291,7 +300,7 @@ class RingStageQueue final : public StageQueue<T> {
       if (std::optional<T> v = ring_.try_pop()) {
         pop_waiters_.fetch_sub(1, std::memory_order_relaxed);
         lock.unlock();
-        after_pop();
+        after_pop(1);
         return v;
       }
       if (closed_.load(std::memory_order_seq_cst)) {
@@ -302,7 +311,7 @@ class RingStageQueue final : public StageQueue<T> {
         if (std::optional<T> v = ring_.try_pop()) {
           pop_waiters_.fetch_sub(1, std::memory_order_relaxed);
           lock.unlock();
-          after_pop();
+          after_pop(1);
           return v;
         }
         pop_waiters_.fetch_sub(1, std::memory_order_relaxed);

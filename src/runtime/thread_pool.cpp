@@ -121,12 +121,20 @@ void ThreadPool::enqueue(Job* job) {
   const WorkerIdentity& id = g_worker_identity;
   if (id.pool == this) {
     static_cast<Worker*>(id.worker)->deque.push(job);
-  } else if (!injector_->ring.try_push(std::move(job))) {
-    {
+  } else {
+    // FIFO invariant: every overflow job is newer than every ring job. A
+    // submission takes the ring only while no backlog exists; otherwise it
+    // queues behind the backlog, which drains back into the ring as workers
+    // pop (refill_injector_from_overflow) — so overflow jobs are neither
+    // starved nor overtaken by fresh ring traffic.
+    const bool ringed =
+        overflow_size_.load(std::memory_order_seq_cst) == 0 &&
+        injector_->ring.try_push(std::move(job));
+    if (!ringed) {
       std::lock_guard<std::mutex> lock(overflow_mutex_);
       overflow_.push_back(job);
+      overflow_size_.fetch_add(1, std::memory_order_release);
     }
-    overflow_size_.fetch_add(1, std::memory_order_release);
   }
   if (observe::enabled())
     pool_metrics().queue_depth.set(
@@ -153,11 +161,30 @@ void ThreadPool::submit(std::function<void()> task) {
   submit_fast(std::move(task));
 }
 
+void ThreadPool::refill_injector_from_overflow() {
+  std::lock_guard<std::mutex> lock(overflow_mutex_);
+  std::size_t moved = 0;
+  while (!overflow_.empty()) {
+    Job* j = overflow_.front();
+    if (!injector_->ring.try_push(std::move(j))) break;
+    overflow_.pop_front();
+    ++moved;
+  }
+  if (moved > 0) overflow_size_.fetch_sub(moved, std::memory_order_release);
+}
+
 ThreadPool::Job* ThreadPool::find_job(Worker& self) {
   // Own work first (LIFO: cache-warm, and what recursive splitting wants).
   if (std::optional<Job*> j = self.deque.pop()) return *j;
-  // External submissions.
-  if (std::optional<Job*> j = injector_->ring.try_pop()) return *j;
+  // External submissions. The ring holds the oldest ones (enqueue diverts
+  // to overflow_ while a backlog exists), so ring-first is FIFO; every pop
+  // frees a slot, so top the ring up from the backlog — it drains at pool
+  // consumption speed instead of one job per empty-ring scan.
+  if (std::optional<Job*> j = injector_->ring.try_pop()) {
+    if (overflow_size_.load(std::memory_order_acquire) > 0)
+      refill_injector_from_overflow();
+    return *j;
+  }
   if (overflow_size_.load(std::memory_order_acquire) > 0) {
     std::lock_guard<std::mutex> lock(overflow_mutex_);
     if (!overflow_.empty()) {
@@ -227,25 +254,42 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void TaskGroup::finish() {
+  // Register before the decrement that can make wait() eligible to return:
+  // a waiter that observes outstanding_ == 0 then also observes this
+  // registration until our very last access to the group has completed, so
+  // the caller cannot destroy the (stack-allocated) group under us.
+  finishing_.fetch_add(1, std::memory_order_seq_cst);
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Same Dekker shape as the pool's sleep protocol: wait() publishes its
     // registration (seq_cst) before re-checking outstanding_, we order the
     // final decrement before the waiter check.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (waiters_.load(std::memory_order_relaxed) > 0) {
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-      }
+      // Deregister and notify while HOLDING the mutex: the parked waiter
+      // can observe finishing_ == 0 only after we release, i.e. after our
+      // last touch of done_/mutex_. (Notify-after-unlock here is exactly
+      // the use-after-free the lifetime contract forbids.)
+      std::lock_guard<std::mutex> lock(mutex_);
+      finishing_.fetch_sub(1, std::memory_order_seq_cst);
       done_.notify_all();
+      return;
     }
   }
+  // Non-final, or final with no waiter registered yet: this atomic is the
+  // last access — a later wait() returns only once it reads the decrement.
+  finishing_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 void TaskGroup::wait() {
-  if (outstanding_.load(std::memory_order_acquire) == 0) return;
+  // No lock-free fast path: returning off a bare outstanding_ load could
+  // race a finish() still between its decrement and its deregistration.
   std::unique_lock<std::mutex> lock(mutex_);
   waiters_.fetch_add(1, std::memory_order_seq_cst);
-  while (outstanding_.load(std::memory_order_seq_cst) != 0)
+  // The finishing_ term closes the destruction race; a stale registration
+  // with no notify pending resolves at the bounded-park timeout (the
+  // preempted-between-two-atomics window, vanishingly rare).
+  while (outstanding_.load(std::memory_order_seq_cst) != 0 ||
+         finishing_.load(std::memory_order_seq_cst) != 0)
     done_.wait_for(lock, std::chrono::milliseconds(50));
   waiters_.fetch_sub(1, std::memory_order_relaxed);
 }

@@ -6,7 +6,10 @@
 // Each worker owns a Chase–Lev deque (LIFO pop keeps caches warm, FIFO
 // steal hands thieves the largest remaining subtree). External submitters
 // feed a bounded MPMC injector ring, with a mutex-protected overflow list
-// behind it so submit() never blocks and never runs tasks inline. Workers
+// behind it so submit() never blocks and never runs tasks inline. While a
+// backlog exists new submissions queue behind it and workers refill the
+// ring from the backlog as they pop, so external submission order stays
+// FIFO and overflow jobs cannot be starved by fresh ring traffic. Workers
 // sleep on a condvar only when the whole pool is starved; producers take
 // the wakeup lock only when a sleeper is registered, so the steady-state
 // submit path is lock-free.
@@ -83,6 +86,7 @@ class ThreadPool {
   Job* find_job(Worker& self);
   void worker_loop(std::size_t index);
   void wake_one();
+  void refill_injector_from_overflow();
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -106,7 +110,16 @@ class ThreadPool {
 
 /// Counts outstanding tasks; wait() blocks until all finished. RAII-friendly:
 /// add() before submit, finish() inside the task (see run_on). Lock-free on
-/// the add/finish side: the mutex is touched only when a waiter is parked.
+/// the add/finish side: the mutex is touched only by the final finish() when
+/// a waiter is registered.
+///
+/// Lifetime contract: once wait() returns, the group may be destroyed —
+/// groups live on the stack of the waiting caller (parallel_for,
+/// master/worker). finish() therefore registers in `finishing_` before its
+/// `outstanding_` decrement and deregisters as its very last member access,
+/// and wait() returns only after observing both counters at zero under the
+/// mutex; the final finish() notifies while *holding* the mutex so a parked
+/// waiter cannot wake, observe completion, and free the group mid-notify.
 class TaskGroup {
  public:
   void add(std::size_t n = 1) {
@@ -121,6 +134,9 @@ class TaskGroup {
 
  private:
   std::atomic<std::size_t> outstanding_{0};
+  /// finish() calls between their outstanding_ decrement and their last
+  /// access to this object; wait() may not return while nonzero.
+  std::atomic<std::uint32_t> finishing_{0};
   std::atomic<std::uint32_t> waiters_{0};
   std::mutex mutex_;
   std::condition_variable done_;

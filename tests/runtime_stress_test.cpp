@@ -20,11 +20,49 @@
 
 #include "runtime/ring_buffer.hpp"
 #include "runtime/stage_queue.hpp"
+#include "runtime/thread_pool.hpp"
 #include "runtime/ws_deque.hpp"
 
 namespace {
 
 using namespace patty::rt;
+
+// --- TaskGroup ---------------------------------------------------------------
+
+TEST(TaskGroupStress, WaitReturnImpliesFinishersDone) {
+  // Regression: wait() used to be able to return while the final finish()
+  // was still notifying (the notify ran after an empty critical section),
+  // letting the caller destroy the stack-allocated group under the
+  // finishing worker. A tight create/run/wait/destroy loop maximizes that
+  // window; under TSan any touch of a dead group is flagged.
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::atomic<int> hits{0};
+    TaskGroup group;
+    for (int t = 0; t < 4; ++t)
+      group.run_on(pool, [&hits] {
+        hits.fetch_add(1, std::memory_order_relaxed);
+      });
+    group.wait();
+    ASSERT_EQ(hits.load(), 4);
+  }
+}
+
+TEST(TaskGroupStress, ConcurrentWaitersAllRelease) {
+  ThreadPool pool(2);
+  for (int iter = 0; iter < 200; ++iter) {
+    TaskGroup group;
+    std::atomic<int> done{0};
+    for (int t = 0; t < 8; ++t)
+      group.run_on(pool, [&done] {
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    std::thread side([&group] { group.wait(); });
+    group.wait();
+    EXPECT_EQ(done.load(), 8);
+    side.join();
+  }
+}
 
 // --- WsDeque -----------------------------------------------------------------
 
