@@ -86,6 +86,44 @@ std::vector<ModelTest> make_battery() {
             c.yield();
           }
         }}});
+
+  // v2 battery rows: the atomics vocabulary of the lock-free runtime.
+
+  // Atomic counter: RMWs synchronize, so this must NOT be flagged.
+  auto atomic_acc = [](TaskContext& c) { c.fetch_add("acc", 1); };
+  battery.push_back({"atomic-accumulator", false, {atomic_acc, atomic_acc}});
+
+  // Relaxed publish: same interleavings as release/acquire, but no
+  // happens-before edge — only a memory-order-aware detector flags it.
+  battery.push_back(
+      {"relaxed-publish", true,
+       {[](TaskContext& c) {
+          c.write("data", 42);
+          c.atomic_store("ready", 1, patty::race::MemoryOrder::Relaxed);
+        },
+        [](TaskContext& c) {
+          if (c.atomic_load("ready", patty::race::MemoryOrder::Acquire) == 1)
+            c.read("data");
+        }}});
+
+  // Release/acquire publish (race-free): the pattern behind SpscRing.
+  battery.push_back(
+      {"release-acquire-publish", false,
+       {[](TaskContext& c) {
+          c.write("data", 42);
+          c.atomic_store("ready", 1, patty::race::MemoryOrder::Release);
+        },
+        [](TaskContext& c) {
+          if (c.atomic_load("ready", patty::race::MemoryOrder::Acquire) == 1)
+            c.read("data");
+        }}});
+
+  // CAS-guarded single claim (race-free): the Chase–Lev last-element rule.
+  auto claimant = [](TaskContext& c) {
+    std::int64_t expected = 0;
+    if (c.compare_exchange("claim", expected, 1)) c.write("winner_only", 1);
+  };
+  battery.push_back({"cas-single-claim", false, {claimant, claimant}});
   return battery;
 }
 

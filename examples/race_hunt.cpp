@@ -2,9 +2,14 @@
 // on the CHESS-style interleaving explorer. This example shows both halves:
 //  * the generated unit tests of a detected pipeline, including the
 //    OrderPreservation probe (the paper: whether an order violation
-//    compromises semantics is undecidable, so it is *tested*), and
-//  * the explorer hunting a seeded race in a model of a replicated stage
-//    that writes shared state without synchronization.
+//    compromises semantics is undecidable, so it is *tested*) — both by
+//    repeated execution and by systematic exploration, which hands back the
+//    serialized schedule of the violating interleaving, and
+//  * the explorer hunting seeded bugs in models of a replicated stage: an
+//    order violation behind an atomic cursor (assertion failure, no data
+//    race — the v2 detector knows atomic RMWs synchronize) and a plain
+//    unsynchronized cursor (a genuine data race), then replaying a failing
+//    schedule deterministically.
 
 #include <cstdio>
 
@@ -18,8 +23,10 @@
 int main() {
   using namespace patty;
 
-  // --- Half 1: generated parallel unit tests on a real candidate. ---------
-  const corpus::CorpusProgram& app = corpus::desktop_search();
+  // --- Half 1: generated parallel unit tests on a real candidate.
+  // avistream is the paper's running example: its pipeline candidate gets
+  // the order-preservation-off probe.
+  const corpus::CorpusProgram& app = corpus::avistream();
   DiagnosticSink diags;
   auto program = lang::parse_and_check(app.source, diags);
   if (!program) return 1;
@@ -35,29 +42,79 @@ int main() {
                 outcome.passed ? "PASS" : outcome.detail.c_str());
   }
 
+  // The order probe, systematically: where run_unit_test samples
+  // interleavings, the explorer enumerates them and serializes the
+  // violating schedule.
+  bool probe_ok = true;
+  for (const auto& t : tests) {
+    if (!t.expects_possible_order_violation) continue;
+    const transform::ExplorationOutcome probe =
+        transform::explore_order_probe(t);
+    std::printf("\nOrder probe (explored) for %s:\n  %zu schedules "
+                "(exhausted: %s), violation possible: %s\n",
+                t.name.c_str(), probe.schedules_explored,
+                probe.exhausted ? "yes" : "no",
+                probe.order_violation_possible ? "yes" : "no");
+    if (probe.order_violation_possible)
+      std::printf("  witness: %s\n  schedule: [%s]\n", probe.detail.c_str(),
+                  probe.failing_schedule.c_str());
+    probe_ok = probe_ok && probe.order_violation_possible &&
+               !probe.failing_schedule.empty();
+  }
+
   // --- Half 2: systematic interleaving exploration. -----------------------
-  std::printf("\nSeeded race: replicated stage appending to a shared output "
-              "without order restoration.\n");
-  auto worker = [](int elem) {
-    return [elem](race::TaskContext& ctx) {
-      // fetch_add models the unsynchronized 'next free slot' cursor.
+  std::printf("\nSeeded bug: replicated stage appending through an atomic "
+              "cursor without order restoration.\n");
+  auto worker = [](int elem, int seq) {
+    return [elem, seq](race::TaskContext& ctx) {
+      // The atomic cursor itself is race-free (the v2 detector models the
+      // RMW's synchronization); the bug is the emission *order*.
       const std::int64_t pos = ctx.fetch_add("cursor", 1);
       ctx.write("out" + std::to_string(pos), elem);
-      ctx.check(pos != 0 || elem == 10, "element order violated");
+      ctx.check(pos == seq, "element order violated");
     };
   };
   race::ExploreOptions options;
   options.preemption_bound = 3;
   const race::ExploreResult seeded =
-      race::explore({worker(10), worker(20)}, options);
+      race::explore({worker(10, 0), worker(20, 1)}, options);
   std::printf("  schedules explored: %zu (exhausted: %s)\n",
               seeded.schedules_explored, seeded.exhausted ? "yes" : "no");
-  std::printf("  races found: %zu, assertion failures: %zu, distinct final "
-              "states: %zu\n",
+  std::printf("  races: %zu (atomic cursor: none expected), assertion "
+              "failures: %zu, distinct final states: %zu\n",
               seeded.races.size(), seeded.assertion_failures.size(),
               seeded.distinct_final_states);
-  for (const auto& r : seeded.races)
-    std::printf("    race on '%s' between tasks %d and %d (%s)\n",
+
+  // Replay the failing schedule — the regression-test handle.
+  bool replay_ok = false;
+  if (!seeded.failing_schedules.empty()) {
+    const race::ScheduleFailure& f = seeded.failing_schedules.front();
+    std::printf("  first failing schedule: [%s] (%s)\n",
+                f.schedule.to_string().c_str(), f.detail.c_str());
+    const auto parsed = race::Schedule::from_string(f.schedule.to_string());
+    if (parsed) {
+      const race::ReplayResult rep =
+          race::replay({worker(10, 0), worker(20, 1)}, *parsed, options);
+      replay_ok = !rep.assertion_failures.empty() &&
+                  rep.assertion_failures.front() == f.detail;
+      std::printf("  replayed standalone: %s\n",
+                  replay_ok ? "identical failure reproduced" : "MISMATCH");
+    }
+  }
+
+  std::printf("\nSame stage with a plain (non-atomic) cursor: a data race, "
+              "not just an order bug.\n");
+  auto racy = [](int elem) {
+    return [elem](race::TaskContext& ctx) {
+      const std::int64_t pos = ctx.read("cursor");
+      ctx.write("cursor", pos + 1);
+      ctx.write("out" + std::to_string(pos), elem);
+    };
+  };
+  const race::ExploreResult plain =
+      race::explore({racy(10), racy(20)}, options);
+  for (const auto& r : plain.races)
+    std::printf("  race on '%s' between tasks %d and %d (%s)\n",
                 r.var.c_str(), r.task_a, r.task_b,
                 r.write_write ? "write-write" : "read-write");
 
@@ -87,7 +144,9 @@ int main() {
               fixed.schedules_explored, fixed.races.size(),
               fixed.distinct_final_states);
 
-  const bool ok = !seeded.races.empty() && fixed.races.empty() &&
+  const bool ok = probe_ok && seeded.races.empty() &&
+                  !seeded.assertion_failures.empty() && replay_ok &&
+                  !plain.races.empty() && fixed.races.empty() &&
                   fixed.distinct_final_states == 1;
   std::printf("\nrace hunt outcome: %s\n", ok ? "as expected" : "UNEXPECTED");
   return ok ? 0 : 1;

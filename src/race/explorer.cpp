@@ -26,16 +26,86 @@ void clock_join(Clock& a, const Clock& b) {
   for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::max(a[i], b[i]);
 }
 
+bool order_has_acquire(MemoryOrder o) {
+  return o == MemoryOrder::Acquire || o == MemoryOrder::AcqRel ||
+         o == MemoryOrder::SeqCst;
+}
+
+bool order_has_release(MemoryOrder o) {
+  return o == MemoryOrder::Release || o == MemoryOrder::AcqRel ||
+         o == MemoryOrder::SeqCst;
+}
+
 struct PendingOp {
   enum class Kind : std::uint8_t {
-    Read, Write, FetchAdd, Lock, Unlock, Yield
+    Read,
+    Write,
+    AtomicLoad,
+    AtomicStore,
+    AtomicRmw,
+    AtomicCas,
+    Lock,
+    Unlock,
+    WaitSignal,  // middle op of cond_wait: blocked until notify
+    NotifyOne,
+    NotifyAll,
+    Park,
+    Unpark,
+    Yield,
   };
   Kind kind = Kind::Yield;
   std::string var;
-  std::int64_t value = 0;
+  std::int64_t value = 0;     // store value / rmw delta / cas desired
+  std::int64_t expected = 0;  // cas only
+  MemoryOrder order = MemoryOrder::SeqCst;
+  MemoryOrder order_fail = MemoryOrder::SeqCst;  // cas failure path
 };
 
+/// Thrown into task threads when a run is aborted (deadlock or step
+/// overflow): unwinds through the user task so blocked and spinning tasks
+/// alike exit cleanly instead of wedging join().
+struct AbortRun {};
+
+constexpr std::size_t kMaxStepsPerRun = 100'000;
+constexpr std::size_t kMaxFailingSchedules = 64;
+
 }  // namespace
+
+// --- Schedule ----------------------------------------------------------------
+
+std::string Schedule::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i) out.push_back(',');
+    out += std::to_string(choices[i]);
+  }
+  return out;
+}
+
+std::optional<Schedule> Schedule::from_string(const std::string& text) {
+  Schedule s;
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\n')) ++i;
+  while (i < text.size()) {
+    if (text[i] < '0' || text[i] > '9') return std::nullopt;
+    int v = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      v = v * 10 + (text[i] - '0');
+      ++i;
+    }
+    s.choices.push_back(v);
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\n')) ++i;
+    if (i < text.size()) {
+      if (text[i] != ',') return std::nullopt;
+      ++i;
+      while (i < text.size() && (text[i] == ' ' || text[i] == '\n')) ++i;
+      if (i == text.size()) return std::nullopt;  // trailing comma
+    }
+  }
+  return s;
+}
+
+// --- Runner ------------------------------------------------------------------
 
 /// One lockstep execution of the test under a (partially) fixed schedule.
 class Runner {
@@ -56,13 +126,16 @@ class Runner {
   struct RunResult {
     std::vector<StepRecord> steps;
     bool deadlocked = false;
+    std::string deadlock_report;
     std::set<RaceReport> races;
     std::set<std::string> assertion_failures;
     std::map<std::string, std::int64_t> final_state;
   };
 
-  /// Execute, following `prefix` task choices, then first-enabled.
-  RunResult run(const std::vector<int>& prefix) {
+  /// Execute, following `prefix` task choices, then first-admissible.
+  /// `exact_prefix` (replay mode) honors a prefix choice whenever that task
+  /// is enabled, bypassing the preemption bound.
+  RunResult run(const std::vector<int>& prefix, bool exact_prefix = false) {
     RunResult result;
     // Launch task threads; each blocks at its first scheduling point.
     std::vector<std::thread> threads;
@@ -70,7 +143,10 @@ class Runner {
     for (std::size_t t = 0; t < n_; ++t) {
       threads.emplace_back([this, t] {
         TaskContext ctx(static_cast<int>(t), this);
-        tasks_[t](ctx);
+        try {
+          tasks_[t](ctx);
+        } catch (const AbortRun&) {
+        }
         std::scoped_lock lock(mutex_);
         states_[t].finished = true;
         cv_.notify_all();
@@ -93,18 +169,21 @@ class Runner {
       for (std::size_t t = 0; t < n_; ++t) {
         if (states_[t].finished) continue;
         any_unfinished = true;
-        if (is_enabled(static_cast<int>(t))) enabled.push_back(static_cast<int>(t));
+        if (is_enabled(static_cast<int>(t)))
+          enabled.push_back(static_cast<int>(t));
       }
       if (!any_unfinished) break;  // all done
       if (enabled.empty()) {
+        // Every unfinished task is blocked: report the cycle and abort the
+        // run so the DFS can continue with the next schedule.
         result.deadlocked = true;
-        // Unblock everything so threads can exit: grant nothing; abort by
-        // marking a poison flag that makes ops no-ops and granting all.
-        aborting_ = true;
-        for (std::size_t t = 0; t < n_; ++t) {
-          states_[t].granted = true;
-        }
-        cv_.notify_all();
+        result.deadlock_report = describe_blocked_tasks();
+        abort_run();
+        break;
+      }
+      if (step >= kMaxStepsPerRun) {
+        // Livelock airbag (e.g. an unfair spin loop): abandon this run.
+        abort_run();
         break;
       }
 
@@ -119,16 +198,19 @@ class Runner {
           continue;
         admissible.push_back(t);
       }
-      if (admissible.empty()) admissible.push_back(previous);
 
       int chosen;
       if (step < prefix.size()) {
         chosen = prefix[step];
-        // A stale prefix entry (can happen only on scheduler bugs) falls
-        // back to the first admissible choice.
-        if (std::find(admissible.begin(), admissible.end(), chosen) ==
-            admissible.end())
-          chosen = admissible.front();
+        const bool runnable =
+            exact_prefix
+                ? std::find(enabled.begin(), enabled.end(), chosen) !=
+                      enabled.end()
+                : std::find(admissible.begin(), admissible.end(), chosen) !=
+                      admissible.end();
+        // A stale prefix entry (possible only on scheduler bugs, or a
+        // hand-edited replay schedule) falls back to the first choice.
+        if (!runnable) chosen = admissible.front();
       } else {
         chosen = admissible.front();
       }
@@ -143,7 +225,7 @@ class Runner {
       ++step;
 
       // Grant exactly this task one operation.
-      perform_effect(chosen, result);
+      perform_effect(chosen);
       states_[static_cast<std::size_t>(chosen)].at_point = false;
       states_[static_cast<std::size_t>(chosen)].granted = true;
       cv_.notify_all();
@@ -163,6 +245,9 @@ class Runner {
     bool at_point = false;
     bool granted = false;
     bool finished = false;
+    bool signal_seen = false;  // WaitSignal: a notify targeted this task
+    bool unparked = false;     // Park: an unpark targeted this task
+    Clock wake_clock;          // clock of the notifier/unparker
     PendingOp op;
     std::int64_t op_result = 0;
   };
@@ -170,55 +255,172 @@ class Runner {
   bool is_enabled(int t) const {
     const TaskState& st = states_[static_cast<std::size_t>(t)];
     if (!st.at_point) return false;
-    if (st.op.kind == PendingOp::Kind::Lock) {
-      auto it = lock_holder_.find(st.op.var);
-      return it == lock_holder_.end() || it->second == t;
+    switch (st.op.kind) {
+      case PendingOp::Kind::Lock: {
+        auto it = lock_holder_.find(st.op.var);
+        return it == lock_holder_.end() || it->second == t;
+      }
+      case PendingOp::Kind::WaitSignal:
+        return st.signal_seen;
+      case PendingOp::Kind::Park: {
+        if (st.unparked) return true;
+        auto it = permits_.find(st.op.var);
+        return it != permits_.end() && it->second > 0;
+      }
+      default:
+        return true;
     }
-    return true;
+  }
+
+  /// Human-readable description of why every unfinished task is blocked
+  /// (the deadlock / lost-wakeup cycle), ordered by task id.
+  std::string describe_blocked_tasks() const {
+    std::string out;
+    for (std::size_t t = 0; t < n_; ++t) {
+      const TaskState& st = states_[t];
+      if (st.finished || !st.at_point) continue;
+      if (!out.empty()) out += "; ";
+      out += "task " + std::to_string(t);
+      switch (st.op.kind) {
+        case PendingOp::Kind::Lock: {
+          out += " blocked on mutex '" + st.op.var + "'";
+          auto it = lock_holder_.find(st.op.var);
+          if (it != lock_holder_.end())
+            out += " held by task " + std::to_string(it->second);
+          break;
+        }
+        case PendingOp::Kind::WaitSignal:
+          out += " waiting on cond '" + st.op.var + "'";
+          break;
+        case PendingOp::Kind::Park:
+          out += " parked on '" + st.op.var + "'";
+          break;
+        default:
+          out += " blocked";
+          break;
+      }
+    }
+    return out;
+  }
+
+  /// Wake every task thread with an abort: blocked tasks, tasks mid-compute
+  /// and unfair spin loops all throw AbortRun at their next scheduling
+  /// point and unwind out of the user code.
+  void abort_run() {
+    aborting_ = true;
+    for (std::size_t t = 0; t < n_; ++t) states_[t].granted = true;
+    cv_.notify_all();
+  }
+
+  struct VarMeta {
+    bool has_write = false;
+    bool write_atomic = false;
+    Clock write_clock;
+    int writer = -1;
+    std::map<int, Clock> read_clocks;         // plain reads since last write
+    std::map<int, Clock> atomic_read_clocks;  // atomic loads since last write
+    // Release sequence: set by a release store, extended by RMWs (any
+    // order), broken by a plain or relaxed store. An acquire load that
+    // reads the current value synchronizes with it.
+    bool has_release = false;
+    Clock release_clock;
+  };
+
+  void report_race(const std::string& var, int a, int b, bool ww) {
+    races_.insert({var, std::min(a, b), std::max(a, b), ww});
   }
 
   /// Execute the chosen task's pending operation (scheduler thread, under
   /// mutex_): shared-state effect plus vector-clock race detection.
-  void perform_effect(int t, RunResult& result) {
-    (void)result;
+  void perform_effect(int t) {
     TaskState& st = states_[static_cast<std::size_t>(t)];
     Clock& ct = clocks_[static_cast<std::size_t>(t)];
-    auto& var_meta = access_meta_[st.op.var];
     switch (st.op.kind) {
       case PendingOp::Kind::Read: {
-        if (var_meta.has_write && !clock_leq(var_meta.write_clock, ct) &&
-            var_meta.writer != t) {
-          races_.insert({st.op.var, std::min(var_meta.writer, t),
-                         std::max(var_meta.writer, t), false});
-        }
+        VarMeta& m = access_meta_[st.op.var];
+        if (m.has_write && m.writer != t && !clock_leq(m.write_clock, ct))
+          report_race(st.op.var, m.writer, t, false);
         st.op_result = vars_[st.op.var];
-        var_meta.read_clocks[t] = ct;
+        m.read_clocks[t] = ct;
         ct[static_cast<std::size_t>(t)] += 1;
         break;
       }
-      case PendingOp::Kind::Write:
-      case PendingOp::Kind::FetchAdd: {
-        if (var_meta.has_write && !clock_leq(var_meta.write_clock, ct) &&
-            var_meta.writer != t) {
-          races_.insert({st.op.var, std::min(var_meta.writer, t),
-                         std::max(var_meta.writer, t), true});
-        }
-        for (const auto& [reader, rc] : var_meta.read_clocks) {
-          if (reader != t && !clock_leq(rc, ct)) {
-            races_.insert({st.op.var, std::min(reader, t),
-                           std::max(reader, t), false});
-          }
-        }
-        if (st.op.kind == PendingOp::Kind::FetchAdd) {
-          st.op_result = vars_[st.op.var];
-          vars_[st.op.var] += st.op.value;
+      case PendingOp::Kind::Write: {
+        VarMeta& m = access_meta_[st.op.var];
+        // A plain write races with any unordered previous access, atomic or
+        // not (mixed atomic/plain access is UB in the modeled C++).
+        if (m.has_write && m.writer != t && !clock_leq(m.write_clock, ct))
+          report_race(st.op.var, m.writer, t, true);
+        for (const auto& [reader, rc] : m.read_clocks)
+          if (reader != t && !clock_leq(rc, ct))
+            report_race(st.op.var, reader, t, false);
+        for (const auto& [reader, rc] : m.atomic_read_clocks)
+          if (reader != t && !clock_leq(rc, ct))
+            report_race(st.op.var, reader, t, false);
+        vars_[st.op.var] = st.op.value;
+        m.has_write = true;
+        m.write_atomic = false;
+        m.write_clock = ct;
+        m.writer = t;
+        m.read_clocks.clear();
+        m.atomic_read_clocks.clear();
+        m.has_release = false;  // a plain write breaks any release sequence
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::AtomicLoad: {
+        VarMeta& m = access_meta_[st.op.var];
+        // Races only with unordered *plain* writes (mixed access).
+        if (m.has_write && !m.write_atomic && m.writer != t &&
+            !clock_leq(m.write_clock, ct))
+          report_race(st.op.var, m.writer, t, false);
+        st.op_result = vars_[st.op.var];
+        if (order_has_acquire(st.op.order) && m.has_release)
+          clock_join(ct, m.release_clock);
+        m.atomic_read_clocks[t] = ct;
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::AtomicStore: {
+        VarMeta& m = access_meta_[st.op.var];
+        atomic_write_races(st.op.var, t, ct, m);
+        vars_[st.op.var] = st.op.value;
+        atomic_write_meta(t, ct, m);
+        if (order_has_release(st.op.order)) {
+          // A release store heads a fresh release sequence.
+          m.release_clock = ct;
+          m.has_release = true;
         } else {
-          vars_[st.op.var] = st.op.value;
+          m.has_release = false;  // relaxed store breaks the old sequence
         }
-        var_meta.has_write = true;
-        var_meta.write_clock = ct;
-        var_meta.writer = t;
-        var_meta.read_clocks.clear();
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::AtomicRmw: {
+        VarMeta& m = access_meta_[st.op.var];
+        atomic_write_races(st.op.var, t, ct, m);
+        st.op_result = vars_[st.op.var];
+        vars_[st.op.var] += st.op.value;
+        apply_rmw_ordering(ct, m, st.op.order);
+        atomic_write_meta(t, ct, m);
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::AtomicCas: {
+        VarMeta& m = access_meta_[st.op.var];
+        atomic_write_races(st.op.var, t, ct, m);
+        const std::int64_t observed = vars_[st.op.var];
+        st.op_result = observed;
+        if (observed == st.op.expected) {
+          vars_[st.op.var] = st.op.value;
+          apply_rmw_ordering(ct, m, st.op.order);
+          atomic_write_meta(t, ct, m);
+        } else {
+          // Failure path: a pure load with the failure ordering.
+          if (order_has_acquire(st.op.order_fail) && m.has_release)
+            clock_join(ct, m.release_clock);
+          m.atomic_read_clocks[t] = ct;
+        }
         ct[static_cast<std::size_t>(t)] += 1;
         break;
       }
@@ -231,9 +433,78 @@ class Runner {
       }
       case PendingOp::Kind::Unlock: {
         lock_holder_.erase(st.op.var);
-        Clock& rel = lock_release_.try_emplace(st.op.var, Clock(n_, 0))
-                         .first->second;
+        Clock& rel =
+            lock_release_.try_emplace(st.op.var, Clock(n_, 0)).first->second;
         clock_join(rel, ct);
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::WaitSignal: {
+        // Granted only after a notify: consume the signal and synchronize
+        // with the notifier. (The mutex re-acquire is a separate Lock op.)
+        clock_join(ct, st.wake_clock);
+        st.signal_seen = false;
+        st.wake_clock.clear();
+        auto& waiters = cond_waiters_[st.op.var];
+        waiters.erase(std::remove(waiters.begin(), waiters.end(), t),
+                      waiters.end());
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::NotifyOne:
+      case PendingOp::Kind::NotifyAll: {
+        auto& waiters = cond_waiters_[st.op.var];
+        for (int w : waiters) {  // FIFO: longest-waiting first
+          TaskState& ws = states_[static_cast<std::size_t>(w)];
+          if (ws.signal_seen) continue;
+          ws.signal_seen = true;
+          if (ws.wake_clock.empty()) ws.wake_clock.assign(n_, 0);
+          clock_join(ws.wake_clock, ct);
+          if (st.op.kind == PendingOp::Kind::NotifyOne) break;
+        }
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::Park: {
+        if (st.unparked) {
+          clock_join(ct, st.wake_clock);
+          st.unparked = false;
+          st.wake_clock.clear();
+        } else {
+          // Enabled via a banked permit.
+          permits_[st.op.var] = 0;
+          auto it = permit_clock_.find(st.op.var);
+          if (it != permit_clock_.end()) {
+            clock_join(ct, it->second);
+            permit_clock_.erase(it);
+          }
+        }
+        ct[static_cast<std::size_t>(t)] += 1;
+        break;
+      }
+      case PendingOp::Kind::Unpark: {
+        int target = -1;
+        for (std::size_t w = 0; w < n_; ++w) {
+          const TaskState& ws = states_[w];
+          if (!ws.finished && ws.at_point &&
+              ws.op.kind == PendingOp::Kind::Park && ws.op.var == st.op.var &&
+              !ws.unparked) {
+            target = static_cast<int>(w);
+            break;
+          }
+        }
+        if (target >= 0) {
+          TaskState& ws = states_[static_cast<std::size_t>(target)];
+          ws.unparked = true;
+          if (ws.wake_clock.empty()) ws.wake_clock.assign(n_, 0);
+          clock_join(ws.wake_clock, ct);
+        } else {
+          // Nobody parked: bank a single permit (binary semantics).
+          permits_[st.op.var] = 1;
+          Clock& pc =
+              permit_clock_.try_emplace(st.op.var, Clock(n_, 0)).first->second;
+          clock_join(pc, ct);
+        }
         ct[static_cast<std::size_t>(t)] += 1;
         break;
       }
@@ -242,17 +513,56 @@ class Runner {
     }
   }
 
+  /// Race checks shared by the atomic write-side ops: an atomic write races
+  /// with unordered plain writes and plain reads, never with atomics.
+  void atomic_write_races(const std::string& var, int t, const Clock& ct,
+                          VarMeta& m) {
+    if (m.has_write && !m.write_atomic && m.writer != t &&
+        !clock_leq(m.write_clock, ct))
+      report_race(var, m.writer, t, true);
+    for (const auto& [reader, rc] : m.read_clocks)
+      if (reader != t && !clock_leq(rc, ct))
+        report_race(var, reader, t, false);
+  }
+
+  void atomic_write_meta(int t, const Clock& ct, VarMeta& m) {
+    m.has_write = true;
+    m.write_atomic = true;
+    m.write_clock = ct;
+    m.writer = t;
+    m.read_clocks.clear();
+  }
+
+  /// Acquire/release contributions of a successful RMW: the read side may
+  /// synchronize with the existing release sequence; the write side joins
+  /// into it (an RMW extends the sequence rather than replacing it, and a
+  /// relaxed RMW keeps it alive).
+  void apply_rmw_ordering(Clock& ct, VarMeta& m, MemoryOrder order) {
+    if (order_has_acquire(order) && m.has_release)
+      clock_join(ct, m.release_clock);
+    if (order_has_release(order)) {
+      if (!m.has_release) {
+        m.release_clock.assign(n_, 0);
+        m.has_release = true;
+      }
+      clock_join(m.release_clock, ct);
+    }
+  }
+
   /// Called from task threads: park at a scheduling point with `op`,
   /// wait for the grant, return the operation result.
   std::int64_t schedule_point(int t, PendingOp op) {
     std::unique_lock lock(mutex_);
-    if (aborting_) return 0;
+    if (aborting_) throw AbortRun{};
     TaskState& st = states_[static_cast<std::size_t>(t)];
+    if (op.kind == PendingOp::Kind::WaitSignal)
+      cond_waiters_[op.var].push_back(t);
     st.op = std::move(op);
     st.at_point = true;
     cv_.notify_all();
     cv_.wait(lock, [&] { return st.granted; });
     st.granted = false;
+    if (aborting_) throw AbortRun{};
     return st.op_result;
   }
 
@@ -261,13 +571,6 @@ class Runner {
     std::scoped_lock lock(assert_mutex_);
     assertion_failures_.insert(message);
   }
-
-  struct VarMeta {
-    bool has_write = false;
-    Clock write_clock;
-    int writer = -1;
-    std::map<int, Clock> read_clocks;
-  };
 
   const std::vector<TaskFn>& tasks_;
   ExploreOptions options_;
@@ -281,6 +584,9 @@ class Runner {
   std::map<std::string, std::int64_t> vars_;
   std::map<std::string, int> lock_holder_;
   std::map<std::string, Clock> lock_release_;
+  std::map<std::string, std::vector<int>> cond_waiters_;  // arrival order
+  std::map<std::string, int> permits_;                    // park tokens
+  std::map<std::string, Clock> permit_clock_;
   std::vector<Clock> clocks_;
   std::map<std::string, VarMeta> access_meta_;
   std::set<RaceReport> races_;
@@ -312,13 +618,51 @@ void TaskContext::write(const std::string& var, std::int64_t value) {
   context_dispatch(runner_, task_id_, std::move(op));
 }
 
-std::int64_t TaskContext::fetch_add(const std::string& var,
-                                    std::int64_t delta) {
+std::int64_t TaskContext::atomic_load(const std::string& var,
+                                      MemoryOrder order) {
   PendingOp op;
-  op.kind = PendingOp::Kind::FetchAdd;
+  op.kind = PendingOp::Kind::AtomicLoad;
+  op.var = var;
+  op.order = order;
+  return context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::atomic_store(const std::string& var, std::int64_t value,
+                               MemoryOrder order) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::AtomicStore;
+  op.var = var;
+  op.value = value;
+  op.order = order;
+  context_dispatch(runner_, task_id_, std::move(op));
+}
+
+std::int64_t TaskContext::fetch_add(const std::string& var, std::int64_t delta,
+                                    MemoryOrder order) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::AtomicRmw;
   op.var = var;
   op.value = delta;
+  op.order = order;
   return context_dispatch(runner_, task_id_, std::move(op));
+}
+
+bool TaskContext::compare_exchange(const std::string& var,
+                                   std::int64_t& expected,
+                                   std::int64_t desired, MemoryOrder success,
+                                   MemoryOrder failure) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::AtomicCas;
+  op.var = var;
+  op.value = desired;
+  op.expected = expected;
+  op.order = success;
+  op.order_fail = failure;
+  const std::int64_t observed =
+      context_dispatch(runner_, task_id_, std::move(op));
+  if (observed == expected) return true;
+  expected = observed;
+  return false;
 }
 
 void TaskContext::lock(const std::string& mutex) {
@@ -332,6 +676,46 @@ void TaskContext::unlock(const std::string& mutex) {
   PendingOp op;
   op.kind = PendingOp::Kind::Unlock;
   op.var = mutex;
+  context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::cond_wait(const std::string& cond, const std::string& mutex) {
+  // Lockstep makes unlock + wait-registration atomic: the scheduler cannot
+  // run another task between the granted unlock and this task re-parking at
+  // the WaitSignal point, so no notify can fall into that window.
+  unlock(mutex);
+  PendingOp op;
+  op.kind = PendingOp::Kind::WaitSignal;
+  op.var = cond;
+  context_dispatch(runner_, task_id_, std::move(op));
+  lock(mutex);
+}
+
+void TaskContext::notify_one(const std::string& cond) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::NotifyOne;
+  op.var = cond;
+  context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::notify_all(const std::string& cond) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::NotifyAll;
+  op.var = cond;
+  context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::park(const std::string& token) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::Park;
+  op.var = token;
+  context_dispatch(runner_, task_id_, std::move(op));
+}
+
+void TaskContext::unpark(const std::string& token) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::Unpark;
+  op.var = token;
   context_dispatch(runner_, task_id_, std::move(op));
 }
 
@@ -353,7 +737,24 @@ void context_assert(Runner* runner, bool ok, const std::string& message) {
   runner->record_assertion(ok, message);
 }
 
-// --- DFS driver ----------------------------------------------------------------
+// --- DFS driver --------------------------------------------------------------
+
+namespace {
+
+std::string describe_race(const RaceReport& r) {
+  return std::string(r.write_write ? "write-write" : "read-write") +
+         " race on '" + r.var + "' between task " + std::to_string(r.task_a) +
+         " and task " + std::to_string(r.task_b);
+}
+
+Schedule schedule_of(const Runner::RunResult& run) {
+  Schedule s;
+  s.choices.reserve(run.steps.size());
+  for (const auto& step : run.steps) s.choices.push_back(step.chosen);
+  return s;
+}
+
+}  // namespace
 
 ExploreResult explore(const std::vector<TaskFn>& tasks,
                       ExploreOptions options) {
@@ -375,8 +776,16 @@ ExploreResult explore(const std::vector<TaskFn>& tasks,
   std::set<std::map<std::string, std::int64_t>> final_states;
   std::set<RaceReport> all_races;
   std::set<std::string> all_failures;
+  std::set<std::string> all_deadlock_reports;
+
+  auto note_failure = [&](ScheduleFailure::Kind kind, std::string detail,
+                          const Schedule& schedule) {
+    if (result.failing_schedules.size() >= kMaxFailingSchedules) return;
+    result.failing_schedules.push_back({kind, std::move(detail), schedule});
+  };
 
   bool first = true;
+  bool covered = false;
   while (result.schedules_explored < options.max_schedules) {
     std::vector<int> prefix;
     prefix.reserve(stack.size());
@@ -385,9 +794,19 @@ ExploreResult explore(const std::vector<TaskFn>& tasks,
     Runner runner(tasks, options);
     Runner::RunResult run = runner.run(prefix);
     ++result.schedules_explored;
-    if (run.deadlocked) ++result.deadlock_schedules;
-    for (const RaceReport& r : run.races) all_races.insert(r);
-    for (const std::string& f : run.assertion_failures) all_failures.insert(f);
+    const Schedule schedule = schedule_of(run);
+    if (run.deadlocked) {
+      ++result.deadlock_schedules;
+      if (all_deadlock_reports.insert(run.deadlock_report).second)
+        note_failure(ScheduleFailure::Kind::Deadlock, run.deadlock_report,
+                     schedule);
+    }
+    for (const RaceReport& r : run.races)
+      if (all_races.insert(r).second)
+        note_failure(ScheduleFailure::Kind::Race, describe_race(r), schedule);
+    for (const std::string& f : run.assertion_failures)
+      if (all_failures.insert(f).second)
+        note_failure(ScheduleFailure::Kind::Assertion, f, schedule);
     final_states.insert(run.final_state);
     if (first) {
       result.reference_final_state = run.final_state;
@@ -402,16 +821,21 @@ ExploreResult explore(const std::vector<TaskFn>& tasks,
     // Backtrack to the deepest frame with an untried alternative.
     while (!stack.empty() && stack.back().untried.empty()) stack.pop_back();
     if (stack.empty()) {
-      result.exhausted = true;
+      covered = true;
       break;
     }
     Frame& frame = stack.back();
     frame.chosen = frame.untried.back();
     frame.untried.pop_back();
   }
+  // `exhausted` means genuine coverage of the preemption bound, never "the
+  // max_schedules cap stopped us with untried alternatives on the stack".
+  result.exhausted = covered;
 
   result.races.assign(all_races.begin(), all_races.end());
   result.assertion_failures.assign(all_failures.begin(), all_failures.end());
+  result.deadlock_reports.assign(all_deadlock_reports.begin(),
+                                 all_deadlock_reports.end());
   result.distinct_final_states = final_states.size();
   if (telemetry) {
     auto& reg = observe::Registry::global();
@@ -423,6 +847,22 @@ ExploreResult explore(const std::vector<TaskFn>& tasks,
                     " deadlocks=" +
                     std::to_string(result.deadlock_schedules));
   }
+  return result;
+}
+
+ReplayResult replay(const std::vector<TaskFn>& tasks, const Schedule& schedule,
+                    ExploreOptions options) {
+  ReplayResult result;
+  if (tasks.empty()) return result;
+  Runner runner(tasks, options);
+  Runner::RunResult run = runner.run(schedule.choices, /*exact_prefix=*/true);
+  result.deadlocked = run.deadlocked;
+  result.deadlock_report = run.deadlock_report;
+  result.races.assign(run.races.begin(), run.races.end());
+  result.assertion_failures.assign(run.assertion_failures.begin(),
+                                   run.assertion_failures.end());
+  result.final_state = run.final_state;
+  result.schedule = schedule_of(run);
   return result;
 }
 

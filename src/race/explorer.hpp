@@ -7,19 +7,34 @@
 // thread schedules by depth-first search over scheduling decisions, with
 // iterative preemption bounding (CHESS's key idea: most bugs surface within
 // <= 2 preemptions). Tasks are real std::threads driven in lockstep: every
-// shared-memory or lock operation is a scheduling point where exactly one
-// task may proceed.
+// shared-memory, atomic, lock, condition or parking operation is a
+// scheduling point where exactly one task may proceed.
 //
-// A happens-before race detector (vector clocks over program order, lock
-// release/acquire, and fork/join) runs inside every execution, so a race is
-// reported even when the explored schedule did not make it visible as a
-// wrong result. Assertion failures and deadlocks are reported per schedule,
-// and the set of distinct final states measures result nondeterminism
-// (the paper's OrderPreservation question).
+// v2 speaks the synchronization vocabulary of the lock-free runtime
+// (src/runtime): C++ atomics with memory-order-aware happens-before edges
+// (release stores publish, acquire loads that read them synchronize; RMWs
+// extend release sequences; CAS models both the success and failure path),
+// condition wait/notify, and the park/unpark protocol behind StageQueue and
+// the pool's sleep path. A happens-before race detector (vector clocks over
+// program order, lock release/acquire, atomic synchronizes-with, and
+// notify/unpark edges) runs inside every execution, so a race is reported
+// even when the explored schedule did not make it visible as a wrong
+// result. Atomic accesses never race with each other; an atomic access that
+// is unordered with a plain access to the same location is reported (mixed
+// access is UB in the modeled C++).
+//
+// Blocked-task cycles (every unfinished task waiting on a lock, condition,
+// or park token) are detected, reported with the full cycle description,
+// and the run is aborted cleanly so DFS continues with the next schedule
+// instead of wedging the exploration. Every failing schedule (race,
+// assertion, deadlock) is captured as a serializable `Schedule` that
+// `replay()` re-executes deterministically — the regression-test handle for
+// interleaving bugs.
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,16 +43,66 @@ namespace patty::race {
 class TaskContext;
 using TaskFn = std::function<void(TaskContext&)>;
 
+/// Memory orders for the atomic operations (consume is treated as acquire).
+enum class MemoryOrder : std::uint8_t {
+  Relaxed,
+  Acquire,
+  Release,
+  AcqRel,
+  SeqCst,
+};
+
 /// Operations a task may perform; each is a scheduling point.
 class TaskContext {
  public:
+  // --- plain (non-atomic) shared memory --------------------------------
   std::int64_t read(const std::string& var);
   void write(const std::string& var, std::int64_t value);
-  /// Atomic read-modify-write (counts as one scheduling point; still a
-  /// plain access for the race detector unless protected by a lock).
-  std::int64_t fetch_add(const std::string& var, std::int64_t delta);
+
+  // --- C++ atomics -----------------------------------------------------
+  /// Atomic load; Acquire/SeqCst synchronizes with the release store (or
+  /// release sequence) that wrote the current value.
+  std::int64_t atomic_load(const std::string& var,
+                           MemoryOrder order = MemoryOrder::SeqCst);
+  /// Atomic store; Release/SeqCst heads a new release sequence.
+  void atomic_store(const std::string& var, std::int64_t value,
+                    MemoryOrder order = MemoryOrder::SeqCst);
+  /// Atomic read-modify-write. Contributes acquire and/or release edges per
+  /// `order`; a relaxed RMW still extends an existing release sequence.
+  std::int64_t fetch_add(const std::string& var, std::int64_t delta,
+                         MemoryOrder order = MemoryOrder::SeqCst);
+  /// Compare-exchange: one scheduling point covering both paths. On success
+  /// acts as an RMW with `success` ordering; on failure as a load with
+  /// `failure` ordering, and `expected` is updated with the observed value.
+  bool compare_exchange(const std::string& var, std::int64_t& expected,
+                        std::int64_t desired,
+                        MemoryOrder success = MemoryOrder::SeqCst,
+                        MemoryOrder failure = MemoryOrder::SeqCst);
+
+  // --- locks -----------------------------------------------------------
   void lock(const std::string& mutex);
   void unlock(const std::string& mutex);
+
+  // --- condition variables ---------------------------------------------
+  /// Releases `mutex`, blocks until a notify on `cond`, re-acquires
+  /// `mutex`. Lockstep execution makes the release-and-wait atomic (no
+  /// lost-wakeup window between the unlock and the wait registration), so
+  /// this models std::condition_variable::wait exactly; a notify with no
+  /// waiter is lost, as in the real thing. Callers are responsible for the
+  /// usual predicate re-check loop.
+  void cond_wait(const std::string& cond, const std::string& mutex);
+  /// Wakes the longest-waiting task blocked on `cond` (deterministic stand-
+  /// in for the unspecified choice); no-op when nobody waits.
+  void notify_one(const std::string& cond);
+  void notify_all(const std::string& cond);
+
+  // --- thread parking (StageQueue / pool sleep protocol) ---------------
+  /// Consume a permit on `token` or block until unpark(token). Binary
+  /// permit semantics: an unpark before the park is not lost.
+  void park(const std::string& token);
+  /// Wake one task parked on `token`, or bank a single permit.
+  void unpark(const std::string& token);
+
   void yield();
   /// Record an assertion; failures are collected per schedule.
   void check(bool condition, const std::string& message);
@@ -61,6 +126,35 @@ struct RaceReport {
     return std::tie(x.var, x.task_a, x.task_b, x.write_write) <
            std::tie(y.var, y.task_a, y.task_b, y.write_write);
   }
+  friend bool operator==(const RaceReport& x, const RaceReport& y) {
+    return std::tie(x.var, x.task_a, x.task_b, x.write_write) ==
+           std::tie(y.var, y.task_a, y.task_b, y.write_write);
+  }
+};
+
+/// A fully serialized scheduling decision sequence: the task chosen at each
+/// scheduling point of one execution. Replaying the same choices on the
+/// same task set reproduces the execution deterministically.
+struct Schedule {
+  std::vector<int> choices;
+
+  /// Compact textual form, e.g. "0,1,1,0" ("" for an empty schedule).
+  [[nodiscard]] std::string to_string() const;
+  /// Parse to_string output; nullopt on malformed input.
+  static std::optional<Schedule> from_string(const std::string& text);
+
+  friend bool operator==(const Schedule& a, const Schedule& b) {
+    return a.choices == b.choices;
+  }
+};
+
+/// One failing execution, with the schedule that provokes it.
+struct ScheduleFailure {
+  enum class Kind : std::uint8_t { Race, Assertion, Deadlock };
+  Kind kind = Kind::Race;
+  /// Race description / assertion message / deadlock cycle report.
+  std::string detail;
+  Schedule schedule;
 };
 
 struct ExploreOptions {
@@ -74,10 +168,17 @@ struct ExploreOptions {
 
 struct ExploreResult {
   std::size_t schedules_explored = 0;
-  bool exhausted = false;  // every schedule within the bound was covered
-  std::vector<RaceReport> races;             // deduplicated
+  /// True only when every schedule within the preemption bound was covered.
+  /// Never true when exploration stopped on `max_schedules`.
+  bool exhausted = false;
+  std::vector<RaceReport> races;                // deduplicated
   std::vector<std::string> assertion_failures;  // deduplicated messages
   std::size_t deadlock_schedules = 0;
+  /// Deduplicated blocked-task cycle descriptions, e.g.
+  /// "task 0 blocked on mutex 'a' held by task 1; task 1 blocked on ...".
+  std::vector<std::string> deadlock_reports;
+  /// First schedule provoking each distinct failure (capped; see cpp).
+  std::vector<ScheduleFailure> failing_schedules;
   /// Distinct final shared states observed across schedules.
   std::size_t distinct_final_states = 0;
   /// Final state of the first explored schedule (the "reference").
@@ -87,5 +188,24 @@ struct ExploreResult {
 /// Systematically explore all interleavings of `tasks` within the bound.
 ExploreResult explore(const std::vector<TaskFn>& tasks,
                       ExploreOptions options = {});
+
+/// One deterministic re-execution under a serialized schedule.
+struct ReplayResult {
+  bool deadlocked = false;
+  std::string deadlock_report;
+  std::vector<RaceReport> races;
+  std::vector<std::string> assertion_failures;
+  std::map<std::string, std::int64_t> final_state;
+  /// The complete schedule actually taken (>= the requested prefix when the
+  /// requested schedule ended before the tasks did).
+  Schedule schedule;
+};
+
+/// Re-execute `tasks` following `schedule` exactly (choices are honored
+/// whenever the chosen task is runnable, regardless of the preemption
+/// bound), then first-runnable beyond its end. Same tasks + same schedule
+/// => same races, assertions, deadlock report, and final state.
+ReplayResult replay(const std::vector<TaskFn>& tasks, const Schedule& schedule,
+                    ExploreOptions options = {});
 
 }  // namespace patty::race

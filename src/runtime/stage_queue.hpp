@@ -186,6 +186,11 @@ class RingStageQueue final : public StageQueue<T> {
       if (!first) return false;
       out->push_back(std::move(*first));
       if (max > 1) ring_.try_pop_n(out, max - 1);
+      // pop_slow already ran after_pop for its element; report only the
+      // slots the extra batch grab freed, or the producer-side wakeup
+      // breadth (freed > 1 => notify_all) double-counts.
+      if (out->size() > 1) after_pop(out->size() - 1);
+      return true;
     }
     after_pop(out->size());
     return true;

@@ -1,11 +1,13 @@
 #include "transform/testgen.hpp"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
 #include "analysis/interpreter.hpp"
 #include "analysis/profiler.hpp"
 #include "lang/sema.hpp"
+#include "race/explorer.hpp"
 #include "transform/plan.hpp"
 
 namespace patty::transform {
@@ -131,6 +133,77 @@ TestOutcome run_unit_test(const lang::Program& program,
   }
   outcome.passed = true;
   outcome.detail = "equivalent over " + std::to_string(repetitions) + " runs";
+  return outcome;
+}
+
+namespace {
+
+/// Last configured value for any parameter whose name ends in `suffix`.
+std::int64_t config_suffix_or(const rt::TuningConfig& config,
+                              const std::string& suffix,
+                              std::int64_t fallback) {
+  std::int64_t value = fallback;
+  for (const auto& [name, p] : config.params()) {
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0)
+      value = p.value;
+  }
+  return value;
+}
+
+}  // namespace
+
+ExplorationOutcome explore_order_probe(const ParallelUnitTest& test,
+                                       int preemption_bound) {
+  const auto replication =
+      static_cast<int>(config_suffix_or(test.config, ".replication", 1));
+  const bool ordered = config_suffix_or(test.config, ".order", 1) != 0;
+
+  // Each worker of the replicated stage emits one item. Ordered emission
+  // reassembles by the item's sequence number (worker i owns slot i);
+  // unordered emission appends at a shared cursor, so the slot a worker
+  // lands in depends on the schedule — landing anywhere but slot i is the
+  // order violation the probe is hunting.
+  std::vector<race::TaskFn> workers;
+  for (int i = 0; i < std::max(replication, 1); ++i) {
+    workers.push_back([i, ordered](race::TaskContext& ctx) {
+      if (ordered) {
+        ctx.write("out" + std::to_string(i), i);
+      } else {
+        const std::int64_t pos = ctx.fetch_add("cursor", 1);
+        ctx.write("out" + std::to_string(pos), i);
+        ctx.check(pos == i, "item " + std::to_string(i) + " emitted at slot " +
+                                std::to_string(pos) + ": order violated");
+      }
+    });
+  }
+
+  race::ExploreOptions opts;
+  opts.preemption_bound = preemption_bound;
+  const race::ExploreResult result = race::explore(workers, opts);
+
+  ExplorationOutcome outcome;
+  outcome.schedules_explored = result.schedules_explored;
+  outcome.exhausted = result.exhausted;
+  outcome.order_violation_possible = !result.assertion_failures.empty();
+  if (outcome.order_violation_possible) {
+    outcome.detail = result.assertion_failures.front();
+    for (const race::ScheduleFailure& f : result.failing_schedules) {
+      if (f.kind == race::ScheduleFailure::Kind::Assertion &&
+          f.detail == outcome.detail) {
+        outcome.failing_schedule = f.schedule.to_string();
+        break;
+      }
+    }
+    // The serialized schedule is only evidence if it replays: round-trip
+    // through the textual form and re-execute standalone.
+    if (const auto parsed = race::Schedule::from_string(
+            outcome.failing_schedule)) {
+      const race::ReplayResult rep = race::replay(workers, *parsed, opts);
+      for (const std::string& msg : rep.assertion_failures)
+        if (msg == outcome.detail) outcome.replay_verified = true;
+    }
+  }
   return outcome;
 }
 

@@ -38,6 +38,29 @@ struct TestOutcome {
   std::size_t repetitions = 0;
 };
 
+/// Result of running a generated test's tuning configuration through the
+/// systematic interleaving explorer (patty::race) instead of repeated
+/// execution. Where `run_unit_test` samples interleavings, this enumerates
+/// them within the CHESS preemption bound — and when a violating schedule
+/// exists, hands back the serialized schedule so the exact interleaving can
+/// be replayed as a standalone regression test (race::replay).
+struct ExplorationOutcome {
+  /// True when some explored schedule violates order preservation.
+  bool order_violation_possible = false;
+  std::size_t schedules_explored = 0;
+  /// True when the preemption-bounded schedule space was fully covered.
+  bool exhausted = false;
+  /// Human-readable description of the first violation ("" when none).
+  std::string detail;
+  /// race::Schedule::to_string() of the first violating schedule ("" when
+  /// none); feed to race::Schedule::from_string + race::replay.
+  std::string failing_schedule;
+  /// True when `failing_schedule` was parsed back and replayed standalone,
+  /// reproducing the identical violation (always done when one is found —
+  /// the serialized schedule is only evidence if it replays).
+  bool replay_verified = false;
+};
+
 struct TestGenOptions {
   int max_replication = 4;
   bool include_order_violation_probe = true;
@@ -54,6 +77,18 @@ std::vector<ParallelUnitTest> generate_unit_tests(
 TestOutcome run_unit_test(const lang::Program& program,
                           const ParallelUnitTest& test,
                           std::size_t repetitions = 3);
+
+/// Systematic order probe for one generated test: models the test's
+/// replicated stage (replication and order-preservation read from
+/// `test.config`) in the interleaving explorer and enumerates schedules
+/// within the given preemption bound. With order preservation on, every
+/// schedule emits in sequence order; with it off and replication > 1, the
+/// explorer finds the emission-order-violating interleaving and the outcome
+/// carries its serialized schedule — deterministic evidence for excluding
+/// the tuning value (paper §2.2 OrderPreservation), where repeated
+/// execution in `run_unit_test` can only sample.
+ExplorationOutcome explore_order_probe(const ParallelUnitTest& test,
+                                       int preemption_bound = 2);
 
 /// Path-coverage input selection: each entry of `variant_sources` is a
 /// complete MiniOO program (same code, different embedded input data). The

@@ -1,0 +1,336 @@
+// Explorer models of the lock-free runtime (src/runtime): the Chase–Lev
+// deque's take/steal race, the SPSC ring's release/acquire publication, the
+// Vyukov MPMC ring's per-slot sequence protocol, and the StageQueue
+// blocking wrapper's Dekker-style park protocol. Each protocol is modeled
+// twice: as implemented (must explore clean) and with a seeded bug of the
+// exact class the real code defends against (must be caught within
+// preemption bound 2, and every reported failure must replay
+// deterministically from its serialized schedule).
+//
+// These are *models*, not the templates themselves: TaskContext speaks
+// named variables, so each test encodes the algorithm's atomics and
+// ordering decisions directly. The value is the check that the protocol —
+// the part TSan can only probabilistically exercise — is correct in every
+// interleaving within the bound, and a replayable witness when it is not.
+//
+// Building with PATTY_EXPLORER_MODELS_DEEP (CMake option
+// PATTY_EXPLORER_MODELS, on in the sanitizer job) widens the exploration:
+// preemption bound 3 and a larger schedule cap.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "race/explorer.hpp"
+
+namespace patty::race {
+namespace {
+
+#ifdef PATTY_EXPLORER_MODELS_DEEP
+constexpr int kBound = 3;
+constexpr std::size_t kMaxSchedules = 200'000;
+#else
+constexpr int kBound = 2;
+constexpr std::size_t kMaxSchedules = 30'000;
+#endif
+
+ExploreOptions model_options() {
+  ExploreOptions options;
+  options.preemption_bound = kBound;
+  options.max_schedules = kMaxSchedules;
+  return options;
+}
+
+/// Replays every failing schedule and checks the identical failure detail
+/// is reproduced — the regression-test contract of the serialization.
+void expect_failures_replay(const std::vector<TaskFn>& tasks,
+                            const ExploreResult& result,
+                            const ExploreOptions& options) {
+  ASSERT_FALSE(result.failing_schedules.empty());
+  for (const ScheduleFailure& f : result.failing_schedules) {
+    auto parsed = Schedule::from_string(f.schedule.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    const ReplayResult rep = replay(tasks, *parsed, options);
+    switch (f.kind) {
+      case ScheduleFailure::Kind::Race: {
+        bool found = false;
+        for (const RaceReport& r : rep.races) {
+          const std::string desc =
+              std::string(r.write_write ? "write-write" : "read-write") +
+              " race on '" + r.var + "'";
+          if (f.detail.find(desc) == 0) found = true;
+        }
+        EXPECT_TRUE(found) << "race not reproduced: " << f.detail;
+        break;
+      }
+      case ScheduleFailure::Kind::Assertion: {
+        bool found = false;
+        for (const std::string& msg : rep.assertion_failures)
+          if (msg == f.detail) found = true;
+        EXPECT_TRUE(found) << "assertion not reproduced: " << f.detail;
+        break;
+      }
+      case ScheduleFailure::Kind::Deadlock:
+        EXPECT_TRUE(rep.deadlocked);
+        EXPECT_EQ(rep.deadlock_report, f.detail);
+        break;
+    }
+  }
+}
+
+// --- Chase–Lev deque: owner pop vs thief steal on the last element ---------
+//
+// ws_deque.hpp: the owner may take the last element only by winning the
+// `top` CAS against thieves. The seeded bug takes it unconditionally — the
+// precise failure mode the seq_cst fence + CAS in WsDeque::pop() prevent.
+
+std::vector<TaskFn> chase_lev_tasks(bool owner_cas_on_last) {
+  auto owner = [owner_cas_on_last](TaskContext& ctx) {
+    const std::int64_t b = ctx.fetch_add("bottom", -1) - 1;
+    const std::int64_t t = ctx.atomic_load("top");
+    if (t > b) {  // empty: restore bottom
+      ctx.atomic_store("bottom", b + 1);
+      return;
+    }
+    ctx.atomic_load("cell0", MemoryOrder::Relaxed);
+    if (t == b) {  // last element: race the thieves for it
+      if (owner_cas_on_last) {
+        std::int64_t e = t;
+        if (ctx.compare_exchange("top", e, t + 1)) {
+          const std::int64_t n = ctx.fetch_add("taken", 1);
+          ctx.check(n == 0, "deque: element taken twice");
+        }
+      } else {
+        // SEEDED BUG: take without the CAS — a thief can take it too.
+        const std::int64_t n = ctx.fetch_add("taken", 1);
+        ctx.check(n == 0, "deque: element taken twice");
+      }
+      ctx.atomic_store("bottom", b + 1);
+    } else {
+      const std::int64_t n = ctx.fetch_add("taken", 1);
+      ctx.check(n == 0, "deque: element taken twice");
+    }
+  };
+  auto thief = [](TaskContext& ctx) {
+    const std::int64_t t = ctx.atomic_load("top");
+    const std::int64_t b = ctx.atomic_load("bottom");
+    if (t >= b) return;  // empty
+    ctx.atomic_load("cell0", MemoryOrder::Relaxed);
+    std::int64_t e = t;
+    if (ctx.compare_exchange("top", e, t + 1)) {
+      const std::int64_t n = ctx.fetch_add("taken", 1);
+      ctx.check(n == 0, "deque: element taken twice");
+    }
+  };
+  return {owner, thief};
+}
+
+ExploreOptions chase_lev_options() {
+  ExploreOptions options = model_options();
+  // One element in flight: top=0, bottom=1, cell0 holds the payload.
+  options.initial_state["bottom"] = 1;
+  options.initial_state["cell0"] = 7;
+  return options;
+}
+
+TEST(RuntimeModelTest, ChaseLevLastElementCorrect) {
+  const auto options = chase_lev_options();
+  auto result = explore(chase_lev_tasks(/*owner_cas_on_last=*/true), options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_TRUE(result.assertion_failures.empty());
+  EXPECT_EQ(result.deadlock_schedules, 0u);
+  // Exactly one of owner/thief takes the element, in every schedule.
+  EXPECT_EQ(result.distinct_final_states, 1u);
+  EXPECT_EQ(result.reference_final_state.at("taken"), 1);
+}
+
+TEST(RuntimeModelTest, ChaseLevOwnerWithoutCasDoubleTakes) {
+  const auto options = chase_lev_options();
+  const auto tasks = chase_lev_tasks(/*owner_cas_on_last=*/false);
+  auto result = explore(tasks, options);
+  ASSERT_FALSE(result.assertion_failures.empty());
+  EXPECT_EQ(result.assertion_failures[0], "deque: element taken twice");
+  expect_failures_replay(tasks, result, options);
+}
+
+// --- SPSC ring: index publication protocol ----------------------------------
+//
+// ring_buffer.hpp SpscRing: the producer's release store of `tail` is what
+// orders the slot write before the consumer's read; the consumer's acquire
+// load of `tail` completes the edge. The seeded bug publishes `tail` with a
+// relaxed store — the slot contents are then unordered with the consumer's
+// read, the exact race the release/acquire pair exists to prevent. The
+// interleaving result is identical either way (the explorer executes
+// sequentially-consistently), so only a memory-order-aware happens-before
+// detector can see the difference.
+
+std::vector<TaskFn> spsc_tasks(bool release_tail) {
+  auto producer = [release_tail](TaskContext& ctx) {
+    const std::int64_t h = ctx.atomic_load("head", MemoryOrder::Acquire);
+    const std::int64_t t = ctx.atomic_load("tail", MemoryOrder::Relaxed);
+    if (t - h >= 1) return;  // full (capacity 1)
+    ctx.write("slot0", 7);   // raw storage: a plain, non-atomic write
+    ctx.atomic_store("tail", t + 1,
+                     release_tail ? MemoryOrder::Release
+                                  : MemoryOrder::Relaxed);  // SEEDED BUG
+  };
+  auto consumer = [](TaskContext& ctx) {
+    const std::int64_t t = ctx.atomic_load("tail", MemoryOrder::Acquire);
+    const std::int64_t h = ctx.atomic_load("head", MemoryOrder::Relaxed);
+    if (t <= h) return;  // empty
+    const std::int64_t v = ctx.read("slot0");
+    ctx.check(v == 7, "spsc: consumed uninitialized slot");
+    ctx.atomic_store("head", h + 1, MemoryOrder::Release);
+  };
+  return {producer, consumer};
+}
+
+TEST(RuntimeModelTest, SpscPublishProtocolCorrect) {
+  const auto options = model_options();
+  auto result = explore(spsc_tasks(/*release_tail=*/true), options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_TRUE(result.assertion_failures.empty());
+}
+
+TEST(RuntimeModelTest, SpscRelaxedTailPublishIsARace) {
+  const auto options = model_options();
+  const auto tasks = spsc_tasks(/*release_tail=*/false);
+  auto result = explore(tasks, options);
+  ASSERT_FALSE(result.races.empty());
+  EXPECT_EQ(result.races[0].var, "slot0");
+  expect_failures_replay(tasks, result, options);
+}
+
+// --- MPMC ring: Vyukov per-slot sequence numbers ----------------------------
+//
+// ring_buffer.hpp MpmcRing allocates at least two slots and documents why:
+// with a single slot, "ready to dequeue at pos" and "ready to enqueue at
+// pos+1" share the same sequence value, so a producer can claim the slot
+// and overwrite it while the consumer is mid-read. The broken variant
+// models that single-slot ring; the correct variant models the two-slot
+// ring the implementation enforces.
+
+std::vector<TaskFn> mpmc_tasks(int slots) {
+  auto producer = [slots](int id) {
+    return [slots, id](TaskContext& ctx) {
+      std::int64_t pos = ctx.atomic_load("enq", MemoryOrder::Relaxed);
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        const std::string seq_var = "seq" + std::to_string(pos % slots);
+        const std::int64_t seq =
+            ctx.atomic_load(seq_var, MemoryOrder::Acquire);
+        const std::int64_t dif = seq - pos;
+        if (dif == 0) {
+          std::int64_t e = pos;
+          if (ctx.compare_exchange("enq", e, pos + 1, MemoryOrder::Relaxed,
+                                   MemoryOrder::Relaxed)) {
+            ctx.write("cell" + std::to_string(pos % slots), 100 + id);
+            ctx.atomic_store(seq_var, pos + 1, MemoryOrder::Release);
+            return;
+          }
+          pos = e;
+        } else if (dif < 0) {
+          return;  // full
+        } else {
+          pos = ctx.atomic_load("enq", MemoryOrder::Relaxed);
+        }
+      }
+    };
+  };
+  auto consumer = [](TaskContext& ctx) {
+    // Dequeue position 0: ready when its slot's sequence reaches 1.
+    const std::int64_t seq = ctx.atomic_load("seq0", MemoryOrder::Acquire);
+    if (seq != 1) return;
+    const std::int64_t v = ctx.read("cell0");
+    ctx.check(v >= 100, "mpmc: consumed uninitialized cell");
+    // seq := pos + slots signals "ready to enqueue one lap later".
+    ctx.atomic_store("seq0", 0 + /*slots=*/1, MemoryOrder::Release);
+  };
+  std::vector<TaskFn> tasks{producer(0), producer(1), consumer};
+  return tasks;
+}
+
+ExploreOptions mpmc_options(int slots) {
+  ExploreOptions options = model_options();
+  for (int s = 0; s < slots; ++s)
+    options.initial_state["seq" + std::to_string(s)] = s;
+  return options;
+}
+
+TEST(RuntimeModelTest, MpmcTwoSlotSequenceProtocolCorrect) {
+  const auto options = mpmc_options(2);
+  auto result = explore(mpmc_tasks(/*slots=*/2), options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.races.empty()) << result.races[0].var;
+  EXPECT_TRUE(result.assertion_failures.empty());
+}
+
+TEST(RuntimeModelTest, MpmcSingleSlotSharedSequenceIsARace) {
+  const auto options = mpmc_options(1);
+  const auto tasks = mpmc_tasks(/*slots=*/1);
+  auto result = explore(tasks, options);
+  // The second producer reuses the slot while the consumer is mid-read.
+  ASSERT_FALSE(result.races.empty());
+  EXPECT_EQ(result.races[0].var, "cell0");
+  expect_failures_replay(tasks, result, options);
+}
+
+// --- StageQueue blocking wrapper: Dekker park protocol ----------------------
+//
+// stage_queue.hpp closes the lost-wakeup race between "ring op failed,
+// register waiter" and "peer made room, saw no waiter" by re-trying the
+// ring *after* publishing the waiter registration (and the peer checking
+// the counter after publishing its ring update), both seq_cst. The seeded
+// bug drops the consumer's re-check: a schedule exists where the producer
+// reads waiters==0, the consumer parks, and nobody ever unparks it — which
+// the explorer reports as a deadlock naming the parked task.
+
+std::vector<TaskFn> stage_queue_tasks(bool recheck_after_register) {
+  auto producer = [](TaskContext& ctx) {
+    ctx.atomic_store("ring", 1);            // the push (seq_cst index store)
+    if (ctx.atomic_load("waiters") > 0)     // after_push: check then wake
+      ctx.unpark("not_empty");
+  };
+  auto consumer = [recheck_after_register](TaskContext& ctx) {
+    if (ctx.atomic_load("ring") == 0) {     // try_pop failed
+      ctx.fetch_add("waiters", 1);          // register (seq_cst)
+      if (recheck_after_register) {
+        if (ctx.atomic_load("ring") == 0)   // Dekker re-try
+          ctx.park("not_empty");
+      } else {
+        ctx.park("not_empty");              // SEEDED BUG: park blindly
+      }
+      ctx.fetch_add("waiters", -1);
+    }
+    const std::int64_t v = ctx.atomic_load("ring");
+    ctx.check(v == 1, "stage queue: consumer resumed without an element");
+  };
+  return {producer, consumer};
+}
+
+TEST(RuntimeModelTest, StageQueueParkProtocolCorrect) {
+  const auto options = model_options();
+  auto result = explore(stage_queue_tasks(/*recheck_after_register=*/true),
+                        options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_TRUE(result.assertion_failures.empty());
+  EXPECT_EQ(result.deadlock_schedules, 0u);
+}
+
+TEST(RuntimeModelTest, StageQueueMissingRecheckLosesWakeup) {
+  const auto options = model_options();
+  const auto tasks = stage_queue_tasks(/*recheck_after_register=*/false);
+  auto result = explore(tasks, options);
+  EXPECT_GT(result.deadlock_schedules, 0u);
+  ASSERT_FALSE(result.deadlock_reports.empty());
+  EXPECT_NE(result.deadlock_reports[0].find("parked on 'not_empty'"),
+            std::string::npos)
+      << result.deadlock_reports[0];
+  expect_failures_replay(tasks, result, options);
+}
+
+}  // namespace
+}  // namespace patty::race

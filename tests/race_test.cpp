@@ -1,7 +1,9 @@
 // Tests for the CHESS-style interleaving explorer: exhaustive enumeration,
 // preemption bounding, vector-clock race detection (true positives on
-// seeded races, no false positives on locked/ordered code), deadlock
-// detection, assertion collection, and order-violation visibility.
+// seeded races, no false positives on locked/ordered code), memory-order-
+// aware atomics, condition/park modeling, deadlock-cycle reporting,
+// assertion collection, schedule serialization + deterministic replay, and
+// order-violation visibility.
 
 #include <gtest/gtest.h>
 
@@ -122,7 +124,7 @@ TEST(ExplorerTest, UnlockedIncrementLosesUpdates) {
   EXPECT_GE(result.distinct_final_states, 2u);
 }
 
-TEST(ExplorerTest, DeadlockDetected) {
+TEST(ExplorerTest, DeadlockDetectedAndReportedAsCycle) {
   auto result = explore({
       [](TaskContext& ctx) {
         ctx.lock("m1");
@@ -138,6 +140,17 @@ TEST(ExplorerTest, DeadlockDetected) {
       },
   });
   EXPECT_GT(result.deadlock_schedules, 0u);
+  // The report names the blocked-task cycle instead of hanging the DFS.
+  ASSERT_FALSE(result.deadlock_reports.empty());
+  const std::string& report = result.deadlock_reports[0];
+  EXPECT_NE(report.find("task 0 blocked on mutex 'm2' held by task 1"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("task 1 blocked on mutex 'm1' held by task 0"),
+            std::string::npos)
+      << report;
+  // The DFS continued past the deadlocking schedules and finished.
+  EXPECT_TRUE(result.exhausted);
 }
 
 TEST(ExplorerTest, AssertionFailuresSurfaceOnlyInBadSchedules) {
@@ -153,14 +166,332 @@ TEST(ExplorerTest, AssertionFailuresSurfaceOnlyInBadSchedules) {
   EXPECT_EQ(result.assertion_failures[0], "saw the write");
 }
 
-TEST(ExplorerTest, FetchAddIsAtomicButStillRacyWithoutLocks) {
+TEST(ExplorerTest, AtomicCounterIsNotAFalseRace) {
+  // Atomic RMWs contribute release/acquire edges: an atomic-counter-only
+  // program must report no data race (this was a seeded false positive when
+  // fetch_add was treated as a plain access).
   auto task = [](TaskContext& ctx) { ctx.fetch_add("c", 1); };
   auto result = explore({task, task});
-  // Atomic increments never lose updates...
+  EXPECT_TRUE(result.races.empty());
+  // Atomic increments never lose updates.
   EXPECT_EQ(result.distinct_final_states, 1u);
   EXPECT_EQ(result.reference_final_state.at("c"), 2);
-  // ...but without synchronization they are still flagged (plain accesses).
-  EXPECT_FALSE(result.races.empty());
+  EXPECT_TRUE(result.exhausted);
+}
+
+TEST(ExplorerTest, AtomicFlagStillOrdersDependentPlainAccess) {
+  // Publish via seq_cst flag: the reader that observes the flag is ordered
+  // after the writer's plain store, so no race on the data word.
+  auto result = explore(
+      {
+          [](TaskContext& ctx) {
+            ctx.write("data", 42);
+            ctx.atomic_store("ready", 1);
+          },
+          [](TaskContext& ctx) {
+            if (ctx.atomic_load("ready") == 1) {
+              const std::int64_t v = ctx.read("data");
+              ctx.check(v == 42, "stale data after acquire");
+            }
+          },
+      });
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_TRUE(result.assertion_failures.empty());
+}
+
+TEST(ExplorerTest, RelaxedPublishIsARace) {
+  // Same shape, but the flag store is relaxed: no synchronizes-with edge,
+  // so the reader's plain load of the data word races the writer's store.
+  auto result = explore(
+      {
+          [](TaskContext& ctx) {
+            ctx.write("data", 42);
+            ctx.atomic_store("ready", 1, MemoryOrder::Relaxed);
+          },
+          [](TaskContext& ctx) {
+            if (ctx.atomic_load("ready", MemoryOrder::Acquire) == 1)
+              ctx.read("data");
+          },
+      });
+  ASSERT_FALSE(result.races.empty());
+  EXPECT_EQ(result.races[0].var, "data");
+}
+
+TEST(ExplorerTest, ReleaseAcquirePairIsNotARace) {
+  auto result = explore(
+      {
+          [](TaskContext& ctx) {
+            ctx.write("data", 7);
+            ctx.atomic_store("flag", 1, MemoryOrder::Release);
+          },
+          [](TaskContext& ctx) {
+            if (ctx.atomic_load("flag", MemoryOrder::Acquire) == 1)
+              ctx.read("data");
+          },
+      });
+  EXPECT_TRUE(result.races.empty());
+}
+
+TEST(ExplorerTest, RelaxedRmwExtendsReleaseSequence) {
+  // Release store heads the sequence; a relaxed RMW extends it; an acquire
+  // load reading the RMW's value still synchronizes with the head. flag==2
+  // is observable only when the RMW applied on top of the release store
+  // (store first sets 1, RMW then makes 2; in the other order the store
+  // overwrites the RMW's 1 with 1), i.e. only when the RMW genuinely
+  // extends the store's release sequence.
+  auto result = explore(
+      {
+          [](TaskContext& ctx) {
+            ctx.write("data", 1);
+            ctx.atomic_store("flag", 1, MemoryOrder::Release);
+          },
+          [](TaskContext& ctx) {
+            ctx.fetch_add("flag", 1, MemoryOrder::Relaxed);
+          },
+          [](TaskContext& ctx) {
+            if (ctx.atomic_load("flag", MemoryOrder::Acquire) >= 2)
+              ctx.read("data");
+          },
+      });
+  EXPECT_TRUE(result.races.empty());
+}
+
+TEST(ExplorerTest, MixedAtomicAndPlainAccessIsARace) {
+  auto result = explore({
+      [](TaskContext& ctx) { ctx.write("x", 1); },
+      [](TaskContext& ctx) { ctx.atomic_load("x"); },
+  });
+  ASSERT_FALSE(result.races.empty());
+  EXPECT_EQ(result.races[0].var, "x");
+}
+
+TEST(ExplorerTest, CompareExchangeSuccessAndFailurePaths) {
+  // Two tasks CAS 0->their id+1; exactly one wins in every schedule, and
+  // the loser observes the winner's value.
+  auto task = [](int id) {
+    return [id](TaskContext& ctx) {
+      std::int64_t expected = 0;
+      const bool won = ctx.compare_exchange("slot", expected, id + 1);
+      if (won) {
+        ctx.check(expected == 0, "winner saw nonzero expected");
+        ctx.fetch_add("wins", 1);
+      } else {
+        ctx.check(expected != 0 && expected != id + 1,
+                  "loser observed an impossible value");
+      }
+    };
+  };
+  ExploreOptions options;
+  options.preemption_bound = 4;
+  auto result = explore({task(0), task(1)}, options);
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_TRUE(result.assertion_failures.empty());
+  // Exactly one winner in every schedule.
+  EXPECT_EQ(result.reference_final_state.at("wins"), 1);
+}
+
+TEST(ExplorerTest, CondWaitNotifyHandshake) {
+  // Classic producer/consumer handshake with a predicate loop. Correct use
+  // of cond_wait: no race, no deadlock, consumer always observes the data.
+  auto result = explore(
+      {
+          [](TaskContext& ctx) {  // producer
+            ctx.lock("m");
+            ctx.write("ready", 1);
+            ctx.write("data", 99);
+            ctx.notify_one("cv");
+            ctx.unlock("m");
+          },
+          [](TaskContext& ctx) {  // consumer
+            ctx.lock("m");
+            while (ctx.read("ready") == 0) ctx.cond_wait("cv", "m");
+            const std::int64_t v = ctx.read("data");
+            ctx.unlock("m");
+            ctx.check(v == 99, "woke without data");
+          },
+      });
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_TRUE(result.assertion_failures.empty());
+  EXPECT_EQ(result.deadlock_schedules, 0u);
+  EXPECT_TRUE(result.exhausted);
+}
+
+TEST(ExplorerTest, MissedNotifyWithoutPredicateIsDeadlock) {
+  // Broken handshake: the consumer waits unconditionally, so the schedule
+  // where the producer notifies first loses the wakeup — reported as a
+  // deadlock naming the waiting task, and exploration continues.
+  auto result = explore(
+      {
+          [](TaskContext& ctx) {
+            ctx.lock("m");
+            ctx.notify_one("cv");
+            ctx.unlock("m");
+          },
+          [](TaskContext& ctx) {
+            ctx.lock("m");
+            ctx.cond_wait("cv", "m");  // no predicate re-check
+            ctx.unlock("m");
+          },
+      });
+  EXPECT_GT(result.deadlock_schedules, 0u);
+  ASSERT_FALSE(result.deadlock_reports.empty());
+  EXPECT_NE(result.deadlock_reports[0].find("waiting on cond 'cv'"),
+            std::string::npos)
+      << result.deadlock_reports[0];
+  EXPECT_TRUE(result.exhausted);
+}
+
+TEST(ExplorerTest, UnparkBeforeParkBanksPermit) {
+  // Binary-permit semantics: unpark-then-park never blocks, in any order.
+  auto result = explore({
+      [](TaskContext& ctx) { ctx.unpark("w"); },
+      [](TaskContext& ctx) {
+        ctx.park("w");
+        ctx.write("woke", 1);
+      },
+  });
+  EXPECT_EQ(result.deadlock_schedules, 0u);
+  EXPECT_EQ(result.reference_final_state.at("woke"), 1);
+  EXPECT_TRUE(result.exhausted);
+}
+
+TEST(ExplorerTest, ParkWithoutUnparkIsDeadlock) {
+  auto result = explore({
+      [](TaskContext& ctx) { ctx.park("token"); },
+      [](TaskContext& ctx) { ctx.write("x", 1); },
+  });
+  EXPECT_GT(result.deadlock_schedules, 0u);
+  ASSERT_FALSE(result.deadlock_reports.empty());
+  EXPECT_NE(result.deadlock_reports[0].find("task 0 parked on 'token'"),
+            std::string::npos)
+      << result.deadlock_reports[0];
+  EXPECT_TRUE(result.exhausted);
+}
+
+TEST(ExplorerTest, ExhaustedTrueOnCoverageFalseOnCap) {
+  // Pins both outcomes of the `exhausted` flag: genuine coverage of the
+  // preemption bound vs. stopping on max_schedules.
+  auto tasks = std::vector<TaskFn>{
+      [](TaskContext& ctx) {
+        ctx.write("a", 1);
+        ctx.write("a", 2);
+      },
+      [](TaskContext& ctx) {
+        ctx.write("b", 1);
+        ctx.write("b", 2);
+      },
+  };
+  ExploreOptions covered;
+  covered.preemption_bound = 8;
+  covered.max_schedules = 1000;
+  auto full = explore(tasks, covered);
+  EXPECT_TRUE(full.exhausted);
+  EXPECT_EQ(full.schedules_explored, 6u);
+
+  ExploreOptions capped = covered;
+  capped.max_schedules = 3;  // < 6: the cap stops exploration
+  auto cut = explore(tasks, capped);
+  EXPECT_EQ(cut.schedules_explored, 3u);
+  EXPECT_FALSE(cut.exhausted);
+
+  // Cap exactly equal to the schedule count: the final run completes
+  // coverage, so this *is* exhaustion, not a cap stop.
+  ExploreOptions exact = covered;
+  exact.max_schedules = 6;
+  auto edge = explore(tasks, exact);
+  EXPECT_EQ(edge.schedules_explored, 6u);
+  EXPECT_TRUE(edge.exhausted);
+}
+
+TEST(ScheduleTest, ToStringFromStringRoundTrip) {
+  Schedule s;
+  s.choices = {0, 1, 1, 0, 2, 10};
+  EXPECT_EQ(s.to_string(), "0,1,1,0,2,10");
+  auto parsed = Schedule::from_string(s.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, s);
+
+  auto empty = Schedule::from_string("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->choices.empty());
+
+  EXPECT_FALSE(Schedule::from_string("1,,2").has_value());
+  EXPECT_FALSE(Schedule::from_string("1,2,").has_value());
+  EXPECT_FALSE(Schedule::from_string("a,b").has_value());
+}
+
+TEST(ExplorerTest, FailingScheduleReplaysIdenticalRaceReport) {
+  auto tasks = std::vector<TaskFn>{
+      [](TaskContext& ctx) { ctx.write("shared", 1); },
+      [](TaskContext& ctx) { ctx.write("shared", 2); },
+  };
+  auto result = explore(tasks);
+  ASSERT_FALSE(result.races.empty());
+  ASSERT_FALSE(result.failing_schedules.empty());
+  const ScheduleFailure* race_failure = nullptr;
+  for (const auto& f : result.failing_schedules)
+    if (f.kind == ScheduleFailure::Kind::Race) race_failure = &f;
+  ASSERT_NE(race_failure, nullptr);
+
+  // Serialize, re-parse, replay standalone: identical race report.
+  const std::string wire = race_failure->schedule.to_string();
+  auto parsed = Schedule::from_string(wire);
+  ASSERT_TRUE(parsed.has_value());
+  auto rep = replay(tasks, *parsed);
+  ASSERT_FALSE(rep.races.empty());
+  EXPECT_EQ(rep.races[0].var, "shared");
+  EXPECT_TRUE(rep.races[0].write_write);
+  // Replay is deterministic: run it again, same everything.
+  auto rep2 = replay(tasks, *parsed);
+  EXPECT_EQ(rep.races, rep2.races);
+  EXPECT_EQ(rep.final_state, rep2.final_state);
+  EXPECT_EQ(rep.schedule, rep2.schedule);
+}
+
+TEST(ExplorerTest, DeadlockScheduleReplaysIdenticalReport) {
+  auto tasks = std::vector<TaskFn>{
+      [](TaskContext& ctx) {
+        ctx.lock("m1");
+        ctx.lock("m2");
+        ctx.unlock("m2");
+        ctx.unlock("m1");
+      },
+      [](TaskContext& ctx) {
+        ctx.lock("m2");
+        ctx.lock("m1");
+        ctx.unlock("m1");
+        ctx.unlock("m2");
+      },
+  };
+  auto result = explore(tasks);
+  const ScheduleFailure* deadlock = nullptr;
+  for (const auto& f : result.failing_schedules)
+    if (f.kind == ScheduleFailure::Kind::Deadlock) deadlock = &f;
+  ASSERT_NE(deadlock, nullptr);
+
+  auto rep = replay(tasks, deadlock->schedule);
+  EXPECT_TRUE(rep.deadlocked);
+  EXPECT_EQ(rep.deadlock_report, deadlock->detail);
+}
+
+TEST(ExplorerTest, AssertionScheduleReplaysIdenticalFailure) {
+  auto tasks = std::vector<TaskFn>{
+      [](TaskContext& ctx) { ctx.write("x", 1); },
+      [](TaskContext& ctx) {
+        const std::int64_t x = ctx.read("x");
+        ctx.check(x == 0, "saw the write");
+      },
+  };
+  auto result = explore(tasks);
+  const ScheduleFailure* assertion = nullptr;
+  for (const auto& f : result.failing_schedules)
+    if (f.kind == ScheduleFailure::Kind::Assertion) assertion = &f;
+  ASSERT_NE(assertion, nullptr);
+  EXPECT_EQ(assertion->detail, "saw the write");
+
+  auto rep = replay(tasks, assertion->schedule);
+  ASSERT_EQ(rep.assertion_failures.size(), 1u);
+  EXPECT_EQ(rep.assertion_failures[0], "saw the write");
 }
 
 TEST(ExplorerTest, OrderViolationModelOfReplicatedStage) {

@@ -12,6 +12,7 @@
 #include "lang/printer.hpp"
 #include "lang/sema.hpp"
 #include "patterns/detector.hpp"
+#include "race/explorer.hpp"
 #include "transform/codegen.hpp"
 #include "transform/plan.hpp"
 #include "transform/testgen.hpp"
@@ -309,6 +310,39 @@ TEST(TestGenTest, GeneratedTestsPassOnCorrectPattern) {
     TestOutcome outcome = run_unit_test(*program, t, 2);
     EXPECT_TRUE(outcome.passed) << t.name << ": " << outcome.detail;
   }
+}
+
+TEST(TestGenTest, OrderProbeExploresAndSerializesFailingSchedule) {
+  DiagnosticSink diags;
+  auto program = lang::parse_and_check(kAvi, diags);
+  ASSERT_TRUE(program) << diags.to_string();
+  auto model = analysis::SemanticModel::build(*program);
+  auto detection = patterns::detect_all(*model);
+  auto tests = generate_unit_tests(detection.candidates);
+
+  bool probed = false;
+  for (const auto& t : tests) {
+    if (t.expects_possible_order_violation) {
+      // Order preservation off + replication: the explorer must find the
+      // violating interleaving and hand back a replayable schedule.
+      const ExplorationOutcome outcome = explore_order_probe(t);
+      EXPECT_TRUE(outcome.order_violation_possible) << t.name;
+      EXPECT_FALSE(outcome.detail.empty());
+      ASSERT_FALSE(outcome.failing_schedule.empty());
+      // The textual schedule must parse and must have replayed standalone
+      // to the identical violation (explore_order_probe verifies this).
+      EXPECT_TRUE(
+          race::Schedule::from_string(outcome.failing_schedule).has_value());
+      EXPECT_TRUE(outcome.replay_verified) << t.name;
+      probed = true;
+    } else {
+      // Order-preserving configurations must explore clean.
+      const ExplorationOutcome outcome = explore_order_probe(t);
+      EXPECT_FALSE(outcome.order_violation_possible) << t.name;
+      EXPECT_TRUE(outcome.failing_schedule.empty());
+    }
+  }
+  EXPECT_TRUE(probed);
 }
 
 TEST(TestGenTest, InputSelectionCoversBranches) {
