@@ -22,6 +22,8 @@ std::uint64_t burn_work(std::uint64_t iterations) {
   return acc;
 }
 
+thread_local const lang::Stmt* Interpreter::current_stmt_ = nullptr;
+
 Interpreter::Interpreter(const lang::Program& program, Tracer* tracer,
                          Options options)
     : program_(program), tracer_(tracer), options_(options) {}

@@ -146,7 +146,12 @@ class Interpreter {
   // Atomic so concurrent pipeline stages can charge the same interpreter.
   std::atomic<std::uint64_t> steps_{0};
   std::atomic<std::uint64_t> cost_{0};
-  const lang::Stmt* current_stmt_ = nullptr;
+  // Thread-local: pipeline stage workers execute statements concurrently
+  // through the same interpreter, and each thread's reads/writes must be
+  // attributed to the statement *that thread* is executing. call() saves
+  // and restores it around callee bodies, so the per-thread value is
+  // consistent even across nested interpreter instances on one thread.
+  static thread_local const lang::Stmt* current_stmt_;
 
   mutable std::mutex output_mutex_;
   std::string output_;

@@ -54,6 +54,13 @@ void index_program(const lang::Program& program,
 
 Profiler::Profiler(const lang::Program& program) : program_(program) {
   index_program(program_, stmt_by_id_, parent_of_);
+  // Pre-create a profile node per statement: the unordered_map never
+  // rehashes or inserts during tracing, so atomic counter updates and
+  // concurrent stmt_profile()/runtime_share() queries need no lock.
+  for (const auto& [id, st] : stmt_by_id_) {
+    (void)st;
+    stmt_profiles_[id];
+  }
 }
 
 std::vector<std::pair<int, std::int64_t>> Profiler::loop_snapshot() const {
@@ -65,17 +72,21 @@ std::vector<std::pair<int, std::int64_t>> Profiler::loop_snapshot() const {
 }
 
 void Profiler::charge_chain(std::uint64_t amount) {
-  total_cost_ += amount;
+  total_cost_.fetch_add(amount, std::memory_order_relaxed);
   // Attribute to the current statement, its static ancestors, and every
   // call site on the stack (with their static ancestors): inclusive cost.
   std::set<int> charged;  // a statement may appear twice via recursion
   auto charge_up = [&](const lang::Stmt* st) {
     int id = st ? st->id : -1;
     while (id >= 0) {
-      if (charged.insert(id).second)
-        stmt_profiles_[id].inclusive_cost += amount;
-      auto it = parent_of_.find(id);
-      id = it == parent_of_.end() ? -1 : it->second;
+      if (charged.insert(id).second) {
+        auto it = stmt_profiles_.find(id);
+        if (it != stmt_profiles_.end())
+          it->second.inclusive_cost.fetch_add(amount,
+                                              std::memory_order_relaxed);
+      }
+      auto pit = parent_of_.find(id);
+      id = pit == parent_of_.end() ? -1 : pit->second;
     }
   };
   charge_up(current_stmt_);
@@ -83,12 +94,18 @@ void Profiler::charge_chain(std::uint64_t amount) {
 }
 
 void Profiler::on_stmt(const lang::Stmt& stmt) {
+  auto it = stmt_profiles_.find(stmt.id);
+  if (it != stmt_profiles_.end())
+    it->second.exec_count.fetch_add(1, std::memory_order_relaxed);
+  std::scoped_lock lock(trace_mutex_);
   current_stmt_ = &stmt;
-  stmt_profiles_[stmt.id].exec_count += 1;
   charge_chain(1);
 }
 
-void Profiler::on_work(std::uint64_t cost) { charge_chain(cost); }
+void Profiler::on_work(std::uint64_t cost) {
+  std::scoped_lock lock(trace_mutex_);
+  charge_chain(cost);
+}
 
 void Profiler::record_dep(const Access& from, const lang::Stmt& to,
                           DepKind kind, const MemLoc& loc) {
@@ -114,11 +131,12 @@ void Profiler::record_dep(const Access& from, const lang::Stmt& to,
         acc.has_distance = true;
       }
     }
-    deps_dirty_ = true;
+    deps_dirty_.store(true, std::memory_order_release);
   }
 }
 
 void Profiler::on_read(const MemLoc& loc, const lang::Stmt& stmt) {
+  std::scoped_lock lock(trace_mutex_);
   auto it = last_writer_.find(loc);
   if (it != last_writer_.end())
     record_dep(it->second, stmt, DepKind::True, loc);
@@ -126,6 +144,7 @@ void Profiler::on_read(const MemLoc& loc, const lang::Stmt& stmt) {
 }
 
 void Profiler::on_write(const MemLoc& loc, const lang::Stmt& stmt) {
+  std::scoped_lock lock(trace_mutex_);
   auto rit = last_reader_.find(loc);
   if (rit != last_reader_.end() && rit->second.stmt != &stmt)
     record_dep(rit->second, stmt, DepKind::Anti, loc);
@@ -136,6 +155,7 @@ void Profiler::on_write(const MemLoc& loc, const lang::Stmt& stmt) {
 }
 
 void Profiler::on_loop_enter(const lang::Stmt& loop) {
+  std::scoped_lock lock(trace_mutex_);
   loop_stack_.push_back({&loop, -1});
   LoopProfile& p = loops_[loop.id];
   p.loop = &loop;
@@ -143,17 +163,20 @@ void Profiler::on_loop_enter(const lang::Stmt& loop) {
 }
 
 void Profiler::on_loop_iteration(const lang::Stmt& loop, std::int64_t iter) {
+  std::scoped_lock lock(trace_mutex_);
   if (!loop_stack_.empty() && loop_stack_.back().loop == &loop)
     loop_stack_.back().iteration = iter;
   loops_[loop.id].total_iterations += 1;
 }
 
 void Profiler::on_loop_exit(const lang::Stmt& loop) {
+  std::scoped_lock lock(trace_mutex_);
   if (!loop_stack_.empty() && loop_stack_.back().loop == &loop)
     loop_stack_.pop_back();
 }
 
 void Profiler::on_branch(const lang::Stmt& if_stmt, bool taken) {
+  std::scoped_lock lock(trace_mutex_);
   BranchProfile& b = branches_[if_stmt.id];
   if (taken) b.taken += 1;
   else b.not_taken += 1;
@@ -161,12 +184,14 @@ void Profiler::on_branch(const lang::Stmt& if_stmt, bool taken) {
 
 void Profiler::on_call(const lang::MethodDecl& callee,
                        const lang::Stmt* call_site) {
+  std::scoped_lock lock(trace_mutex_);
   call_counts_[&callee] += 1;
   call_site_stack_.push_back(call_site);
 }
 
 void Profiler::on_return(const lang::MethodDecl& callee) {
   (void)callee;
+  std::scoped_lock lock(trace_mutex_);
   if (!call_site_stack_.empty()) call_site_stack_.pop_back();
 }
 
@@ -183,7 +208,13 @@ double Profiler::runtime_share(int stmt_id) const {
 }
 
 void Profiler::finalize_deps() const {
-  if (!deps_dirty_) return;
+  // Double-checked: concurrent detector threads hit the lock-free acquire
+  // load once the fold has happened; the first caller folds under the
+  // trace mutex. (Callers must not still be tracing — see the class
+  // contract — but concurrent *queries* are fine.)
+  if (!deps_dirty_.load(std::memory_order_acquire)) return;
+  std::scoped_lock lock(trace_mutex_);
+  if (!deps_dirty_.load(std::memory_order_relaxed)) return;
   for (auto& [loop_id, dep_map] : const_cast<Profiler*>(this)->loop_deps_) {
     LoopProfile& p = loops_[loop_id];
     p.deps.clear();
@@ -201,7 +232,7 @@ void Profiler::finalize_deps() const {
       p.deps.push_back(std::move(d));
     }
   }
-  deps_dirty_ = false;
+  deps_dirty_.store(false, std::memory_order_release);
 }
 
 const Profiler::LoopProfile* Profiler::loop_profile(int loop_stmt_id) const {

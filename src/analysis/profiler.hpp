@@ -6,7 +6,9 @@
 // occurred under the given input data). Branch outcomes feed the
 // path-coverage input synthesis for generated parallel unit tests.
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +19,16 @@
 
 namespace patty::analysis {
 
+/// Thread-safety contract (self-hosted front-end, DESIGN.md):
+///  - Statement counters (exec counts, inclusive cost, total cost) are
+///    atomics in a map pre-indexed at construction, so stmt_profile() /
+///    runtime_share() may be called concurrently with tracing.
+///  - Structural trace state (loop stacks, access maps, dep accumulators,
+///    branch/call tables) is guarded by an internal mutex, so concurrent
+///    exec_stmt through pipeline stage workers is TSan-clean.
+///  - loops() / loop_profile() lazily fold accumulated dependences; safe
+///    to call from many reader threads at once, but not while a trace is
+///    still mutating loop state — finish (join) tracing first.
 class Profiler : public Tracer {
  public:
   explicit Profiler(const lang::Program& program);
@@ -36,8 +48,8 @@ class Profiler : public Tracer {
 
   // Results ----------------------------------------------------------------
   struct StmtProfile {
-    std::uint64_t exec_count = 0;
-    std::uint64_t inclusive_cost = 0;  // own cost + nested + callees
+    std::atomic<std::uint64_t> exec_count{0};
+    std::atomic<std::uint64_t> inclusive_cost{0};  // own + nested + callees
   };
 
   struct LoopProfile {
@@ -54,7 +66,9 @@ class Profiler : public Tracer {
   };
 
   [[nodiscard]] const StmtProfile& stmt_profile(int stmt_id) const;
-  [[nodiscard]] std::uint64_t total_cost() const { return total_cost_; }
+  [[nodiscard]] std::uint64_t total_cost() const {
+    return total_cost_.load(std::memory_order_relaxed);
+  }
   /// Fraction of total cost attributed to this statement (inclusive).
   [[nodiscard]] double runtime_share(int stmt_id) const;
   /// Loop profile, or nullptr if the loop never executed.
@@ -97,6 +111,9 @@ class Profiler : public Tracer {
   std::unordered_map<int, const lang::Stmt*> stmt_by_id_;
   std::unordered_map<int, int> parent_of_;  // stmt id -> parent stmt id (-1 top)
 
+  // Pre-indexed at construction with a slot for *every* statement, so the
+  // map structure never mutates during tracing: counter updates are atomic
+  // fetch_adds into stable nodes, and concurrent queries are plain finds.
   std::unordered_map<int, StmtProfile> stmt_profiles_;
   // Mutable so const accessors can lazily fold loop_deps_ into deps vectors.
   mutable std::map<int, LoopProfile> loops_;
@@ -104,14 +121,18 @@ class Profiler : public Tracer {
   // per loop. The slot component supports scalar privatization downstream.
   std::map<int, std::map<std::tuple<int, int, int, std::int64_t>, DepAcc>>
       loop_deps_;
-  mutable bool deps_dirty_ = false;
+  mutable std::atomic<bool> deps_dirty_{false};
   std::map<int, BranchProfile> branches_;
   std::unordered_map<const lang::MethodDecl*, std::uint64_t> call_counts_;
 
+  /// Guards all structural trace state below plus loops_/loop_deps_/
+  /// branches_/call_counts_ (and the lazy dep fold). Uncontended in the
+  /// common single-threaded trace; serializes concurrent stage workers.
+  mutable std::mutex trace_mutex_;
   std::vector<LoopFrame> loop_stack_;
   std::vector<const lang::Stmt*> call_site_stack_;
   const lang::Stmt* current_stmt_ = nullptr;
-  std::uint64_t total_cost_ = 0;
+  std::atomic<std::uint64_t> total_cost_{0};
 
   std::unordered_map<MemLoc, Access, MemLocHash> last_writer_;
   std::unordered_map<MemLoc, Access, MemLocHash> last_reader_;

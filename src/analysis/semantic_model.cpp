@@ -1,5 +1,6 @@
 #include "analysis/semantic_model.hpp"
 
+#include "runtime/parallel_for.hpp"
 #include "support/diagnostics.hpp"
 
 namespace patty::analysis {
@@ -13,8 +14,10 @@ std::unique_ptr<SemanticModel> SemanticModel::build(
       std::make_unique<EffectAnalysis>(program, model->call_graph_);
 
   // Index statements and owning methods.
+  std::vector<const lang::MethodDecl*> methods;
   for (const auto& cls : program.classes) {
     for (const auto& m : cls->methods) {
+      methods.push_back(m.get());
       lang::for_each_stmt(*m->body, [&](const lang::Stmt& st) {
         model->stmt_by_id_[st.id] = &st;
         model->method_by_stmt_id_[st.id] = m.get();
@@ -23,10 +26,29 @@ std::unique_ptr<SemanticModel> SemanticModel::build(
   }
   model->collect_loops();
 
+  if (options.parallel && methods.size() > 1) {
+    // Self-hosted front-end: prebuild every method CFG on the runtime's
+    // own pool. Each build_cfg is independent (pure function of one
+    // method); results land in index-stable slots, then move into the
+    // cache — so the model is bit-identical to a sequential build.
+    std::vector<Cfg> cfgs(methods.size());
+    rt::parallel_for(0, static_cast<std::int64_t>(methods.size()),
+                     [&](std::int64_t i) {
+                       cfgs[static_cast<std::size_t>(i)] =
+                           build_cfg(*methods[static_cast<std::size_t>(i)]);
+                     });
+    for (std::size_t i = 0; i < methods.size(); ++i)
+      model->cfg_cache_.emplace(methods[i], std::move(cfgs[i]));
+  }
+
   if (options.run_dynamic) {
     model->profiler_ = std::make_unique<Profiler>(program);
     Interpreter interp(program, model->profiler_.get(), options.interp);
     interp.run_main();  // throws RuntimeError on failure
+    // Fold observed dependences now, while the model is still exclusively
+    // ours: later (possibly concurrent) detector queries then take the
+    // lock-free finalized fast path.
+    model->profiler_->loops();
   }
   return model;
 }
@@ -80,9 +102,16 @@ void SemanticModel::collect_loops() {
 }
 
 const Cfg& SemanticModel::cfg(const lang::MethodDecl& method) const {
-  auto it = cfg_cache_.find(&method);
-  if (it != cfg_cache_.end()) return it->second;
-  return cfg_cache_.emplace(&method, build_cfg(method)).first->second;
+  // References stay stable (node-based map); the mutex only guards the
+  // lookup/insert so concurrent detector threads can demand-build safely.
+  {
+    std::scoped_lock lock(cfg_mutex_);
+    auto it = cfg_cache_.find(&method);
+    if (it != cfg_cache_.end()) return it->second;
+  }
+  Cfg built = build_cfg(method);  // pure; compute outside the lock
+  std::scoped_lock lock(cfg_mutex_);
+  return cfg_cache_.emplace(&method, std::move(built)).first->second;
 }
 
 bool SemanticModel::loop_was_profiled(const lang::Stmt& loop) const {
@@ -91,8 +120,25 @@ bool SemanticModel::loop_was_profiled(const lang::Stmt& loop) const {
   return p != nullptr && p->total_iterations > 0;
 }
 
-std::vector<Dep> SemanticModel::loop_dependences(const lang::Stmt& loop,
-                                                 bool optimistic) const {
+const std::vector<Dep>& SemanticModel::loop_dependences(
+    const lang::Stmt& loop, bool optimistic) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(loop.id)) << 1) |
+      static_cast<std::uint64_t>(optimistic);
+  {
+    std::scoped_lock lock(dep_cache_mutex_);
+    auto it = dep_cache_.find(key);
+    if (it != dep_cache_.end()) return it->second;
+  }
+  // Compute outside the lock (deterministic, so a racing duplicate is
+  // identical and the first insert wins); entries are node-stable.
+  std::vector<Dep> deps = compute_loop_dependences(loop, optimistic);
+  std::scoped_lock lock(dep_cache_mutex_);
+  return dep_cache_.emplace(key, std::move(deps)).first->second;
+}
+
+std::vector<Dep> SemanticModel::compute_loop_dependences(
+    const lang::Stmt& loop, bool optimistic) const {
   const std::vector<const lang::Stmt*> body = loop_body_statements(loop);
   if (optimistic && loop_was_profiled(loop)) {
     // Observed dependences are recorded at the finest statement level;

@@ -5,6 +5,7 @@
 // analysis, and answers the queries the pattern detectors need.
 
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "analysis/callgraph.hpp"
@@ -27,6 +28,10 @@ struct LoopInfo {
 struct SemanticModelOptions {
   /// Execute the program's main() under the profiler (dynamic half).
   bool run_dynamic = true;
+  /// Fan static construction out on the shared runtime pool: per-method
+  /// CFGs are prebuilt via parallel_for (self-hosted front-end). The
+  /// resulting model is identical to a sequential build.
+  bool parallel = false;
   InterpreterOptions interp;
 };
 
@@ -54,8 +59,12 @@ class SemanticModel {
   /// Dependences among the top-level body statements of a loop:
   /// observed (dynamic) if the loop executed under profiling, otherwise the
   /// pessimistic static set. `optimistic` false forces the static set.
-  std::vector<Dep> loop_dependences(const lang::Stmt& loop,
-                                    bool optimistic = true) const;
+  /// Memoized per (loop, mode): repeated detector queries — data-parallel
+  /// then pipeline matching both ask — compute once; the returned
+  /// reference is stable for the model's lifetime. Thread-safe (the model
+  /// is immutable after build, so entries never invalidate).
+  const std::vector<Dep>& loop_dependences(const lang::Stmt& loop,
+                                           bool optimistic = true) const;
 
   /// True when the loop executed at least one iteration under profiling.
   bool loop_was_profiled(const lang::Stmt& loop) const;
@@ -71,6 +80,8 @@ class SemanticModel {
  private:
   SemanticModel() = default;
   void collect_loops();
+  std::vector<Dep> compute_loop_dependences(const lang::Stmt& loop,
+                                            bool optimistic) const;
 
   const lang::Program* program_ = nullptr;
   CallGraph call_graph_;
@@ -79,7 +90,13 @@ class SemanticModel {
   std::vector<LoopInfo> loops_;
   std::unordered_map<int, const lang::Stmt*> stmt_by_id_;
   std::unordered_map<int, const lang::MethodDecl*> method_by_stmt_id_;
+  mutable std::mutex cfg_mutex_;
   mutable std::unordered_map<const lang::MethodDecl*, Cfg> cfg_cache_;
+  // Dependence memo, keyed (loop id << 1) | optimistic. Never invalidated:
+  // the program, effects and profile are frozen once build() returns
+  // (see DESIGN.md "Self-hosted front-end" on cache invalidation).
+  mutable std::mutex dep_cache_mutex_;
+  mutable std::unordered_map<std::uint64_t, std::vector<Dep>> dep_cache_;
 };
 
 }  // namespace patty::analysis

@@ -72,4 +72,51 @@ struct DetectionScore {
 DetectionScore score_program(const CorpusProgram& program, bool optimistic,
                              std::string* error = nullptr);
 
+/// Self-hosted front-end configuration for corpus-wide evaluation.
+struct FrontendConfig {
+  /// Pipeline the corpus through the lock-free runtime — parse ->
+  /// semantic model -> detect, scored at the sink — with parallel model
+  /// construction and per-loop matching inside each stage. False runs the
+  /// identical per-program functions inline on the calling thread, so the
+  /// two modes produce byte-identical reports (the determinism suite
+  /// asserts this).
+  bool parallel = false;
+  /// Worker budget across the pipeline stages; 0 resolves through
+  /// frontend_threads() (PATTY_FRONTEND_THREADS env var, else hardware).
+  int threads = 0;
+  /// Detection mode (the paper's optimistic default vs static baseline).
+  bool optimistic = true;
+  /// Forwarded to the interpreter for the dynamic-analysis run: emulated
+  /// multicore (work(n) sleeps instead of burning CPU) lets the analysis
+  /// benches reproduce parallel speedup shapes on few-core hosts.
+  bool work_sleeps = false;
+  std::uint64_t work_sleep_ns = 2'000;
+};
+
+/// Per-program outcome of a corpus evaluation, in corpus order.
+struct ProgramReport {
+  std::string name;
+  DetectionScore score;
+  std::string error;        // nonempty when parse/analysis failed
+  std::string fingerprint;  // patterns::detection_fingerprint of the result
+};
+
+struct CorpusReport {
+  DetectionScore total;
+  std::vector<ProgramReport> programs;  // corpus order, independent of mode
+  /// Corpus-wide detection fingerprint (program name + per-program
+  /// fingerprints, corpus order): equal strings prove two evaluations
+  /// detected exactly the same candidates everywhere.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Resolve the front-end worker count: `requested` if positive, else the
+/// PATTY_FRONTEND_THREADS environment variable, else hardware concurrency.
+int frontend_threads(int requested = 0);
+
+/// Evaluate a corpus through the detection front-end (see FrontendConfig
+/// for the sequential/parallel contract).
+CorpusReport evaluate_corpus(const std::vector<const CorpusProgram*>& programs,
+                             const FrontendConfig& config = {});
+
 }  // namespace patty::corpus

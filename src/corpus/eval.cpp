@@ -1,37 +1,66 @@
+#include <cstdlib>
 #include <set>
+#include <thread>
 
 #include "analysis/semantic_model.hpp"
 #include "corpus/corpus.hpp"
 #include "lang/sema.hpp"
 #include "patterns/detector.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace patty::corpus {
 
-DetectionScore score_program(const CorpusProgram& program, bool optimistic,
-                             std::string* error) {
-  DetectionScore score;
-  DiagnosticSink diags;
-  auto parsed = lang::parse_and_check(program.source, diags);
-  if (!parsed) {
-    if (error) *error = program.name + ": " + diags.to_string();
-    return score;
-  }
-  std::unique_ptr<analysis::SemanticModel> model;
-  try {
-    model = analysis::SemanticModel::build(*parsed);
-  } catch (const analysis::RuntimeError& e) {
-    if (error) *error = program.name + ": " + e.message;
-    return score;
-  }
-  patterns::DetectionOptions options;
-  options.optimistic = optimistic;
-  const patterns::DetectionResult result = patterns::detect_all(*model, options);
+namespace {
 
+/// One program moving through the front-end. Stages mutate it in place;
+/// a nonempty `error` short-circuits the remaining stages (pipeline stage
+/// bodies run on detached threads, so errors travel in the item rather
+/// than as exceptions).
+struct WorkItem {
+  std::size_t index = 0;  // slot in the report (arrival order varies)
+  const CorpusProgram* program = nullptr;
+  std::unique_ptr<lang::Program> parsed;
+  std::unique_ptr<analysis::SemanticModel> model;
+  patterns::DetectionResult detection;
+  std::string error;
+};
+
+void stage_parse(WorkItem& item) {
+  DiagnosticSink diags;
+  item.parsed = lang::parse_and_check(item.program->source, diags);
+  if (!item.parsed)
+    item.error = item.program->name + ": " + diags.to_string();
+}
+
+void stage_model(WorkItem& item, const FrontendConfig& config) {
+  if (!item.error.empty()) return;
+  analysis::SemanticModelOptions options;
+  options.parallel = config.parallel;
+  options.interp.work_sleeps = config.work_sleeps;
+  options.interp.work_sleep_ns = config.work_sleep_ns;
+  try {
+    item.model = analysis::SemanticModel::build(*item.parsed, options);
+  } catch (const analysis::RuntimeError& e) {
+    item.error = item.program->name + ": " + e.message;
+  }
+}
+
+void stage_detect(WorkItem& item, const FrontendConfig& config) {
+  if (!item.error.empty()) return;
+  patterns::DetectionOptions options;
+  options.optimistic = config.optimistic;
+  options.parallel = config.parallel;
+  item.detection = patterns::detect_all(*item.model, options);
+}
+
+/// Score detected loop locations (by line) against the program's truth.
+DetectionScore score_detection(const CorpusProgram& program,
+                               const patterns::DetectionResult& result) {
+  DetectionScore score;
   std::set<std::uint32_t> detected_lines;
   for (const patterns::Candidate& c : result.candidates) {
     if (c.anchor) detected_lines.insert(c.anchor->range.begin.line);
   }
-
   // Only labeled locations are scored; unlabeled candidates (helper loops
   // etc.) are out of scope for the ground truth.
   for (const TruthLocation& t : program.truth) {
@@ -43,6 +72,123 @@ DetectionScore score_program(const CorpusProgram& program, bool optimistic,
     }
   }
   return score;
+}
+
+ProgramReport report_for(WorkItem& item) {
+  ProgramReport report;
+  report.name = item.program->name;
+  report.error = item.error;
+  if (item.error.empty()) {
+    report.score = score_detection(*item.program, item.detection);
+    report.fingerprint = patterns::detection_fingerprint(item.detection);
+  }
+  return report;
+}
+
+}  // namespace
+
+DetectionScore score_program(const CorpusProgram& program, bool optimistic,
+                             std::string* error) {
+  WorkItem item;
+  item.program = &program;
+  FrontendConfig config;  // sequential defaults
+  config.optimistic = optimistic;
+  stage_parse(item);
+  stage_model(item, config);
+  stage_detect(item, config);
+  if (!item.error.empty()) {
+    if (error) *error = item.error;
+    return {};
+  }
+  return score_detection(program, item.detection);
+}
+
+int frontend_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("PATTY_FRONTEND_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::string CorpusReport::fingerprint() const {
+  std::string fp;
+  for (const ProgramReport& p : programs) {
+    fp += "== ";
+    fp += p.name;
+    fp += " ==\n";
+    fp += p.error.empty() ? p.fingerprint : ("error: " + p.error + "\n");
+  }
+  return fp;
+}
+
+CorpusReport evaluate_corpus(
+    const std::vector<const CorpusProgram*>& programs,
+    const FrontendConfig& config) {
+  CorpusReport report;
+  report.programs.resize(programs.size());
+
+  if (!config.parallel) {
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      WorkItem item;
+      item.index = i;
+      item.program = programs[i];
+      stage_parse(item);
+      stage_model(item, config);
+      stage_detect(item, config);
+      report.programs[i] = report_for(item);
+    }
+  } else {
+    // Self-hosted front-end: the corpus streams through the lock-free
+    // Pipeline. The model stage carries the dynamic-analysis run (the
+    // dominant cost) and gets the whole worker budget; parse and detect
+    // are lighter and take fractions. Stage workers that hit nested
+    // parallel_for/master_worker (model build, detect_all) submit to the
+    // shared pool and join helpingly — that pool is shared across all
+    // stage replicas, so the budget is approximate by design.
+    const int threads = frontend_threads(config.threads);
+    rt::PipelineConfig pipe_config;
+    pipe_config.name = "frontend";
+    pipe_config.buffer_capacity =
+        std::max<std::size_t>(4, static_cast<std::size_t>(threads));
+    using Stage = rt::Pipeline<WorkItem>::Stage;
+    std::vector<Stage> stages;
+    stages.push_back({"parse",
+                      [](WorkItem& item) { stage_parse(item); },
+                      std::max(1, threads / 4)});
+    stages.push_back({"model",
+                      [&config](WorkItem& item) { stage_model(item, config); },
+                      threads});
+    stages.push_back({"detect",
+                      [&config](WorkItem& item) { stage_detect(item, config); },
+                      std::max(1, threads / 2)});
+    rt::Pipeline<WorkItem> pipeline(std::move(stages), pipe_config);
+    std::size_t next = 0;
+    pipeline.run(
+        [&]() -> std::optional<WorkItem> {
+          if (next >= programs.size()) return std::nullopt;
+          WorkItem item;
+          item.index = next;
+          item.program = programs[next];
+          ++next;
+          return item;
+        },
+        [&report](WorkItem&& item) {
+          // Arrival order is nondeterministic behind replicated stages;
+          // index-addressed slots restore corpus order exactly.
+          report.programs[item.index] = report_for(item);
+        });
+  }
+
+  for (const ProgramReport& p : report.programs) {
+    report.total.true_positives += p.score.true_positives;
+    report.total.false_positives += p.score.false_positives;
+    report.total.false_negatives += p.score.false_negatives;
+    report.total.true_negatives += p.score.true_negatives;
+  }
+  return report;
 }
 
 }  // namespace patty::corpus

@@ -33,6 +33,16 @@ void atomic_max_double(std::atomic<double>& target, double v) {
 
 }  // namespace
 
+std::size_t Counter::shard_index() {
+  // Round-robin slot assignment: the first kShards threads get distinct
+  // shards (no hash collisions between the pool workers that dominate
+  // traffic); beyond that, threads wrap around and share.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
 void Histogram::record(double v) {
   const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add_double(sum_, v);

@@ -22,18 +22,35 @@
 
 namespace patty::observe {
 
+/// Sharded counter: increments land in one of kShards cache-line-padded
+/// slots picked per thread (round-robin assignment at first use), so
+/// concurrent writers on different threads don't ping-pong a single cache
+/// line once the front-end runs parallel. Reads aggregate across shards —
+/// value() is O(kShards) and, like the old single-atomic version, a
+/// momentary-in-time sum, not a linearization point.
 class Counter {
  public:
   void add(std::uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
   }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  /// Per-thread shard slot, assigned round-robin on first use (cached in a
+  /// thread_local, so the hot add() path is one TLS read + one fetch_add).
+  static std::size_t shard_index();
+  std::array<Shard, kShards> shards_{};
 };
 
 /// Last-value gauge that also tracks its high-water mark (e.g. queue depth).

@@ -1,8 +1,11 @@
 #include "patterns/detector.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
+#include "runtime/master_worker.hpp"
+#include "runtime/parallel_for.hpp"
 #include "support/diagnostics.hpp"
 
 namespace patty::patterns {
@@ -170,7 +173,8 @@ PipelineOutcome detect_pipeline(const SemanticModel& model, const Stmt& loop,
 
   // PLDD: merge statements connected by loop-carried dependences, together
   // with everything in between (interval merging over body positions).
-  const std::vector<Dep> deps = model.loop_dependences(loop, options.optimistic);
+  const std::vector<Dep>& deps =
+      model.loop_dependences(loop, options.optimistic);
 
   // Carried deps between positions a < b glue the whole interval [a, b]
   // into one stage (paper: "subsume si, sk, and all statements in between").
@@ -358,7 +362,8 @@ PipelineOutcome detect_data_parallel(const SemanticModel& model,
     outcome.rejection = {&loop, "PLPL", "empty loop body"};
     return outcome;
   }
-  const std::vector<Dep> deps = model.loop_dependences(loop, options.optimistic);
+  const std::vector<Dep>& deps =
+      model.loop_dependences(loop, options.optimistic);
 
   // Classify carried dependences: none -> plain data-parallel;
   // all on a single associative accumulator statement -> reduction.
@@ -547,36 +552,69 @@ std::vector<Candidate> detect_master_worker(const SemanticModel& model,
   return out;
 }
 
+namespace {
+
+/// Match the catalog against one loop: data-parallel first (the stronger
+/// pattern — fully independent iteration space, no buffers), then
+/// pipeline. Pure per-loop function, so the parallel front-end can run it
+/// from any worker; the model's dependence cache absorbs the repeated
+/// loop_dependences queries both detectors make.
+PipelineOutcome match_loop(const SemanticModel& model,
+                           const analysis::LoopInfo& li,
+                           const DetectionOptions& options) {
+  PipelineOutcome dp = detect_data_parallel(model, *li.loop, options);
+  if (dp.candidate) {
+    if (dp.candidate->runtime_share < options.min_runtime_share)
+      return {};  // matched but below threshold: no candidate, no rejection
+    return dp;
+  }
+  PipelineOutcome pl = detect_pipeline(model, *li.loop, options);
+  if (pl.candidate) {
+    if (pl.candidate->runtime_share < options.min_runtime_share) return {};
+    return pl;
+  }
+  // Keep the more informative rejection (pipeline's, if both failed).
+  if (pl.rejection) return pl;
+  return dp;
+}
+
+}  // namespace
+
 DetectionResult detect_all(const SemanticModel& model,
                            DetectionOptions options) {
-  DetectionResult result;
-  std::set<int> loops_in_candidates;
+  const std::vector<analysis::LoopInfo>& loops = model.loops();
+  std::vector<PipelineOutcome> outcomes(loops.size());
+  std::vector<Candidate> mw_candidates;
 
-  for (const analysis::LoopInfo& li : model.loops()) {
-    // Try the stronger pattern first: a fully independent iteration space
-    // beats a pipeline (more parallelism, no buffers).
-    PipelineOutcome dp = detect_data_parallel(model, *li.loop, options);
-    if (dp.candidate) {
-      if (dp.candidate->runtime_share >= options.min_runtime_share) {
-        result.candidates.push_back(std::move(*dp.candidate));
-        loops_in_candidates.insert(li.loop->id);
-      }
-      continue;
-    }
-    PipelineOutcome pl = detect_pipeline(model, *li.loop, options);
-    if (pl.candidate) {
-      if (pl.candidate->runtime_share >= options.min_runtime_share) {
-        result.candidates.push_back(std::move(*pl.candidate));
-        loops_in_candidates.insert(li.loop->id);
-      }
-      continue;
-    }
-    // Keep the more informative rejection (pipeline's, if both failed).
-    if (pl.rejection) result.rejected.push_back(std::move(*pl.rejection));
-    else if (dp.rejection) result.rejected.push_back(std::move(*dp.rejection));
+  if (options.parallel && !loops.empty()) {
+    // Self-hosted matching: per-loop outcomes fan out through parallel_for
+    // into index-stable slots while the master/worker region scan runs as
+    // the second concurrent task. Assembly below walks slots in loop
+    // order, so the result is byte-identical to the sequential branch.
+    rt::MasterWorker mw;  // workers=0: shared pool + helping join
+    mw.run({[&] {
+              rt::parallel_for(
+                  0, static_cast<std::int64_t>(loops.size()),
+                  [&](std::int64_t i) {
+                    const auto idx = static_cast<std::size_t>(i);
+                    outcomes[idx] = match_loop(model, loops[idx], options);
+                  });
+            },
+            [&] { mw_candidates = detect_master_worker(model, options); }});
+  } else {
+    for (std::size_t i = 0; i < loops.size(); ++i)
+      outcomes[i] = match_loop(model, loops[i], options);
+    mw_candidates = detect_master_worker(model, options);
   }
 
-  for (Candidate& mw : detect_master_worker(model, options)) {
+  DetectionResult result;
+  for (PipelineOutcome& o : outcomes) {
+    if (o.candidate)
+      result.candidates.push_back(std::move(*o.candidate));
+    else if (o.rejection)
+      result.rejected.push_back(std::move(*o.rejection));
+  }
+  for (Candidate& mw : mw_candidates) {
     if (mw.runtime_share >= options.min_runtime_share)
       result.candidates.push_back(std::move(mw));
   }
@@ -586,6 +624,77 @@ DetectionResult detect_all(const SemanticModel& model,
                      return a.runtime_share > b.runtime_share;
                    });
   return result;
+}
+
+std::string detection_fingerprint(const DetectionResult& result) {
+  std::string fp;
+  char buf[64];
+  auto num = [&](double v) {
+    // %.17g round-trips doubles exactly: byte-equal fingerprints mean
+    // bit-equal runtime shares, not merely close ones.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    fp += buf;
+  };
+  for (const Candidate& c : result.candidates) {
+    fp += pattern_kind_name(c.kind);
+    fp += '@';
+    fp += c.location();
+    fp += " share=";
+    num(c.runtime_share);
+    fp += " reason=";
+    fp += c.reason;
+    for (const StageSpec& s : c.stages) {
+      fp += " stage:";
+      fp += s.label;
+      fp += s.replicable ? "+r" : "";
+      fp += s.writes_io ? "+io" : "";
+      fp += "=";
+      num(s.runtime_share);
+      for (int id : s.stmt_ids) {
+        fp += ',';
+        fp += std::to_string(id);
+      }
+    }
+    for (const auto& section : c.sections) {
+      fp += " sec:";
+      for (std::size_t idx : section) {
+        fp += std::to_string(idx);
+        fp += '|';
+      }
+    }
+    if (c.is_reduction) {
+      fp += " red=";
+      fp += std::to_string(c.reduction_stmt_id);
+    }
+    for (int id : c.task_stmt_ids) {
+      fp += " task=";
+      fp += std::to_string(id);
+    }
+    for (const rt::TuningParameter& p : c.tuning) {
+      fp += " tune:";
+      fp += p.name;
+      fp += '=';
+      fp += std::to_string(p.value);
+      fp += '[';
+      fp += std::to_string(p.min);
+      fp += "..";
+      fp += std::to_string(p.max);
+      fp += ']';
+    }
+    fp += " tadl=";
+    fp += c.tadl;
+    fp += '\n';
+  }
+  for (const RejectedLoop& r : result.rejected) {
+    fp += "rejected@";
+    fp += r.loop ? r.loop->range.str() : "<unknown>";
+    fp += ' ';
+    fp += r.rule;
+    fp += ": ";
+    fp += r.reason;
+    fp += '\n';
+  }
+  return fp;
 }
 
 }  // namespace patty::patterns

@@ -22,6 +22,12 @@ struct DetectionOptions {
   double min_runtime_share = 0.0;
   /// Default replication ceiling offered to the tuner.
   int max_replication = 8;
+  /// Self-hosted front-end: per-loop pattern matching fans out over the
+  /// runtime's own pool (parallel_for over the loop list, master/worker
+  /// region detection concurrently). Output is byte-identical to the
+  /// sequential path — outcomes land in index-stable slots and are
+  /// assembled in loop order before the (stable) ranking sort.
+  bool parallel = false;
 };
 
 /// Detect pipeline candidates in one loop. Returns a candidate or a
@@ -52,5 +58,11 @@ DetectionResult detect_all(const analysis::SemanticModel& model,
 
 /// Stage labels "A", "B", ..., "Z", "A1", ...
 std::string stage_label(std::size_t index);
+
+/// Canonical serialization of a detection result (every candidate field
+/// that downstream phases consume, plus rejections). Two runs produced the
+/// same detection exactly when the fingerprints are string-equal — the
+/// determinism harness compares parallel vs sequential front-ends with it.
+std::string detection_fingerprint(const DetectionResult& result);
 
 }  // namespace patty::patterns

@@ -49,15 +49,11 @@ void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
     return;
   }
   if (workers_ == 0) {
-    if (ThreadPool::on_worker_thread()) {
-      // Nested master/worker inside a pool task: run inline rather than
-      // blocking a pool worker on tasks that need that same worker.
-      for (const auto& t : tasks) t();
-      return;
-    }
     // Shared pool: no thread creation cost; the common configuration.
     // submit_fast with a by-reference capture: the tasks vector outlives
-    // group.wait(), so no per-task std::function copy is needed.
+    // the join, so no per-task std::function copy is needed. The helping
+    // join keeps a nested master/worker inside a pool task from blocking
+    // pool capacity: the worker runs queued tasks while it waits.
     TaskGroup group;
     group.add(tasks.size());
     for (const auto& t : tasks) {
@@ -74,7 +70,7 @@ void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
         group.finish();
       });
     }
-    group.wait();
+    ThreadPool::shared().wait_on(group);
     return;
   }
   // Dedicated crew: `workers_` threads pull tasks by index.

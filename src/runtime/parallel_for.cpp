@@ -106,10 +106,7 @@ void parallel_for_driver(std::int64_t begin, std::int64_t end,
   const std::int64_t threads = effective_threads(tuning);
   const bool telemetry = observe::enabled();
   if (telemetry) loop_metrics().loops.add();
-  // Nested parallelism runs inline: a pool worker waiting on pool tasks
-  // deadlocks when the pool is small (see ThreadPool::on_worker_thread).
-  if (tuning.sequential || threads <= 1 || range == 1 ||
-      ThreadPool::on_worker_thread()) {
+  if (tuning.sequential || threads <= 1 || range == 1) {
     if (telemetry) loop_metrics().sequential_fallbacks.add();
     invoke(ctx, begin, end);
     return;
@@ -122,8 +119,11 @@ void parallel_for_driver(std::int64_t begin, std::int64_t end,
   SplitCtx c{invoke, ctx, grain, telemetry, {}};
   // The caller participates: it keeps splitting left halves and runs leaves
   // itself while pool workers steal and process the spawned right halves.
+  // The helping join makes this safe from inside a pool task too — a worker
+  // joining a nested loop keeps executing pool work (its own spawned halves
+  // first, LIFO) instead of blocking pool capacity: inline-or-stolen.
   run_range(c, begin, end);
-  c.group.wait();
+  ThreadPool::shared().wait_on(c.group);
 }
 
 }  // namespace detail

@@ -244,6 +244,35 @@ void ThreadPool::worker_loop(std::size_t index) {
   }
 }
 
+void ThreadPool::wait_on(TaskGroup& group) {
+  const WorkerIdentity& id = g_worker_identity;
+  if (id.pool != this) {
+    group.wait();
+    return;
+  }
+  // Helping join: keep draining pool work (own deque first — that's where
+  // a nested fork-join's own children land — then injector/steals) until
+  // the group goes idle. The worker never parks here: its condvar wakeup
+  // belongs to *new* work, while group completion is signalled only by the
+  // counters we poll.
+  Worker& self = *static_cast<Worker*>(id.worker);
+  std::size_t starved = 0;
+  while (!group.idle()) {
+    if (Job* job = find_job(self)) {
+      pending_.fetch_sub(1, std::memory_order_seq_cst);
+      job->run(job);
+      starved = 0;
+      continue;
+    }
+    // Nothing runnable: the group's remaining tasks are in flight on other
+    // workers. Yield a while, then back off to short sleeps.
+    if (++starved < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
 ThreadPool& ThreadPool::shared() {
   // At least four workers even on small hosts: fork-join users block a
   // caller thread on pool progress, and wait-dominated tasks (pipelines

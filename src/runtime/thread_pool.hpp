@@ -33,6 +33,8 @@
 
 namespace patty::rt {
 
+class TaskGroup;
+
 class ThreadPool {
  public:
   /// `threads` == 0 picks hardware_concurrency (at least 1).
@@ -69,11 +71,18 @@ class ThreadPool {
   static ThreadPool& shared();
 
   /// True while the calling thread is a pool worker. Nested fork-join
-  /// constructs (parallel_for inside a parallel_for task, master/worker
-  /// inside a pool task) must run inline instead of submitting to the pool
-  /// and waiting — blocking a worker on tasks that need that same worker
-  /// deadlocks small pools.
+  /// constructs use wait_on() to join without blocking the worker; code
+  /// that cannot help (e.g. holds a lock the tasks may take) can use this
+  /// to fall back to inline execution.
   static bool on_worker_thread();
+
+  /// Join `group` cooperatively. On a worker thread of *this* pool the
+  /// caller keeps executing pool tasks (own deque, injector, steals) until
+  /// the group drains — so nested fork-join submitted from a worker is
+  /// inline-or-stolen rather than a deadlock. On any other thread this is
+  /// group.wait(). The group must have exactly one joiner (see
+  /// TaskGroup::idle()).
+  void wait_on(TaskGroup& group);
 
  private:
   /// Intrusive task node; `run` executes and frees it.
@@ -128,6 +137,19 @@ class TaskGroup {
 
   void finish();
   void wait();
+
+  /// True when no task is outstanding and no finish() is mid-flight.
+  /// Safe to poll without registering as a waiter: with no waiter
+  /// registered, finish()'s last access to the group is its `finishing_`
+  /// decrement, so observing outstanding_ == 0 and then finishing_ == 0
+  /// (both seq_cst) proves every finisher is done touching the group.
+  /// Only valid while no other thread is blocked in wait() on the same
+  /// group (a waiter flips the final finish onto the notify path, whose
+  /// last access is the mutex unlock) — i.e. one joiner per group.
+  [[nodiscard]] bool idle() const {
+    return outstanding_.load(std::memory_order_seq_cst) == 0 &&
+           finishing_.load(std::memory_order_seq_cst) == 0;
+  }
 
   /// Convenience: submit `task` to `pool` tracked by this group.
   void run_on(ThreadPool& pool, std::function<void()> task);

@@ -1,0 +1,209 @@
+// Self-hosted front-end regression suite (label `analysis`, also run in the
+// sanitizer `stress` job):
+//  * the parallel front-end — corpus pipeline, parallel model build,
+//    parallel per-loop matching — must report byte-identical detections to
+//    the sequential front-end across the whole corpus (handwritten + full
+//    synthetic study suite);
+//  * the dependence memo returns stable references and computes once per
+//    (loop, mode);
+//  * a shared Profiler stays consistent (and TSan-clean) under concurrent
+//    trace interpretation;
+//  * PATTY_FRONTEND_THREADS resolves the worker budget.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "analysis/interpreter.hpp"
+#include "analysis/profiler.hpp"
+#include "analysis/semantic_model.hpp"
+#include "corpus/corpus.hpp"
+#include "lang/sema.hpp"
+#include "patterns/detector.hpp"
+
+namespace patty {
+namespace {
+
+std::vector<const corpus::CorpusProgram*> whole_corpus(
+    const std::vector<corpus::CorpusProgram>& synthetic) {
+  std::vector<const corpus::CorpusProgram*> all = corpus::handwritten();
+  for (const corpus::CorpusProgram& p : synthetic) all.push_back(&p);
+  return all;
+}
+
+TEST(FrontendDeterminism, ParallelMatchesSequentialByteForByte) {
+  // The full §5 study corpus plus every hand-written program, evaluated by
+  // both front-ends at two worker budgets. Equal fingerprints mean every
+  // candidate field and every rejection matched everywhere (see
+  // patterns::detection_fingerprint).
+  const std::vector<corpus::CorpusProgram> synthetic =
+      corpus::synthetic_suite(110, 20150207);
+  const std::vector<const corpus::CorpusProgram*> all =
+      whole_corpus(synthetic);
+
+  corpus::FrontendConfig config;  // sequential
+  const corpus::CorpusReport sequential = corpus::evaluate_corpus(all, config);
+  const std::string reference = sequential.fingerprint();
+  ASSERT_FALSE(reference.empty());
+  EXPECT_NE(reference.find("avistream"), std::string::npos);
+
+  for (int threads : {2, 8}) {
+    config.parallel = true;
+    config.threads = threads;
+    const corpus::CorpusReport parallel = corpus::evaluate_corpus(all, config);
+    EXPECT_EQ(parallel.fingerprint(), reference)
+        << "parallel front-end diverged at " << threads << " threads";
+    EXPECT_EQ(parallel.total.true_positives, sequential.total.true_positives);
+    EXPECT_EQ(parallel.total.false_positives,
+              sequential.total.false_positives);
+    EXPECT_EQ(parallel.total.false_negatives,
+              sequential.total.false_negatives);
+    EXPECT_EQ(parallel.total.true_negatives, sequential.total.true_negatives);
+  }
+}
+
+TEST(FrontendDeterminism, ParallelDetectorMatchesSequentialPerProgram) {
+  // Same invariant one layer down: detect_all with options.parallel against
+  // the identical model, no corpus pipeline involved.
+  for (const corpus::CorpusProgram* p : corpus::handwritten()) {
+    DiagnosticSink diags;
+    auto program = lang::parse_and_check(p->source, diags);
+    ASSERT_TRUE(program) << p->name << ": " << diags.to_string();
+    auto model = analysis::SemanticModel::build(*program);
+
+    patterns::DetectionOptions options;
+    const std::string sequential =
+        patterns::detection_fingerprint(patterns::detect_all(*model, options));
+    options.parallel = true;
+    const std::string parallel =
+        patterns::detection_fingerprint(patterns::detect_all(*model, options));
+    EXPECT_EQ(parallel, sequential) << p->name;
+  }
+}
+
+TEST(DepCache, ReturnsStableMemoizedReferences) {
+  DiagnosticSink diags;
+  auto program = lang::parse_and_check(R"(class Main { void main() {
+    int[] a = new int[16];
+    for (int i = 0; i < 16; i++) { a[i] = work(1); }
+    for (int i = 1; i < 16; i++) { a[i] = a[i - 1] + 1; }
+  } })",
+                                       diags);
+  ASSERT_TRUE(program) << diags.to_string();
+  auto model = analysis::SemanticModel::build(*program);
+  ASSERT_EQ(model->loops().size(), 2u);
+
+  for (const analysis::LoopInfo& li : model->loops()) {
+    for (bool optimistic : {true, false}) {
+      const std::vector<analysis::Dep>& first =
+          model->loop_dependences(*li.loop, optimistic);
+      const std::vector<analysis::Dep>& second =
+          model->loop_dependences(*li.loop, optimistic);
+      // Memoized: the exact same vector, not an equal copy.
+      EXPECT_EQ(&first, &second);
+    }
+    // The two modes are distinct cache entries.
+    EXPECT_NE(&model->loop_dependences(*li.loop, true),
+              &model->loop_dependences(*li.loop, false));
+  }
+  // The recurrence loop must still be seen as carried in both modes.
+  const analysis::LoopInfo& rec = model->loops()[1];
+  EXPECT_FALSE(model->loop_dependences(*rec.loop, true).empty());
+}
+
+TEST(DepCache, ConcurrentQueriesAgree) {
+  // Detector workers hammer the same loops from many threads; every thread
+  // must see the same memoized vector.
+  DiagnosticSink diags;
+  auto program = lang::parse_and_check(R"(class Main { void main() {
+    int[] a = new int[32];
+    for (int i = 1; i < 32; i++) { a[i] = a[i - 1] + work(1); }
+  } })",
+                                       diags);
+  ASSERT_TRUE(program) << diags.to_string();
+  auto model = analysis::SemanticModel::build(*program);
+  ASSERT_EQ(model->loops().size(), 1u);
+  const lang::Stmt& loop = *model->loops()[0].loop;
+
+  std::vector<const std::vector<analysis::Dep>*> seen(8, nullptr);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < seen.size(); ++t)
+    threads.emplace_back([&model, &loop, &seen, t] {
+      for (int round = 0; round < 100; ++round)
+        seen[t] = &model->loop_dependences(loop, true);
+    });
+  for (std::thread& th : threads) th.join();
+  for (const auto* deps : seen) EXPECT_EQ(deps, seen[0]);
+  EXPECT_FALSE(seen[0]->empty());
+}
+
+TEST(ProfilerConcurrency, ConcurrentTraceInterpretationIsConsistent) {
+  // The self-hosted front-end interprets independent inputs as concurrent
+  // tasks against one shared Profiler. Counters must add up exactly and the
+  // run must be TSan-clean (this test is part of the sanitizer stress job).
+  DiagnosticSink diags;
+  auto program = lang::parse_and_check(R"(class Main {
+    int tick(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i++) { acc = acc + work(2); }
+      return acc;
+    }
+    void main() { tick(1); }
+  })",
+                                       diags);
+  ASSERT_TRUE(program) << diags.to_string();
+
+  analysis::Profiler profiler(*program);
+  analysis::Interpreter interp(*program, &profiler);
+  const lang::ClassDecl* main_class = program->find_class("Main");
+  ASSERT_TRUE(main_class);
+  const lang::MethodDecl* tick = main_class->find_method("tick");
+  ASSERT_TRUE(tick);
+  const analysis::Value self = interp.instantiate(*main_class, {});
+
+  constexpr int kThreads = 8;
+  constexpr int kCalls = 50;
+  constexpr int kIters = 20;
+  std::atomic<std::int64_t> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&interp, tick, &self, &sum] {
+      for (int c = 0; c < kCalls; ++c) {
+        const analysis::Value r = interp.call(
+            *tick, self, {analysis::Value::of_int(kIters)});
+        sum.fetch_add(r.as_int(), std::memory_order_relaxed);
+      }
+    });
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(sum.load(), kThreads * kCalls * kIters * 2);
+
+  // Loop body ran exactly threads * calls * iters times, atomically counted.
+  const auto& body =
+      tick->body->stmts[1]->as<lang::For>().body->as<lang::Block>().stmts;
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(profiler.stmt_profile(body[0]->id).exec_count.load(),
+            static_cast<std::uint64_t>(kThreads) * kCalls * kIters);
+  const analysis::Profiler::LoopProfile* lp =
+      profiler.loop_profile(tick->body->stmts[1]->id);
+  ASSERT_TRUE(lp);
+  EXPECT_EQ(lp->total_iterations,
+            static_cast<std::uint64_t>(kThreads) * kCalls * kIters);
+  EXPECT_GT(profiler.total_cost(), 0u);
+}
+
+TEST(FrontendThreads, ResolutionOrder) {
+  EXPECT_EQ(corpus::frontend_threads(6), 6);
+  ::setenv("PATTY_FRONTEND_THREADS", "3", 1);
+  EXPECT_EQ(corpus::frontend_threads(0), 3);
+  EXPECT_EQ(corpus::frontend_threads(5), 5);  // explicit beats env
+  ::setenv("PATTY_FRONTEND_THREADS", "0", 1);
+  EXPECT_GE(corpus::frontend_threads(0), 1);  // invalid env -> hardware
+  ::unsetenv("PATTY_FRONTEND_THREADS");
+  EXPECT_GE(corpus::frontend_threads(0), 1);
+}
+
+}  // namespace
+}  // namespace patty

@@ -332,5 +332,66 @@ TEST(RuntimeModelTest, StageQueueMissingRecheckLosesWakeup) {
   expect_failures_replay(tasks, result, options);
 }
 
+// --- Helping join: TaskGroup::idle() vs the last finish() -------------------
+//
+// thread_pool.hpp wait_on(): the joiner polls idle() and destroys the
+// stack-allocated group as soon as it returns true. finish() registers in
+// `finishing_` *before* its `outstanding_` decrement and deregisters as its
+// very last member access, and idle() checks outstanding_ == 0 then
+// finishing_ == 0 (both seq_cst) — so idle() cannot report true while a
+// finisher is still touching group memory. The seeded bug is idle() checking
+// only `outstanding_`: the joiner then frees the group between the finisher's
+// decrement and its last member access — a use-after-free the explorer sees
+// as a race on the group's plain storage.
+
+std::vector<TaskFn> helping_join_tasks(bool idle_checks_finishing) {
+  auto finisher = [](TaskContext& ctx) {
+    ctx.fetch_add("finishing", 1);
+    ctx.fetch_add("outstanding", -1);
+    // Final member accesses of finish() (waiter check, telemetry) on the
+    // group's plain storage...
+    const std::int64_t v = ctx.read("group_mem");
+    ctx.check(v == 7, "helping join: finisher touched destroyed group");
+    // ...then the deregistration — the group's last touch.
+    ctx.fetch_add("finishing", -1);
+  };
+  auto joiner = [idle_checks_finishing](TaskContext& ctx) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (ctx.atomic_load("outstanding") != 0) continue;
+      if (idle_checks_finishing && ctx.atomic_load("finishing") != 0)
+        continue;
+      ctx.write("group_mem", 0);  // wait_on() returned: group destroyed
+      return;
+    }
+  };
+  return {finisher, joiner};
+}
+
+ExploreOptions helping_join_options() {
+  ExploreOptions options = model_options();
+  options.initial_state["outstanding"] = 1;
+  options.initial_state["group_mem"] = 7;
+  return options;
+}
+
+TEST(RuntimeModelTest, HelpingJoinIdleProtocolCorrect) {
+  const auto options = helping_join_options();
+  auto result =
+      explore(helping_join_tasks(/*idle_checks_finishing=*/true), options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.races.empty()) << result.races[0].var;
+  EXPECT_TRUE(result.assertion_failures.empty());
+  EXPECT_EQ(result.deadlock_schedules, 0u);
+}
+
+TEST(RuntimeModelTest, HelpingJoinIgnoringFinishingIsUseAfterFree) {
+  const auto options = helping_join_options();
+  const auto tasks = helping_join_tasks(/*idle_checks_finishing=*/false);
+  auto result = explore(tasks, options);
+  ASSERT_FALSE(result.races.empty());
+  EXPECT_EQ(result.races[0].var, "group_mem");
+  expect_failures_replay(tasks, result, options);
+}
+
 }  // namespace
 }  // namespace patty::race

@@ -13,11 +13,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <numeric>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "runtime/master_worker.hpp"
+#include "runtime/parallel_for.hpp"
 #include "runtime/ring_buffer.hpp"
 #include "runtime/stage_queue.hpp"
 #include "runtime/thread_pool.hpp"
@@ -412,6 +416,106 @@ TEST_P(StageQueueContract, ConcurrentStreamUnderTinyCapacity) {
   EXPECT_EQ(count.load(), n);
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
   EXPECT_GE(q->stats().high_water, 1u);
+}
+
+// --- Nested fork-join (helping join) ----------------------------------------
+//
+// The self-hosted front-end issues parallel_for / master_worker from pool
+// worker threads (model build inside a pipeline stage, loop matching inside
+// detect_all). Nested constructs spawn into the worker's own deque and join
+// via ThreadPool::wait_on() — the joiner keeps draining pool work — so
+// nested parallelism is inline-or-stolen, never a deadlock, even when every
+// worker of the pool is itself blocked in a nested join.
+
+TEST(HelpingJoinStress, NestedParallelForCompletes) {
+  ParallelForTuning tuning;
+  tuning.threads = 4;  // force the pool path on single-core CI hosts
+  tuning.grain = 1;
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(
+      0, 48,
+      [&sum, tuning](std::int64_t i) {
+        parallel_for(
+            0, 48,
+            [&sum, i](std::int64_t j) {
+              sum.fetch_add(i * 48 + j, std::memory_order_relaxed);
+            },
+            tuning);
+      },
+      tuning);
+  const std::int64_t n = 48 * 48;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(HelpingJoinStress, TripleNestingCompletes) {
+  ParallelForTuning tuning;
+  tuning.threads = 4;
+  tuning.grain = 1;
+  std::atomic<std::int64_t> count{0};
+  parallel_for(
+      0, 8,
+      [&](std::int64_t) {
+        parallel_for(
+            0, 8,
+            [&](std::int64_t) {
+              parallel_for(
+                  0, 8,
+                  [&](std::int64_t) {
+                    count.fetch_add(1, std::memory_order_relaxed);
+                  },
+                  tuning);
+            },
+            tuning);
+      },
+      tuning);
+  EXPECT_EQ(count.load(), 8 * 8 * 8);
+}
+
+TEST(HelpingJoinStress, ParallelForInsideSharedPoolMasterWorker) {
+  // The detect_all shape: a shared-pool MasterWorker whose tasks each run a
+  // parallel_for on the same pool. Every task joins helpingly; all of them
+  // plus the outer join must drain.
+  MasterWorker mw;  // workers == 0: shared pool
+  ParallelForTuning tuning;
+  tuning.threads = 4;
+  tuning.grain = 1;
+  std::atomic<std::int64_t> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < 6; ++t) {
+    tasks.emplace_back([&sum, tuning] {
+      parallel_for(
+          0, 200,
+          [&sum](std::int64_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+          },
+          tuning);
+    });
+  }
+  mw.run(tasks);
+  EXPECT_EQ(sum.load(), 6 * (200 * 199) / 2);
+}
+
+TEST(HelpingJoinStress, RepeatedNestedJoinsDoNotWedge) {
+  // Tight loop of small nested joins maximizes the window where wait_on()
+  // polls idle() against in-flight finish() calls.
+  ParallelForTuning tuning;
+  tuning.threads = 4;
+  tuning.grain = 1;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::atomic<int> hits{0};
+    parallel_for(
+        0, 4,
+        [&](std::int64_t) {
+          parallel_for(
+              0, 4,
+              [&](std::int64_t) {
+                hits.fetch_add(1, std::memory_order_relaxed);
+              },
+              tuning);
+        },
+        tuning);
+    ASSERT_EQ(hits.load(), 16);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
