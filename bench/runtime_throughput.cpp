@@ -7,11 +7,16 @@
 //      MPMC ring) across producer/consumer topologies, single and batched.
 //   3. End-to-end pipeline items/sec as a function of per-item stage cost,
 //      queue backend, and BatchSize.
+//   4. Failpoint-site overhead: a tight integer loop with a disarmed
+//      PATTY_FAILPOINT in the body vs. the same loop without one. The
+//      macro is a single relaxed load when no site is armed; the smoke
+//      assertion holds the delta under 1%.
 //
 // Results go to stdout as a table and to BENCH_runtime.json. Flags:
 //   --short         reduced sizes (what the perf-smoke ctest entry runs)
 //   --assert-smoke  exit nonzero unless the work-stealing pool beats the
-//                   mutex-pool baseline on the task benchmark
+//                   mutex-pool baseline on the task benchmark and the
+//                   disarmed-failpoint overhead is under 1%
 
 #include <atomic>
 #include <chrono>
@@ -30,6 +35,7 @@
 #include "runtime/pipeline.hpp"
 #include "runtime/stage_queue.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/failpoint.hpp"
 
 namespace {
 
@@ -324,6 +330,50 @@ PipelineResult run_pipeline_bench(QueueBackend backend, std::size_t batch,
   return r;
 }
 
+// --- 4. failpoint-site overhead ----------------------------------------------
+
+struct FailpointResult {
+  double base_seconds = 0;      // loop without a failpoint site
+  double site_seconds = 0;      // same loop with a disarmed PATTY_FAILPOINT
+  double overhead_pct = 0;      // (site - base) / base * 100
+};
+
+/// Serially-dependent xorshift so the loop cannot vectorize away; the
+/// accumulator is returned through a volatile sink to keep both variants
+/// honest. The failpoint variant is exactly the plain loop plus one
+/// disarmed site per iteration — the configuration every production build
+/// with PATTY_FAILPOINTS=ON runs in.
+std::uint64_t xorshift_step(std::uint64_t x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+FailpointResult run_failpoint_bench(std::int64_t iters) {
+  volatile std::uint64_t sink = 0;
+  FailpointResult r;
+
+  std::uint64_t acc = 0x9e3779b97f4a7c15ull;
+  auto t0 = Clock::now();
+  for (std::int64_t i = 0; i < iters; ++i) acc = xorshift_step(acc);
+  r.base_seconds = seconds_since(t0);
+  sink = acc;
+
+  acc = 0x9e3779b97f4a7c15ull;
+  t0 = Clock::now();
+  for (std::int64_t i = 0; i < iters; ++i) {
+    PATTY_FAILPOINT("bench.failpoint.loop");
+    acc = xorshift_step(acc);
+  }
+  r.site_seconds = seconds_since(t0);
+  sink = acc;
+  (void)sink;
+
+  r.overhead_pct = (r.site_seconds - r.base_seconds) / r.base_seconds * 100.0;
+  return r;
+}
+
 // --- report ------------------------------------------------------------------
 
 void append_json_number(std::string* out, const char* key, double v) {
@@ -345,6 +395,7 @@ int main(int argc, char** argv) {
   const std::int64_t task_n = short_mode ? 200'000 : 1'000'000;
   const std::int64_t queue_n = short_mode ? 50'000 : 400'000;
   const std::int64_t pipe_n = short_mode ? 20'000 : 100'000;
+  const std::int64_t fp_n = short_mode ? 50'000'000 : 200'000'000;
   constexpr std::size_t kThreads = 4;
 
   std::printf("== fine-grained tasks (empty body, binary spawn tree, %lld "
@@ -403,6 +454,14 @@ int main(int argc, char** argv) {
                 r.backend.c_str(), r.batch, r.spin, r.items_per_sec);
   }
 
+  std::printf("\n== disarmed failpoint overhead (%lld xorshift iterations) "
+              "==\n",
+              static_cast<long long>(fp_n));
+  FailpointResult fp_r = run_failpoint_bench(fp_n);
+  std::printf("  plain loop:     %.3fs\n", fp_r.base_seconds);
+  std::printf("  with failpoint: %.3fs\n", fp_r.site_seconds);
+  std::printf("  overhead:       %.2f%%\n", fp_r.overhead_pct);
+
   // BENCH_runtime.json, for the driver and for cross-PR comparison.
   std::string json = "{\n";
   json += std::string("  \"mode\": \"") + (short_mode ? "short" : "full") +
@@ -438,7 +497,16 @@ int main(int argc, char** argv) {
     append_json_number(&json, "items_per_sec", r.items_per_sec);
     json += i + 1 < pipe_results.size() ? "},\n" : "}\n";
   }
-  json += "  ]\n}\n";
+  json += "  ],\n  \"failpoint\": {";
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "\"base_seconds\": %.4f, \"site_seconds\": %.4f, "
+                  "\"overhead_pct\": %.3f",
+                  fp_r.base_seconds, fp_r.site_seconds, fp_r.overhead_pct);
+    json += buf;
+  }
+  json += "}\n}\n";
   if (std::FILE* f = std::fopen("BENCH_runtime.json", "w")) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
@@ -463,6 +531,24 @@ int main(int argc, char** argv) {
                    "perf-smoke FAILED: work-stealing pool did not beat the "
                    "mutex pool in any of 3 runs (best %.2fx)\n",
                    best);
+      return 1;
+    }
+
+    // Disarmed failpoints must be free: a relaxed load plus a predicted
+    // branch. Same de-flake policy — best of 3 must come in under 1%.
+    double best_overhead = fp_r.overhead_pct;
+    for (int attempt = 1; attempt < 3 && best_overhead >= 1.0; ++attempt) {
+      const FailpointResult retry = run_failpoint_bench(fp_n);
+      std::printf("  failpoint smoke retry %d: %.2f%%\n", attempt,
+                  retry.overhead_pct);
+      if (retry.overhead_pct < best_overhead)
+        best_overhead = retry.overhead_pct;
+    }
+    if (best_overhead >= 1.0) {
+      std::fprintf(stderr,
+                   "perf-smoke FAILED: disarmed failpoint overhead %.2f%% "
+                   ">= 1%% in all of 3 runs\n",
+                   best_overhead);
       return 1;
     }
   }

@@ -1,0 +1,43 @@
+#include "runtime/cancellation.hpp"
+
+namespace patty::rt {
+
+namespace {
+thread_local StopToken t_ambient_token;
+}  // namespace
+
+StopToken current_stop_token() { return t_ambient_token; }
+
+StopScope::StopScope(StopToken token) : previous_(t_ambient_token) {
+  t_ambient_token = std::move(token);
+}
+
+StopScope::~StopScope() { t_ambient_token = previous_; }
+
+Watchdog::Watchdog(std::chrono::milliseconds deadline,
+                   std::function<void()> on_expire) {
+  thread_ = std::thread([this, deadline, fn = std::move(on_expire)] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (cv_.wait_for(lock, deadline, [this] { return disarmed_; })) return;
+    // Expired. Mark fired before invoking so the owner's post-join check
+    // sees it even if fn itself is what unblocks the join.
+    fired_.store(true, std::memory_order_release);
+    lock.unlock();
+    fn();
+  });
+}
+
+Watchdog::~Watchdog() {
+  disarm();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::disarm() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    disarmed_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace patty::rt

@@ -1,0 +1,155 @@
+#pragma once
+// Structured cancellation and first-exception capture for parallel regions.
+//
+// Every region (parallel_for, Pipeline, master_worker) owns one fault domain:
+// the first task to throw claims the region's ExceptionSlot, the region's
+// stop flag flips, siblings observe it cooperatively and unwind without
+// running further work, and the join point rethrows exactly the captured
+// exception. Cancellation is purely cooperative — nothing is killed — so a
+// task already inside user code finishes (or throws) on its own.
+//
+// StopSource/StopToken also nest: a region installs its token as the
+// thread-ambient token (StopScope) before running user code, so a nested
+// region started from inside a task inherits its parent's cancellation and
+// stops when the parent does. Deadlines reuse the same mechanism via
+// Watchdog, which requests stop when a wall-clock budget expires.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace patty::rt {
+
+/// Thrown at a region's join point when the region was cancelled (deadline
+/// or inherited stop) without any task of its own throwing.
+class OperationCancelled : public std::runtime_error {
+ public:
+  explicit OperationCancelled(const std::string& region)
+      : std::runtime_error("operation cancelled: " + region) {}
+};
+
+namespace detail {
+struct StopState {
+  std::atomic<bool> stop{false};
+};
+}  // namespace detail
+
+class StopSource;
+
+/// Observer end of a StopSource. Copyable, cheap, and safely empty: a
+/// default-constructed token never reports stop.
+class StopToken {
+ public:
+  StopToken() = default;
+  [[nodiscard]] bool stop_possible() const { return state_ != nullptr; }
+  [[nodiscard]] bool stop_requested() const {
+    return state_ && state_->stop.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<detail::StopState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::StopState> state_;
+};
+
+/// Owner end: request_stop() flips the shared flag exactly once.
+class StopSource {
+ public:
+  StopSource() : state_(std::make_shared<detail::StopState>()) {}
+  [[nodiscard]] StopToken token() const { return StopToken(state_); }
+  void request_stop() { state_->stop.store(true, std::memory_order_release); }
+  [[nodiscard]] bool stop_requested() const {
+    return state_->stop.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<detail::StopState> state_;
+};
+
+/// The calling thread's inherited cancellation token. Empty (never stops)
+/// outside any region; inside a region's task it is the region's token, so
+/// nested regions chain their cancellation to the enclosing one.
+[[nodiscard]] StopToken current_stop_token();
+
+/// RAII: installs `token` as the thread-ambient token, restoring the
+/// previous one on destruction. Regions wrap user-code invocation in this.
+class StopScope {
+ public:
+  explicit StopScope(StopToken token);
+  ~StopScope();
+  StopScope(const StopScope&) = delete;
+  StopScope& operator=(const StopScope&) = delete;
+
+ private:
+  StopToken previous_;
+};
+
+/// One exception_ptr per fault domain, claimed atomically by the first
+/// thrower. Later captures are dropped (the region rethrows exactly one).
+class ExceptionSlot {
+ public:
+  /// Capture std::current_exception() if the slot is unclaimed.
+  /// Returns true when this call won the claim.
+  bool capture_current() noexcept {
+    bool expected = false;
+    if (!claimed_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel))
+      return false;
+    error_ = std::current_exception();
+    ready_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool set() const noexcept {
+    return claimed_.load(std::memory_order_acquire);
+  }
+
+  /// Rethrow the captured exception, if any. Spins briefly for the winner's
+  /// store between its claim and ready publication (a few instructions).
+  void rethrow_if_set() {
+    if (!claimed_.load(std::memory_order_acquire)) return;
+    while (!ready_.load(std::memory_order_acquire)) std::this_thread::yield();
+    std::rethrow_exception(error_);
+  }
+
+ private:
+  std::atomic<bool> claimed_{false};
+  std::atomic<bool> ready_{false};
+  std::exception_ptr error_;
+};
+
+/// Wall-clock deadline for a region or tuner candidate: fires `on_expire`
+/// from a dedicated thread once `deadline` elapses, unless disarmed first.
+/// The destructor disarms and joins, so `on_expire` never outlives the
+/// objects it captures as long as the Watchdog is declared after them.
+class Watchdog {
+ public:
+  Watchdog(std::chrono::milliseconds deadline, std::function<void()> on_expire);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Cancel the deadline (idempotent). Returns without waiting.
+  void disarm();
+  /// True once on_expire has been invoked.
+  [[nodiscard]] bool fired() const {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::atomic<bool> fired_{false};
+  std::thread thread_;
+};
+
+}  // namespace patty::rt

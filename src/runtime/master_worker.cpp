@@ -7,6 +7,8 @@
 
 #include "observe/metrics.hpp"
 #include "observe/trace.hpp"
+#include "runtime/cancellation.hpp"
+#include "support/failpoint.hpp"
 
 namespace patty::rt {
 
@@ -16,6 +18,7 @@ namespace {
 struct MwMetrics {
   observe::Counter& runs;
   observe::Counter& tasks;
+  observe::Counter& faults;
   observe::Gauge& queue_depth;
   observe::Histogram& task_us;
 };
@@ -24,10 +27,26 @@ MwMetrics& mw_metrics() {
   static MwMetrics m{
       observe::Registry::global().counter("master_worker.runs"),
       observe::Registry::global().counter("master_worker.tasks"),
+      observe::Registry::global().counter("master_worker.faults"),
       observe::Registry::global().gauge("master_worker.queue_depth"),
       observe::Registry::global().histogram("master_worker.task_us"),
   };
   return m;
+}
+
+/// One task body: failpoint site, telemetry, user code. Throws propagate to
+/// the caller, who owns capture into the run's fault domain.
+void run_task(const std::function<void()>& t, bool telemetry) {
+  PATTY_FAILPOINT("master_worker.task");
+  if (!telemetry) {
+    t();
+    return;
+  }
+  const std::uint64_t t0 = observe::now_us();
+  t();
+  const std::uint64_t dur = observe::now_us() - t0;
+  mw_metrics().task_us.record(static_cast<double>(dur));
+  observe::record_complete("mw.task", "mw", t0, dur);
 }
 
 }  // namespace
@@ -44,10 +63,25 @@ void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
     m.tasks.add(tasks.size());
     m.queue_depth.set(static_cast<std::int64_t>(tasks.size()));
   }
+  const StopToken inherited = current_stop_token();
   if (tasks.size() == 1 || workers_ == 1) {
-    for (const auto& t : tasks) t();
+    // Inline: exceptions already reach the caller directly; just honour
+    // inherited cancellation between tasks and count the fault.
+    try {
+      for (const auto& t : tasks) {
+        if (inherited.stop_requested())
+          throw OperationCancelled("master_worker");
+        run_task(t, telemetry);
+      }
+    } catch (...) {
+      if (telemetry) mw_metrics().faults.add();
+      throw;
+    }
     return;
   }
+  // This run's own StopSource, installed as the ambient token around every
+  // task so nested regions chain their cancellation to this one.
+  StopSource stop;
   if (workers_ == 0) {
     // Shared pool: no thread creation cost; the common configuration.
     // submit_fast with a by-reference capture: the tasks vector outlives
@@ -57,23 +91,34 @@ void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
     TaskGroup group;
     group.add(tasks.size());
     for (const auto& t : tasks) {
-      ThreadPool::shared().submit_fast([&group, &t, telemetry] {
-        if (!telemetry) {
-          t();
-        } else {
-          const std::uint64_t t0 = observe::now_us();
-          t();
-          const std::uint64_t dur = observe::now_us() - t0;
-          mw_metrics().task_us.record(static_cast<double>(dur));
-          observe::record_complete("mw.task", "mw", t0, dur);
-        }
-        group.finish();
-      });
+      ThreadPool::shared().submit_fast(
+          [&group, &stop, &t, inherited, telemetry] {
+            // finish() on every path: a fault must not strand the joiner.
+            if (!group.cancelled() && !inherited.stop_requested()) {
+              StopScope ambient(stop.token());
+              try {
+                run_task(t, telemetry);
+              } catch (...) {
+                group.capture_exception();
+                stop.request_stop();
+              }
+            }
+            group.finish();
+          });
     }
     ThreadPool::shared().wait_on(group);
+    if (group.faulted()) {
+      if (telemetry) mw_metrics().faults.add();
+      group.rethrow_if_faulted();
+    }
+    if (inherited.stop_requested()) throw OperationCancelled("master_worker");
     return;
   }
-  // Dedicated crew: `workers_` threads pull tasks by index.
+  // Dedicated crew: `workers_` threads pull tasks by index. The crew has
+  // its own fault domain (slot + cancel flag) since no TaskGroup is
+  // involved; same first-thrower-wins / siblings-unwind protocol.
+  ExceptionSlot slot;
+  std::atomic<bool> cancelled{false};
   std::atomic<std::size_t> next{0};
   const std::size_t crew =
       std::min(static_cast<std::size_t>(workers_), tasks.size());
@@ -81,22 +126,30 @@ void MasterWorker::run(const std::vector<std::function<void()>>& tasks) const {
   threads.reserve(crew);
   for (std::size_t w = 0; w < crew; ++w) {
     threads.emplace_back([&] {
+      StopScope ambient(stop.token());
       while (true) {
+        if (cancelled.load(std::memory_order_acquire) ||
+            inherited.stop_requested())
+          return;
         const std::size_t i = next.fetch_add(1);
         if (i >= tasks.size()) return;
-        if (!telemetry) {
-          tasks[i]();
-        } else {
-          const std::uint64_t t0 = observe::now_us();
-          tasks[i]();
-          const std::uint64_t dur = observe::now_us() - t0;
-          mw_metrics().task_us.record(static_cast<double>(dur));
-          observe::record_complete("mw.task", "mw", t0, dur);
+        try {
+          run_task(tasks[i], telemetry);
+        } catch (...) {
+          slot.capture_current();
+          cancelled.store(true, std::memory_order_release);
+          stop.request_stop();
+          return;
         }
       }
     });
   }
   for (std::thread& t : threads) t.join();
+  if (slot.set()) {
+    if (telemetry) mw_metrics().faults.add();
+    slot.rethrow_if_set();
+  }
+  if (inherited.stop_requested()) throw OperationCancelled("master_worker");
 }
 
 }  // namespace patty::rt

@@ -1,14 +1,18 @@
 #include "runtime/parallel_for.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "observe/metrics.hpp"
 #include "observe/trace.hpp"
+#include "runtime/cancellation.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/failpoint.hpp"
 
 namespace patty::rt {
 
@@ -19,6 +23,7 @@ struct LoopMetrics {
   observe::Counter& loops;
   observe::Counter& sequential_fallbacks;
   observe::Counter& chunks;
+  observe::Counter& faults;
   observe::Histogram& chunk_us;
 };
 
@@ -27,6 +32,7 @@ LoopMetrics& loop_metrics() {
       observe::Registry::global().counter("parallel_for.loops"),
       observe::Registry::global().counter("parallel_for.sequential"),
       observe::Registry::global().counter("parallel_for.chunks"),
+      observe::Registry::global().counter("parallel_for.faults"),
       observe::Registry::global().histogram("parallel_for.chunk_us"),
   };
   return m;
@@ -50,27 +56,49 @@ std::int64_t effective_grain(std::int64_t range,
 }
 
 /// Shared state of one splitting loop. Chunks run through the function
-/// pointer; telemetry mirrors the old static-chunking implementation.
+/// pointer; telemetry mirrors the old static-chunking implementation. The
+/// group is the loop's fault domain: the first leaf to throw claims its
+/// exception slot and cancels the siblings; `stop` is this loop's own
+/// StopSource, installed as the ambient token around each leaf so nested
+/// regions started from the body chain their cancellation to this one.
 struct SplitCtx {
   detail::ChunkInvoker invoke;
   void* ctx;
   std::int64_t grain;
   bool telemetry;
   TaskGroup group;
+  StopSource stop;
+  StopToken inherited;  // enclosing region's token at driver entry
+
+  /// Cooperative cancellation check, polled between splits and before each
+  /// leaf. An inherited (parent-region) stop is folded into this loop's own
+  /// source so nested regions under *us* stop too.
+  bool cancelled() {
+    if (inherited.stop_requested()) stop.request_stop();
+    return group.cancelled() || stop.stop_requested();
+  }
 
   void run_leaf(std::int64_t lo, std::int64_t hi) {
-    if (!telemetry) {
+    if (cancelled()) return;
+    StopScope ambient(stop.token());
+    try {
+      PATTY_FAILPOINT("parallel_for.leaf");
+      if (!telemetry) {
+        invoke(ctx, lo, hi);
+        return;
+      }
+      const std::uint64_t t0 = observe::now_us();
       invoke(ctx, lo, hi);
-      return;
+      const std::uint64_t dur = observe::now_us() - t0;
+      LoopMetrics& m = loop_metrics();
+      m.chunks.add();
+      m.chunk_us.record(static_cast<double>(dur));
+      observe::record_complete("pf.chunk", "loop", t0, dur,
+                               std::to_string(lo) + ".." + std::to_string(hi));
+    } catch (...) {
+      group.capture_exception();
+      stop.request_stop();
     }
-    const std::uint64_t t0 = observe::now_us();
-    invoke(ctx, lo, hi);
-    const std::uint64_t dur = observe::now_us() - t0;
-    LoopMetrics& m = loop_metrics();
-    m.chunks.add();
-    m.chunk_us.record(static_cast<double>(dur));
-    observe::record_complete("pf.chunk", "loop", t0, dur,
-                             std::to_string(lo) + ".." + std::to_string(hi));
   }
 };
 
@@ -81,6 +109,7 @@ struct SplitCtx {
 /// leaves of width <= G.
 void run_range(SplitCtx& c, std::int64_t lo, std::int64_t hi) {
   while (hi - lo > c.grain) {
+    if (c.cancelled()) return;  // faulted sibling: stop splitting, unwind
     const std::int64_t half = (hi - lo) / 2;
     const std::int64_t mid =
         lo + ((half + c.grain - 1) / c.grain) * c.grain;
@@ -106,6 +135,8 @@ void parallel_for_driver(std::int64_t begin, std::int64_t end,
   const std::int64_t threads = effective_threads(tuning);
   const bool telemetry = observe::enabled();
   if (telemetry) loop_metrics().loops.add();
+  if (current_stop_token().stop_requested())
+    throw OperationCancelled("parallel_for");
   if (tuning.sequential || threads <= 1 || range == 1) {
     if (telemetry) loop_metrics().sequential_fallbacks.add();
     invoke(ctx, begin, end);
@@ -116,7 +147,15 @@ void parallel_for_driver(std::int64_t begin, std::int64_t end,
   span.set_detail("range=" + std::to_string(range) +
                   " grain=" + std::to_string(grain) +
                   " threads=" + std::to_string(threads));
-  SplitCtx c{invoke, ctx, grain, telemetry, {}};
+  SplitCtx c{invoke, ctx, grain, telemetry, {}, {}, current_stop_token()};
+  // Declared after c: the destructor joins the deadline thread before c (and
+  // the group it cancels) leaves scope.
+  std::optional<Watchdog> watchdog;
+  if (tuning.deadline_ms > 0)
+    watchdog.emplace(std::chrono::milliseconds(tuning.deadline_ms), [&c] {
+      c.stop.request_stop();
+      c.group.cancel();
+    });
   // The caller participates: it keeps splitting left halves and runs leaves
   // itself while pool workers steal and process the spawned right halves.
   // The helping join makes this safe from inside a pool task too — a worker
@@ -124,6 +163,37 @@ void parallel_for_driver(std::int64_t begin, std::int64_t end,
   // first, LIFO) instead of blocking pool capacity: inline-or-stolen.
   run_range(c, begin, end);
   ThreadPool::shared().wait_on(c.group);
+  if (watchdog) watchdog->disarm();
+  const bool expired = watchdog && watchdog->fired();
+  if (!c.group.faulted() && !expired) {
+    // Inherited cancellation that arrived mid-loop: surface it even though
+    // no task of ours threw, so the enclosing region unwinds promptly.
+    if (c.inherited.stop_requested())
+      throw OperationCancelled("parallel_for");
+    return;
+  }
+  if (telemetry) {
+    loop_metrics().faults.add();
+    if (expired)
+      observe::Registry::global()
+          .counter("fault.deadline_cancellations")
+          .add();
+  }
+  if (tuning.fallback_sequential && !c.inherited.stop_requested()) {
+    // Graceful degradation: the paper's SequentialExecution escape hatch,
+    // applied after the fact. Safe for idempotent bodies only (each
+    // iteration writes its own output), which is what the detector emits.
+    if (telemetry) {
+      observe::Registry::global().counter("fault.fallbacks").add();
+      loop_metrics().sequential_fallbacks.add();
+    }
+    invoke(ctx, begin, end);
+    return;
+  }
+  if (telemetry && c.group.faulted())
+    observe::Registry::global().counter("fault.rethrown").add();
+  c.group.rethrow_if_faulted();
+  throw OperationCancelled("parallel_for");
 }
 
 }  // namespace detail

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -21,12 +22,16 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "observe/explain.hpp"
+#include "observe/metrics.hpp"
 #include "observe/trace.hpp"
+#include "runtime/cancellation.hpp"
 #include "runtime/stage_queue.hpp"
 #include "support/diagnostics.hpp"
+#include "support/failpoint.hpp"
 
 namespace patty::rt {
 
@@ -45,6 +50,16 @@ struct PipelineConfig {
   /// Name under which telemetry-enabled runs publish their per-stage
   /// observation (observe::recent_pipelines) and trace spans.
   std::string name = "pipeline";
+  /// Graceful degradation for run_over(): when the parallel run faults, the
+  /// input is replayed through the stages sequentially on the caller thread
+  /// (the SequentialExecution escape hatch, applied after the fact). The
+  /// input is copied up front so a partially-consumed source can be
+  /// replayed; stage fns must be idempotent per element.
+  bool fallback_sequential = false;
+  /// 0 = no deadline; otherwise the run is cancelled (queues poisoned,
+  /// workers unwound) after this many ms and run() throws
+  /// OperationCancelled — or run_over falls back when enabled.
+  std::int64_t deadline_ms = 0;
 };
 
 template <typename T>
@@ -109,11 +124,14 @@ class Pipeline {
 
     if (config_.sequential) {
       stats.threads_used = 0;
+      const StopToken inherited = current_stop_token();
       std::vector<std::unique_ptr<StageTelemetry>> telem;
       if (telemetry)
         for (std::size_t i = 0; i < effective_.size(); ++i)
           telem.push_back(std::make_unique<StageTelemetry>());
       while (std::optional<T> item = source()) {
+        if (inherited.stop_requested())
+          throw OperationCancelled(config_.name);
         if (!telemetry) {
           for (const Stage& s : effective_) s.fn(*item);
         } else {
@@ -137,6 +155,12 @@ class Pipeline {
     }
 
     const std::size_t n_stages = effective_.size();
+    // One fault domain per run: the first thread (worker, generator, or
+    // sink) to catch an exception claims ctl.slot, requests stop, and
+    // poisons every queue so peers blocked on a dead neighbour wake and
+    // unwind; run() rethrows the captured exception after the joins.
+    RunControl ctl;
+    ctl.inherited = current_stop_token();
     // queues[i] feeds stage i; queues[n_stages] feeds the sink. Backend per
     // edge from the stage topology: the generator and the sink are single
     // producer/consumer endpoints; a stage contributes its replication.
@@ -174,28 +198,48 @@ class Pipeline {
           stage.preserve_order && stage.replication > 1;
       StageTelemetry* tm = telemetry ? telem[i].get() : nullptr;
       for (int w = 0; w < stage.replication; ++w) {
-        threads.emplace_back([this, i, restore, tm, &queues, &states] {
+        threads.emplace_back([this, i, restore, tm, &queues, &states, &ctl] {
           worker(effective_[i], *queues[i], *queues[i + 1], *states[i],
-                 restore, tm);
+                 restore, tm, queues, ctl);
         });
       }
       stats.threads_used += static_cast<std::size_t>(stage.replication);
     }
 
+    // Deadline: expiry poisons the run like a fault, minus the exception.
+    // Declared after ctl and queues — the destructor joins the deadline
+    // thread before anything it captures leaves scope.
+    std::optional<Watchdog> watchdog;
+    if (config_.deadline_ms > 0)
+      watchdog.emplace(std::chrono::milliseconds(config_.deadline_ms),
+                       [&ctl, &queues] {
+                         ctl.stop.request_stop();
+                         poison_all(queues);
+                       });
+
     // The StreamGenerator needs its own thread: if the caller thread both
     // fed the first queue and drained the last one, a stream longer than
     // the total buffer capacity would fill every queue and deadlock.
     const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
-    std::thread generator([&queues, &source, batch] {
+    std::thread generator([&queues, &source, &ctl, batch] {
       std::uint64_t seq = 0;
       std::vector<Item> buf;
       buf.reserve(batch);
-      while (std::optional<T> item = source()) {
-        buf.push_back(Item{seq++, std::move(*item)});
-        if (buf.size() >= batch && queues.front()->push_n(&buf) < batch)
-          break;  // closed downstream
+      try {
+        while (!ctl.stopped()) {
+          PATTY_FAILPOINT("pipeline.generator.emit");
+          std::optional<T> item = source();
+          if (!item) break;
+          buf.push_back(Item{seq++, std::move(*item)});
+          if (buf.size() >= batch && queues.front()->push_n(&buf) < batch)
+            break;  // closed downstream
+        }
+        if (!buf.empty() && !ctl.stopped()) queues.front()->push_n(&buf);
+      } catch (...) {
+        ctl.slot.capture_current();
+        ctl.stop.request_stop();
+        poison_all(queues);
       }
-      if (!buf.empty()) queues.front()->push_n(&buf);
       queues.front()->close();
     });
     ++stats.threads_used;
@@ -205,33 +249,94 @@ class Pipeline {
     {
       std::vector<Item> drained;
       drained.reserve(batch);
-      while (queues.back()->pop_n(&drained, batch)) {
-        for (Item& item : drained) {
-          sink(std::move(item.value));
-          ++stats.elements;
+      while (!ctl.stopped() && queues.back()->pop_n(&drained, batch)) {
+        try {
+          for (Item& item : drained) {
+            PATTY_FAILPOINT("pipeline.sink.item");
+            sink(std::move(item.value));
+            ++stats.elements;
+          }
+        } catch (...) {
+          ctl.slot.capture_current();
+          ctl.stop.request_stop();
+          poison_all(queues);
+          break;
         }
       }
     }
     generator.join();
     for (std::thread& t : threads) t.join();
+    if (watchdog) watchdog->disarm();
+    const bool expired = watchdog && watchdog->fired();
     if (telemetry)
       publish_observation(&stats, /*sequential=*/false, run_start_us, telem,
                           &queues);
+    if (ctl.slot.set() || expired || ctl.inherited.stop_requested()) {
+      if (telemetry) {
+        observe::Registry::global().counter("pipeline.faults").add();
+        if (expired)
+          observe::Registry::global()
+              .counter("fault.deadline_cancellations")
+              .add();
+        if (ctl.slot.set())
+          observe::Registry::global().counter("fault.rethrown").add();
+      }
+      // Exactly one exception at the join: the first captured one, or
+      // OperationCancelled when the run was stopped without a fault.
+      ctl.slot.rethrow_if_set();
+      throw OperationCancelled(config_.name);
+    }
     return stats;
   }
 
   /// Convenience: run over a vector, collect results in arrival order.
+  /// With config.fallback_sequential, a faulted parallel run is replayed
+  /// sequentially from a copy of the input (graceful degradation); the
+  /// degradation is visible via degraded()/degrade_reason() and the
+  /// "fault.fallbacks" counter.
   std::vector<T> run_over(std::vector<T> input) {
+    degraded_ = false;
+    degrade_reason_.clear();
+    std::vector<T> backup;
+    if constexpr (std::is_copy_constructible_v<T>) {
+      // Copy up front: the failed run consumes an unknown prefix of the
+      // source, so replay needs the original elements.
+      if (config_.fallback_sequential) backup = input;
+    }
     std::size_t idx = 0;
     std::vector<T> out;
     out.reserve(input.size());
-    run(
-        [&]() -> std::optional<T> {
-          if (idx >= input.size()) return std::nullopt;
-          return std::move(input[idx++]);
-        },
-        [&](T&& v) { out.push_back(std::move(v)); });
-    return out;
+    try {
+      run(
+          [&]() -> std::optional<T> {
+            if (idx >= input.size()) return std::nullopt;
+            return std::move(input[idx++]);
+          },
+          [&](T&& v) { out.push_back(std::move(v)); });
+      return out;
+    } catch (const std::exception& e) {
+      if constexpr (std::is_copy_constructible_v<T>) {
+        if (config_.fallback_sequential) {
+          degraded_ = true;
+          degrade_reason_ = e.what();
+          if (observe::enabled())
+            observe::Registry::global().counter("fault.fallbacks").add();
+          out.clear();
+          for (T& v : backup) {
+            for (const Stage& s : effective_) s.fn(v);
+            out.push_back(std::move(v));
+          }
+          return out;
+        }
+      }
+      throw;
+    }
+  }
+
+  /// True when the last run_over() degraded to the sequential replay.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] const std::string& degrade_reason() const {
+    return degrade_reason_;
   }
 
   [[nodiscard]] std::size_t stage_count_after_fusion() const {
@@ -243,6 +348,26 @@ class Pipeline {
     std::uint64_t seq = 0;
     T value;
   };
+
+  /// Per-run fault domain: this run's StopSource (also the ambient token
+  /// for nested regions inside stage bodies), the enclosing region's token,
+  /// and the single exception slot the first thrower claims.
+  struct RunControl {
+    StopSource stop;
+    StopToken inherited;
+    ExceptionSlot slot;
+    [[nodiscard]] bool stopped() const {
+      return stop.stop_requested() || inherited.stop_requested();
+    }
+  };
+
+  /// Poison protocol: closing every queue wakes any producer or consumer
+  /// parked on a full or empty edge; their next push returns false / pop
+  /// drains-then-ends, so every thread reaches its join. close() is
+  /// idempotent and safe to race from several failing threads.
+  static void poison_all(std::vector<std::unique_ptr<StageQueue<Item>>>& qs) {
+    for (auto& q : qs) q->close();
+  }
 
   /// Reorder buffer for OrderPreservation: releases items to the out queue
   /// strictly by sequence number.
@@ -263,60 +388,77 @@ class Pipeline {
   };
 
   void worker(const Stage& stage, StageQueue<Item>& in, StageQueue<Item>& out,
-              StageState& state, bool restore, StageTelemetry* tm) {
+              StageState& state, bool restore, StageTelemetry* tm,
+              std::vector<std::unique_ptr<StageQueue<Item>>>& queues,
+              RunControl& ctl) {
     // BatchSize: pop up to `batch` items per queue synchronization, run the
     // stage body over the whole batch, push the results in one batched call
     // (relative order inside a batch is preserved by push_n). Per-item
     // telemetry granularity is unchanged; wait time is counted per batch.
     const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
+    // This run's token is the ambient one while the stage body runs, so a
+    // nested region inside fn chains its cancellation to this pipeline.
+    StopScope ambient(ctl.stop.token());
     std::vector<Item> buf;
     buf.reserve(batch);
     std::uint64_t t_pop = tm ? observe::now_us() : 0;
-    while (in.pop_n(&buf, batch)) {
-      std::uint64_t t_work = 0;
-      if (tm) {
-        t_work = observe::now_us();
-        tm->in_wait_us.fetch_add(t_work - t_pop, std::memory_order_relaxed);
-      }
-      if (!tm) {
-        for (Item& item : buf) stage.fn(item.value);
-      } else {
-        std::uint64_t t0 = t_work;
-        for (Item& item : buf) {
-          stage.fn(item.value);
-          const std::uint64_t t1 = observe::now_us();
-          tm->items.fetch_add(1, std::memory_order_relaxed);
-          tm->busy_us.fetch_add(t1 - t0, std::memory_order_relaxed);
-          observe::record_complete(stage.name, "pipeline", t0, t1 - t0);
-          t0 = t1;
+    while (!ctl.stopped() && in.pop_n(&buf, batch)) {
+      try {
+        std::uint64_t t_work = 0;
+        if (tm) {
+          t_work = observe::now_us();
+          tm->in_wait_us.fetch_add(t_work - t_pop, std::memory_order_relaxed);
         }
-      }
-      std::uint64_t t_push = tm ? observe::now_us() : 0;
-      if (!restore) {
-        out.push_n(&buf);
-      } else {
-        // Order restore: emit the longest ready run starting at next_seq.
-        // The push happens under the reorder mutex: releasing it first would
-        // let another worker emit a later run ahead of this one. A full out
-        // queue serializes this stage briefly but cannot deadlock (downstream
-        // drains independently of this mutex).
-        std::scoped_lock lock(state.reorder_mutex);
-        for (Item& item : buf) {
-          state.pending.emplace(item.seq, std::move(item.value));
+        PATTY_FAILPOINT("pipeline.worker.body");
+        if (!tm) {
+          for (Item& item : buf) stage.fn(item.value);
+        } else {
+          std::uint64_t t0 = t_work;
+          for (Item& item : buf) {
+            stage.fn(item.value);
+            const std::uint64_t t1 = observe::now_us();
+            tm->items.fetch_add(1, std::memory_order_relaxed);
+            tm->busy_us.fetch_add(t1 - t0, std::memory_order_relaxed);
+            observe::record_complete(stage.name, "pipeline", t0, t1 - t0);
+            t0 = t1;
+          }
         }
-        buf.clear();
-        while (!state.pending.empty() &&
-               state.pending.begin()->first == state.next_seq) {
-          auto first = state.pending.begin();
-          Item ready{first->first, std::move(first->second)};
-          state.pending.erase(first);
-          ++state.next_seq;
-          out.push(std::move(ready));
+        std::uint64_t t_push = tm ? observe::now_us() : 0;
+        PATTY_FAILPOINT("pipeline.worker.push");
+        if (!restore) {
+          out.push_n(&buf);
+        } else {
+          // Order restore: emit the longest ready run starting at next_seq.
+          // The push happens under the reorder mutex: releasing it first
+          // would let another worker emit a later run ahead of this one. A
+          // full out queue serializes this stage briefly but cannot deadlock
+          // (downstream drains independently of this mutex).
+          std::scoped_lock lock(state.reorder_mutex);
+          for (Item& item : buf) {
+            state.pending.emplace(item.seq, std::move(item.value));
+          }
+          buf.clear();
+          while (!state.pending.empty() &&
+                 state.pending.begin()->first == state.next_seq) {
+            auto first = state.pending.begin();
+            Item ready{first->first, std::move(first->second)};
+            state.pending.erase(first);
+            ++state.next_seq;
+            out.push(std::move(ready));
+          }
         }
-      }
-      if (tm) {
-        t_pop = observe::now_us();
-        tm->out_wait_us.fetch_add(t_pop - t_push, std::memory_order_relaxed);
+        if (tm) {
+          t_pop = observe::now_us();
+          tm->out_wait_us.fetch_add(t_pop - t_push,
+                                    std::memory_order_relaxed);
+        }
+      } catch (...) {
+        // First thrower wins the slot; everyone poisons (idempotent) so
+        // peers blocked on our dead edges wake, then unwinds to the join.
+        ctl.slot.capture_current();
+        ctl.stop.request_stop();
+        poison_all(queues);
+        break;
       }
     }
     if (state.active_workers.fetch_sub(1) == 1) {
@@ -370,6 +512,8 @@ class Pipeline {
 
   PipelineConfig config_;
   std::vector<Stage> effective_;
+  bool degraded_ = false;
+  std::string degrade_reason_;
 };
 
 }  // namespace patty::rt

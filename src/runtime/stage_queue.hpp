@@ -41,6 +41,7 @@
 
 #include "runtime/bounded_queue.hpp"
 #include "runtime/ring_buffer.hpp"
+#include "support/failpoint.hpp"
 
 namespace patty::rt {
 
@@ -293,7 +294,10 @@ class RingStageQueue final : public StageQueue<T> {
         counted = true;
         full_waits_.fetch_add(1, std::memory_order_relaxed);
       }
-      not_full_.wait_for(lock, kParkBound);
+      // Failpoint: a forced spurious wakeup re-runs the predicate loop,
+      // proving the park protocol tolerates wakeups without a cause.
+      if (!PATTY_FAILPOINT_WAKE("stage_queue.push.park"))
+        not_full_.wait_for(lock, kParkBound);
     }
   }
 
@@ -326,7 +330,8 @@ class RingStageQueue final : public StageQueue<T> {
         counted = true;
         empty_waits_.fetch_add(1, std::memory_order_relaxed);
       }
-      not_empty_.wait_for(lock, kParkBound);
+      if (!PATTY_FAILPOINT_WAKE("stage_queue.pop.park"))
+        not_empty_.wait_for(lock, kParkBound);
     }
   }
 

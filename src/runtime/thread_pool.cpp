@@ -43,7 +43,23 @@ std::uint64_t xorshift64(std::uint64_t& state) {
   state ^= state << 17;
   return state;
 }
+
+std::atomic<std::uint64_t> g_task_exceptions{0};
+
+/// Count an exception that escaped a raw pool task. Regions route their
+/// exceptions through a TaskGroup fault slot before they reach the pool's
+/// run loop; one arriving here came from a bare submit()/submit_fast(), and
+/// letting it escape would std::terminate the worker (and the process).
+void note_task_exception() {
+  g_task_exceptions.fetch_add(1, std::memory_order_relaxed);
+  if (observe::enabled())
+    observe::Registry::global().counter("threadpool.task_exceptions").add();
+}
 }  // namespace
+
+std::uint64_t ThreadPool::task_exception_count() {
+  return g_task_exceptions.load(std::memory_order_relaxed);
+}
 
 /// Per-worker scheduling state. The deque holds this worker's own tasks
 /// (LIFO pop); other workers steal from its top (FIFO).
@@ -100,8 +116,20 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
   // Workers only exit once pending_ hit zero, so nothing should remain; be
   // defensive anyway (leaked-but-unrun beats leaked-and-lost memory).
-  while (std::optional<Job*> j = injector_->ring.try_pop()) (*j)->run(*j);
-  for (Job* j : overflow_) j->run(j);
+  while (std::optional<Job*> j = injector_->ring.try_pop()) {
+    try {
+      (*j)->run(*j);
+    } catch (...) {
+      note_task_exception();
+    }
+  }
+  for (Job* j : overflow_) {
+    try {
+      j->run(j);
+    } catch (...) {
+      note_task_exception();
+    }
+  }
 }
 
 void ThreadPool::wake_one() {
@@ -220,7 +248,11 @@ void ThreadPool::worker_loop(std::size_t index) {
       // sleeping-candidate worker is not kept spinning by a long-running
       // task elsewhere.
       pending_.fetch_sub(1, std::memory_order_seq_cst);
-      job->run(job);
+      try {
+        job->run(job);
+      } catch (...) {
+        note_task_exception();
+      }
       continue;
     }
     if (stopping_.load(std::memory_order_acquire) &&
@@ -260,7 +292,11 @@ void ThreadPool::wait_on(TaskGroup& group) {
   while (!group.idle()) {
     if (Job* job = find_job(self)) {
       pending_.fetch_sub(1, std::memory_order_seq_cst);
-      job->run(job);
+      try {
+        job->run(job);
+      } catch (...) {
+        note_task_exception();
+      }
       starved = 0;
       continue;
     }
@@ -323,10 +359,24 @@ void TaskGroup::wait() {
   waiters_.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void TaskGroup::capture_exception() noexcept {
+  if (slot_.capture_current() && observe::enabled())
+    observe::Registry::global().counter("fault.captured").add();
+  cancel();
+}
+
 void TaskGroup::run_on(ThreadPool& pool, std::function<void()> task) {
   add();
   pool.submit([this, task = std::move(task)] {
-    task();
+    // finish() runs on every path: a throwing task must not strand the
+    // joiner, and a cancelled group still has to drain its task count.
+    if (!cancelled()) {
+      try {
+        task();
+      } catch (...) {
+        capture_exception();
+      }
+    }
     finish();
   });
 }

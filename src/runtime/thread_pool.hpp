@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/cancellation.hpp"
+
 namespace patty::rt {
 
 class TaskGroup;
@@ -58,9 +60,10 @@ class ThreadPool {
     };
     auto* job = new JobOf(std::forward<F>(fn));
     job->run = [](Job* j) {
-      auto* self = static_cast<JobOf*>(j);
+      // Own the node before invoking: if fn throws, the node still frees on
+      // unwind (the pool's run loop catches and counts the exception).
+      std::unique_ptr<JobOf> self(static_cast<JobOf*>(j));
       self->fn();
-      delete self;
     };
     enqueue(job);
   }
@@ -83,6 +86,12 @@ class ThreadPool {
   /// group.wait(). The group must have exactly one joiner (see
   /// TaskGroup::idle()).
   void wait_on(TaskGroup& group);
+
+  /// Exceptions that escaped a raw pool task (not routed through a
+  /// TaskGroup fault domain) since process start. The pool swallows them —
+  /// regions own propagation; a bare submit() with a throwing task is a
+  /// caller bug this counter makes visible even with observe off.
+  static std::uint64_t task_exception_count();
 
  private:
   /// Intrusive task node; `run` executes and frees it.
@@ -151,8 +160,31 @@ class TaskGroup {
            finishing_.load(std::memory_order_seq_cst) == 0;
   }
 
-  /// Convenience: submit `task` to `pool` tracked by this group.
+  /// Convenience: submit `task` to `pool` tracked by this group. The task
+  /// is skipped when the group is already cancelled; if it throws, the
+  /// exception is captured into the group's fault slot (first thrower wins,
+  /// siblings are cancelled) and finish() still runs — a fault can never
+  /// leave the group un-joinable.
   void run_on(ThreadPool& pool, std::function<void()> task);
+
+  // --- Fault domain -------------------------------------------------------
+  // One slot + one flag per group: the region that owns the group rethrows
+  // via rethrow_if_faulted() after its join, so the caller sees exactly one
+  // exception no matter how many tasks threw.
+
+  /// Request cooperative cancellation: tasks that check cancelled() (run_on
+  /// does, before invoking) skip their body and just finish().
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Capture std::current_exception() into the group's slot (first claim
+  /// wins) and cancel the siblings. Call from inside a catch block.
+  void capture_exception() noexcept;
+  [[nodiscard]] bool faulted() const noexcept { return slot_.set(); }
+  /// Rethrow the first captured exception, if any. Call after the join.
+  void rethrow_if_faulted() { slot_.rethrow_if_set(); }
 
  private:
   std::atomic<std::size_t> outstanding_{0};
@@ -162,6 +194,8 @@ class TaskGroup {
   std::atomic<std::uint32_t> waiters_{0};
   std::mutex mutex_;
   std::condition_variable done_;
+  std::atomic<bool> cancelled_{false};
+  ExceptionSlot slot_;
 };
 
 }  // namespace patty::rt

@@ -1,0 +1,193 @@
+#include "support/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace patty::support::failpoint {
+
+namespace {
+
+struct Entry {
+  Spec spec;
+  std::uint64_t hits = 0;
+  bool fired = false;
+};
+
+struct State {
+  std::mutex mutex;
+  std::map<std::string, Entry> sites;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// PATTY_FAULTS is parsed once, before main touches any failpoint, so env
+/// armings are visible from the very first site hit. A malformed entry is a
+/// hard error: a fault test whose injection silently didn't arm would pass
+/// for the wrong reason.
+struct EnvLoader {
+  EnvLoader() {
+    const char* env = std::getenv("PATTY_FAULTS");
+    if (!env || !*env) return;
+    std::string error;
+    arm_from_env(env, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "patty: bad PATTY_FAULTS entry: %s\n",
+                   error.c_str());
+      std::abort();
+    }
+  }
+};
+EnvLoader g_env_loader;
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_armed{0};
+
+bool hit(const char* site) {
+  Spec triggered;
+  bool fire = false;
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.sites.find(site);
+    if (it == s.sites.end()) return false;
+    Entry& e = it->second;
+    ++e.hits;
+    if (!e.fired && e.hits == e.spec.nth) {
+      e.fired = true;
+      fire = true;
+      triggered = e.spec;
+    }
+  }
+  if (!fire) return false;
+  switch (triggered.kind) {
+    case ActionKind::Throw:
+      throw FailpointError(site);
+    case ActionKind::Delay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(triggered.delay_ms));
+      return false;
+    case ActionKind::Wake:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+void arm(const std::string& site, Spec spec) {
+  if (spec.nth == 0) spec.nth = 1;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto [it, inserted] = s.sites.insert_or_assign(site, Entry{spec, 0, false});
+  (void)it;
+  if (inserted) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool arm_from_string(const std::string& entry, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = "'" + entry + "': " + why;
+    return false;
+  };
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) return fail("expected site=action");
+  const std::string site = entry.substr(0, eq);
+  std::string action = entry.substr(eq + 1);
+  Spec spec;
+  const std::size_t at = action.find('@');
+  std::string ms;
+  if (at != std::string::npos) {
+    std::string nth = action.substr(at + 1);
+    action.resize(at);
+    const std::size_t colon = nth.find(':');
+    if (colon != std::string::npos) {
+      ms = nth.substr(colon + 1);
+      nth.resize(colon);
+    }
+    try {
+      spec.nth = std::stoull(nth);
+    } catch (...) {
+      return fail("bad hit count '" + nth + "'");
+    }
+    if (spec.nth == 0) return fail("hit count must be >= 1");
+  }
+  if (action == "throw") {
+    spec.kind = ActionKind::Throw;
+  } else if (action == "delay") {
+    spec.kind = ActionKind::Delay;
+    if (ms.empty()) return fail("delay needs ':<ms>'");
+  } else if (action == "wake") {
+    spec.kind = ActionKind::Wake;
+  } else {
+    return fail("unknown action '" + action + "'");
+  }
+  if (!ms.empty()) {
+    try {
+      spec.delay_ms = std::stoull(ms);
+    } catch (...) {
+      return fail("bad delay '" + ms + "'");
+    }
+  }
+  arm(site, spec);
+  return true;
+}
+
+std::size_t arm_from_env(const std::string& value, std::string* error) {
+  std::size_t armed = 0;
+  std::size_t start = 0;
+  while (start < value.size()) {
+    std::size_t end = value.find_first_of(";,", start);
+    if (end == std::string::npos) end = value.size();
+    const std::string entry = value.substr(start, end - start);
+    if (!entry.empty()) {
+      if (!arm_from_string(entry, error)) return armed;
+      ++armed;
+    }
+    start = end + 1;
+  }
+  return armed;
+}
+
+void disarm(const std::string& site) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.sites.erase(site) > 0)
+    detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  detail::g_armed.fetch_sub(static_cast<int>(s.sites.size()),
+                            std::memory_order_relaxed);
+  s.sites.clear();
+}
+
+std::uint64_t hits(const std::string& site) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.sites.find(site);
+  return it == s.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> armed_sites() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<std::string> names;
+  names.reserve(s.sites.size());
+  for (const auto& [name, entry] : s.sites) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace patty::support::failpoint

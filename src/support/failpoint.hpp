@@ -1,0 +1,102 @@
+#pragma once
+// Failpoint injection harness: named fault sites compiled into the runtime
+// so tests can deterministically exercise every unwind path — throw inside a
+// pipeline stage between pop and push, delay a tuner candidate past its
+// deadline, force a spurious wakeup out of a queue park.
+//
+// Sites exist only when built with -DPATTY_FAILPOINTS (CMake option
+// PATTY_FAILPOINTS, ON by default in this tree, OFF for release builds,
+// where the macros compile to nothing). While nothing is armed a compiled-in
+// site costs one relaxed atomic load of a process-global counter; the
+// registry mutex is touched only while at least one failpoint is armed.
+//
+// Arm programmatically (failpoint::arm) or through the PATTY_FAULTS
+// environment variable, parsed once at process start:
+//
+//   PATTY_FAULTS="pipeline.worker.body=throw@3;stage_queue.pop.park=wake@1"
+//
+// Spec grammar, per site:   <action>@<nth>[:<delay_ms>]
+//   throw@N       throw FailpointError on the Nth hit of the site
+//   delay@N:MS    sleep MS milliseconds on the Nth hit
+//   wake@N        report a spurious wakeup on the Nth hit (the site's
+//                 PATTY_FAILPOINT_WAKE expression yields true once)
+// Triggers are one-shot: hits before and after the Nth pass through.
+//
+// The compiled-in site catalog lives where the sites live; grep for
+// PATTY_FAILPOINT( across src/ or see DESIGN.md "Fault model".
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace patty::support::failpoint {
+
+/// Thrown by a site armed with the `throw` action. Runtime fault tests use
+/// it to prove an exception raised at an arbitrary internal point unwinds
+/// cleanly to the region's join.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : std::runtime_error("failpoint '" + site + "' fired"), site_(site) {}
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+enum class ActionKind : std::uint8_t { Throw, Delay, Wake };
+
+struct Spec {
+  ActionKind kind = ActionKind::Throw;
+  std::uint64_t nth = 1;       // 1-based hit number that triggers
+  std::uint64_t delay_ms = 0;  // Delay only
+};
+
+/// Arm `site`; replaces any existing arming of the same site.
+void arm(const std::string& site, Spec spec);
+/// Parse one "site=action@n[:ms]" entry; false + *error on bad syntax.
+bool arm_from_string(const std::string& entry, std::string* error = nullptr);
+/// Parse a PATTY_FAULTS-style list (separators ';' or ','); returns how many
+/// sites were armed, stops at the first malformed entry.
+std::size_t arm_from_env(const std::string& value,
+                         std::string* error = nullptr);
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Total hits observed at `site` while it was armed (trigger or not).
+std::uint64_t hits(const std::string& site);
+/// Names of currently armed sites.
+std::vector<std::string> armed_sites();
+
+namespace detail {
+/// Number of armed sites; the macro's fast-path gate.
+extern std::atomic<int> g_armed;
+/// Slow path behind the gate. Throws on a triggered Throw, sleeps on a
+/// triggered Delay; returns true only for a triggered Wake.
+bool hit(const char* site);
+}  // namespace detail
+
+}  // namespace patty::support::failpoint
+
+#ifdef PATTY_FAILPOINTS
+/// Statement site: may throw FailpointError or sleep when armed.
+#define PATTY_FAILPOINT(site)                                         \
+  do {                                                                \
+    if (::patty::support::failpoint::detail::g_armed.load(            \
+            std::memory_order_relaxed) != 0)                          \
+      (void)::patty::support::failpoint::detail::hit(site);           \
+  } while (0)
+/// Expression site for wait loops: true = treat as a spurious wakeup and
+/// skip the park once. May also throw/sleep like PATTY_FAILPOINT.
+#define PATTY_FAILPOINT_WAKE(site)                                    \
+  (::patty::support::failpoint::detail::g_armed.load(                 \
+       std::memory_order_relaxed) != 0 &&                             \
+   ::patty::support::failpoint::detail::hit(site))
+#else
+#define PATTY_FAILPOINT(site) \
+  do {                        \
+  } while (0)
+#define PATTY_FAILPOINT_WAKE(site) false
+#endif

@@ -7,6 +7,7 @@
 #include "analysis/callgraph.hpp"
 #include "analysis/dependence.hpp"
 #include "analysis/effects.hpp"
+#include "observe/metrics.hpp"
 #include "runtime/master_worker.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/pipeline.hpp"
@@ -233,6 +234,27 @@ struct ParallelPlanExecutor::Impl {
     r.runs += 1;
   }
 
+  /// Graceful degradation after a runtime fault: record the event; the
+  /// caller then returns false so the interpreter re-executes the loop
+  /// sequentially in program order.
+  void note_fault_fallback(const Candidate& c, const std::string& what) {
+    if (observe::enabled())
+      observe::Registry::global().counter("fault.fallbacks").add();
+    note_fallback(c, "parallel region faulted: " + what +
+                         "; degraded to sequential");
+  }
+
+  /// Whether the interpreter can safely re-execute the region after a
+  /// fault. Parallel execution only mutates per-element snapshot frames, so
+  /// a loop that restarts from scratch (foreach, or `for` with an init
+  /// statement resetting its induction state) replays correctly. A `for`
+  /// without init cannot restart — generate_stream already advanced the
+  /// induction variable in the outer frame — so its fault must propagate.
+  [[nodiscard]] bool restartable(const Candidate& c) const {
+    if (c.anchor->kind != StmtKind::For) return true;
+    return c.anchor->as<lang::For>().init != nullptr;
+  }
+
   void note_parallel(const Candidate& c, std::uint64_t elements,
                      const std::string& note = {}) {
     std::scoped_lock lock(report_mutex);
@@ -396,12 +418,18 @@ struct ParallelPlanExecutor::Impl {
 
     std::size_t next = 0;
     std::vector<Elem> done(elements.size());
-    pipeline.run(
-        [&]() -> std::optional<Elem> {
-          if (next >= elements.size()) return std::nullopt;
-          return std::move(elements[next++]);
-        },
-        [&](Elem&& e) { done[e.index] = std::move(e); });
+    try {
+      pipeline.run(
+          [&]() -> std::optional<Elem> {
+            if (next >= elements.size()) return std::nullopt;
+            return std::move(elements[next++]);
+          },
+          [&](Elem&& e) { done[e.index] = std::move(e); });
+    } catch (const std::exception& e) {
+      if (!restartable(c)) throw;
+      note_fault_fallback(c, e.what());
+      return false;
+    }
     write_back(plan, done, outer);
     note_parallel(c, done.size());
     return true;
@@ -436,12 +464,19 @@ struct ParallelPlanExecutor::Impl {
     rt::ParallelForTuning pf;
     pf.threads = static_cast<int>(param(c, ".threads", 0));
     pf.grain = param(c, ".grain", 0);
-    rt::parallel_for(
-        0, static_cast<std::int64_t>(elements.size()),
-        [&](std::int64_t i) {
-          run_stmts(in, plan.body, *elements[static_cast<std::size_t>(i)].frame);
-        },
-        pf);
+    try {
+      rt::parallel_for(
+          0, static_cast<std::int64_t>(elements.size()),
+          [&](std::int64_t i) {
+            run_stmts(in, plan.body,
+                      *elements[static_cast<std::size_t>(i)].frame);
+          },
+          pf);
+    } catch (const std::exception& e) {
+      if (!restartable(c)) throw;
+      note_fault_fallback(c, e.what());
+      return false;
+    }
 
     // Fold the partial accumulators back, in element order.
     if (plan.reduction_slot >= 0) {
@@ -494,15 +529,33 @@ struct ParallelPlanExecutor::Impl {
     tasks.reserve(tasks_stmts.size());
     for (const Stmt* st : tasks_stmts) {
       tasks.push_back([&in, st, &frame, &own_ids] {
+        // Restore on unwind too: a throwing task runs on a shared pool
+        // worker whose thread_local otherwise stays poisoned for whatever
+        // interception that thread executes next.
         const std::set<int>* saved = g_active_master_worker;
         g_active_master_worker = &own_ids;
-        const ExecSignal sig = in.exec_stmt(*st, frame);
+        ExecSignal sig = ExecSignal::Normal;
+        try {
+          sig = in.exec_stmt(*st, frame);
+        } catch (...) {
+          g_active_master_worker = saved;
+          throw;
+        }
         g_active_master_worker = saved;
         if (sig != ExecSignal::Normal)
           fatal("control flow escaped a master/worker task");
       });
     }
-    mw.run(tasks);
+    try {
+      mw.run(tasks);
+    } catch (const std::exception& e) {
+      // Degradation contract: the detector verified the tasks independent
+      // and each task re-executes its statements from the shared frame, so
+      // the sequential replay recomputes what partial parallel execution
+      // produced rather than double-applying it.
+      note_fault_fallback(c, e.what());
+      return false;
+    }
     note_parallel(c, tasks.size());
     return true;
   }

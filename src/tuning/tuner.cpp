@@ -1,12 +1,16 @@
 #include "tuning/tuner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <map>
+#include <optional>
 
 #include "observe/metrics.hpp"
 #include "observe/trace.hpp"
+#include "runtime/cancellation.hpp"
 #include "support/diagnostics.hpp"
 
 namespace patty::tuning {
@@ -55,18 +59,21 @@ struct Space {
   }
 };
 
-/// Shared evaluation bookkeeping: caching, budget, history.
+/// Shared evaluation bookkeeping: caching, budget, history, and candidate
+/// hardening — a measurement that throws or outruns the deadline becomes a
+/// failed evaluation (score +inf) instead of aborting the search.
 struct Evaluator {
   const Space& space;
   rt::TuningConfig config;
   const MeasureFn& measure;
   std::size_t budget;
+  TunerOptions options;
   TuningRun run;
   std::map<std::vector<std::size_t>, double> cache;
 
   Evaluator(const Space& s, rt::TuningConfig c, const MeasureFn& m,
-            std::size_t b)
-      : space(s), config(std::move(c)), measure(m), budget(b) {}
+            std::size_t b, TunerOptions o = {})
+      : space(s), config(std::move(c)), measure(m), budget(b), options(o) {}
 
   [[nodiscard]] bool exhausted() const { return run.evaluations >= budget; }
 
@@ -79,7 +86,44 @@ struct Evaluator {
     // of "tuner.eval" slices in the Chrome trace.
     const bool telemetry = observe::enabled();
     observe::Span span("tuner.eval", "tuning");
-    const double score = measure(config);
+    // Candidate watchdog: on deadline expiry the StopSource installed as
+    // the ambient token fires, every region the measurement runs (they all
+    // read current_stop_token()) cancels cooperatively, and the resulting
+    // OperationCancelled lands in the catch below.
+    double score = 0.0;
+    bool failed = false;
+    std::string failure;
+    {
+      rt::StopSource stop;
+      std::optional<rt::Watchdog> watchdog;
+      if (options.candidate_deadline_ms > 0)
+        watchdog.emplace(
+            std::chrono::milliseconds(options.candidate_deadline_ms),
+            [&stop] { stop.request_stop(); });
+      rt::StopScope ambient(stop.token());
+      try {
+        score = measure(config);
+      } catch (const std::exception& e) {
+        failed = true;
+        failure = e.what();
+      } catch (...) {
+        failed = true;
+        failure = "unknown exception";
+      }
+      if (watchdog) {
+        watchdog->disarm();
+        if (watchdog->fired()) {
+          failed = true;
+          failure = "deadline exceeded";
+        }
+      }
+    }
+    if (failed) {
+      score = std::numeric_limits<double>::infinity();
+      ++run.failed_evaluations;
+      if (telemetry)
+        observe::Registry::global().counter("tuner.failed_evaluations").add();
+    }
     if (telemetry) {
       // Score first (it must survive the detail cap), then the probed
       // values with the shared qualifier prefix stripped — parameter names
@@ -115,7 +159,9 @@ struct Evaluator {
     }
     ++run.evaluations;
     cache[idx] = score;
-    run.history.push_back({space.values(idx), score});
+    run.history.push_back({space.values(idx), score, failed, failure});
+    // A failed candidate (score +inf) can only become "best" as the very
+    // first entry, and any finite score later replaces it.
     if (run.history.size() == 1 || score < run.best_score) {
       run.best_score = score;
       run.best = config;
@@ -131,7 +177,7 @@ class LinearTuner final : public Tuner {
   TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
                  std::size_t budget) override {
     const Space space(config);
-    Evaluator ev(space, config, measure, budget);
+    Evaluator ev(space, config, measure, budget, options_);
     std::vector<std::size_t> current = space.indices_of(config);
     double current_score = ev.eval(current);
 
@@ -169,7 +215,7 @@ class RandomTuner final : public Tuner {
   TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
                  std::size_t budget) override {
     const Space space(config);
-    Evaluator ev(space, config, measure, budget);
+    Evaluator ev(space, config, measure, budget, options_);
     Rng rng(seed_);
     ev.eval(space.indices_of(config));  // include the starting point
     // The whole space may be smaller than the budget: stop once every
@@ -200,7 +246,7 @@ class NelderMeadTuner final : public Tuner {
   TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
                  std::size_t budget) override {
     const Space space(config);
-    Evaluator ev(space, config, measure, budget);
+    Evaluator ev(space, config, measure, budget, options_);
     Rng rng(seed_);
     const std::size_t n = space.dims();
 
@@ -311,7 +357,7 @@ class TabuTuner final : public Tuner {
   TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
                  std::size_t budget) override {
     const Space space(config);
-    Evaluator ev(space, config, measure, budget);
+    Evaluator ev(space, config, measure, budget, options_);
     Rng rng(seed_);
     std::vector<std::size_t> current = space.indices_of(config);
     double current_score = ev.eval(current);

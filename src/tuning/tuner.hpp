@@ -25,13 +25,26 @@ using MeasureFn = std::function<double(const rt::TuningConfig&)>;
 struct Evaluation {
   std::vector<std::int64_t> values;  // one per parameter, name-sorted
   double score = 0.0;
+  /// A candidate that threw or exceeded the deadline. Its score is
+  /// +infinity so it never becomes the best; the search continues.
+  bool failed = false;
+  std::string failure;  // exception message or "deadline exceeded"
 };
 
 struct TuningRun {
   rt::TuningConfig best;
   double best_score = 0.0;
   std::size_t evaluations = 0;
+  std::size_t failed_evaluations = 0;
   std::vector<Evaluation> history;  // in evaluation order
+};
+
+/// Hardening knobs shared by all tuners.
+struct TunerOptions {
+  /// 0 = unlimited; otherwise a candidate measurement that runs longer is
+  /// cancelled (its region's StopToken fires, cooperative) and scored as a
+  /// failed evaluation with reason "deadline exceeded".
+  std::int64_t candidate_deadline_ms = 0;
 };
 
 class Tuner {
@@ -42,6 +55,12 @@ class Tuner {
   /// calls to `measure`.
   virtual TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
                          std::size_t budget) = 0;
+
+  void set_options(TunerOptions options) { options_ = options; }
+  [[nodiscard]] const TunerOptions& options() const { return options_; }
+
+ protected:
+  TunerOptions options_;
 };
 
 /// The paper's algorithm: sweep each dimension in turn, keeping the best

@@ -393,5 +393,111 @@ TEST(RuntimeModelTest, HelpingJoinIgnoringFinishingIsUseAfterFree) {
   expect_failures_replay(tasks, result, options);
 }
 
+// --- Fault domain: finish() on every unwind path -----------------------------
+//
+// thread_pool.cpp run_on() (and every fork-join site in parallel_for /
+// master_worker) wraps the task body in try/catch and calls group.finish()
+// on the fault path too: an exception is captured into the group's
+// ExceptionSlot, never allowed to skip the decrement. The seeded bug is the
+// pre-fault-tolerance shape — the exception unwinds past finish() — which
+// strands the joiner forever: outstanding_ never reaches zero and the
+// explorer reports the parked joiner as a deadlock.
+
+std::vector<TaskFn> faulting_finish_tasks(bool finish_on_throw) {
+  auto thrower = [finish_on_throw](TaskContext& ctx) {
+    // The task body throws here. capture_exception() claims the slot...
+    ctx.atomic_store("claimed", 1);
+    if (!finish_on_throw) return;  // SEEDED BUG: unwind skips finish()
+    // ...and finish() still runs: decrement, then wake a registered waiter.
+    ctx.fetch_add("outstanding", -1);
+    if (ctx.atomic_load("waiters") > 0) ctx.unpark("join");
+  };
+  auto joiner = [](TaskContext& ctx) {
+    if (ctx.atomic_load("outstanding") != 0) {
+      ctx.fetch_add("waiters", 1);
+      if (ctx.atomic_load("outstanding") != 0)  // Dekker re-check
+        ctx.park("join");
+      ctx.fetch_add("waiters", -1);
+    }
+    ctx.check(ctx.atomic_load("outstanding") == 0,
+              "fault join: joiner resumed with outstanding work");
+  };
+  return {thrower, joiner};
+}
+
+ExploreOptions faulting_finish_options() {
+  ExploreOptions options = model_options();
+  options.initial_state["outstanding"] = 1;
+  return options;
+}
+
+TEST(RuntimeModelTest, FaultedTaskStillFinishesJoinerWakes) {
+  const auto options = faulting_finish_options();
+  auto result =
+      explore(faulting_finish_tasks(/*finish_on_throw=*/true), options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_TRUE(result.assertion_failures.empty());
+  EXPECT_EQ(result.deadlock_schedules, 0u);
+}
+
+TEST(RuntimeModelTest, FaultSkippingFinishStrandsJoiner) {
+  const auto options = faulting_finish_options();
+  const auto tasks = faulting_finish_tasks(/*finish_on_throw=*/false);
+  auto result = explore(tasks, options);
+  EXPECT_GT(result.deadlock_schedules, 0u);
+  ASSERT_FALSE(result.deadlock_reports.empty());
+  EXPECT_NE(result.deadlock_reports[0].find("parked on 'join'"),
+            std::string::npos)
+      << result.deadlock_reports[0];
+  expect_failures_replay(tasks, result, options);
+}
+
+// --- ExceptionSlot: claim / publish / rethrow protocol -----------------------
+//
+// cancellation.hpp ExceptionSlot: the first thrower wins `claimed_` by CAS,
+// stores the exception_ptr, then release-stores `ready_`; rethrow_if_set()
+// acquire-loads claimed_ and then spins on ready_ before touching error_,
+// because a sibling can observe claimed_ == true in the window between the
+// CAS and the error_ store. The seeded bug reads error_ gated on claimed_
+// alone — the plain-storage race the ready_ flag exists to close.
+
+std::vector<TaskFn> exception_slot_tasks(bool reader_waits_for_ready) {
+  auto thrower = [](TaskContext& ctx) {
+    std::int64_t e = 0;
+    if (ctx.compare_exchange("claimed", e, 1)) {
+      ctx.write("error", 42);  // error_ = std::current_exception()
+      ctx.atomic_store("ready", 1, MemoryOrder::Release);
+    }
+  };
+  auto rethrower = [reader_waits_for_ready](TaskContext& ctx) {
+    if (ctx.atomic_load("claimed", MemoryOrder::Acquire) == 0) return;
+    if (reader_waits_for_ready &&
+        ctx.atomic_load("ready", MemoryOrder::Acquire) == 0)
+      return;  // models the spin: touch error only once ready is published
+    const std::int64_t v = ctx.read("error");
+    ctx.check(v == 42, "exception slot: rethrew unpublished exception");
+  };
+  return {thrower, rethrower};
+}
+
+TEST(RuntimeModelTest, ExceptionSlotPublishProtocolCorrect) {
+  const auto options = model_options();
+  auto result =
+      explore(exception_slot_tasks(/*reader_waits_for_ready=*/true), options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.races.empty()) << result.races[0].var;
+  EXPECT_TRUE(result.assertion_failures.empty());
+}
+
+TEST(RuntimeModelTest, ExceptionSlotReadOnClaimAloneIsARace) {
+  const auto options = model_options();
+  const auto tasks = exception_slot_tasks(/*reader_waits_for_ready=*/false);
+  auto result = explore(tasks, options);
+  ASSERT_FALSE(result.races.empty());
+  EXPECT_EQ(result.races[0].var, "error");
+  expect_failures_replay(tasks, result, options);
+}
+
 }  // namespace
 }  // namespace patty::race
