@@ -7,21 +7,31 @@
 //
 // Dynamic analysis runs in emulated-multicore mode (work(n) sleeps instead
 // of burning CPU — DESIGN.md substitutions), so the speedup shape is
-// reproducible on hosts with fewer cores than the paper's testbed; a
-// real-CPU pair of rows is included for reference. Every run's detection
-// fingerprint must equal the sequential one — the bench exits 2 on any
-// divergence, making each timing row also a determinism check.
+// reproducible on hosts with fewer cores than the paper's testbed; real-CPU
+// rows at the same worker counts measure what the host actually delivers
+// (the JSON records cpu_cores so readers can interpret them). A large-corpus
+// real-CPU section (default 1000 generated programs) exercises the batched
+// pipeline granularity where per-item handoff costs would otherwise
+// dominate. Every run's detection fingerprint must equal the sequential one
+// — the bench exits 2 on any divergence, making each timing row also a
+// determinism check.
 //
 // Results go to stdout as a table and to BENCH_analysis.json. Flags:
-//   --short         reduced corpus (what the perf-smoke ctest entry runs)
-//   --assert-smoke  exit nonzero unless the parallel front-end beats the
-//                   sequential one (best of 3 attempts)
+//   --short         reduced corpus, no large section (perf-smoke ctest entry)
+//   --programs N    override the study corpus size (default 110, short 20)
+//   --large N       large-corpus section size (default 1000, 0 disables)
+//   --assert-smoke  exit nonzero unless the parallel front-end holds its
+//                   bar: emulated 8-worker speedup > 1.3x always; real-CPU
+//                   8-worker > 1.0x when the host has 2+ cores, else
+//                   overhead-bounded (>= 0.75x of sequential). Best of 3.
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "corpus/corpus.hpp"
@@ -95,8 +105,10 @@ ModeResult run_mode(const std::vector<const patty::corpus::CorpusProgram*>&
     row.seconds = run_once(corpus, config, reference, nullptr);
     row.speedup = seq.seconds / row.seconds;
     result.rows.push_back(row);
-    std::printf("  parallel x%-2d    : %7.3fs  (%.2fx)\n", threads,
-                row.seconds, row.speedup);
+    std::printf("  parallel x%-2d    : %7.3fs  (%.2fx, batch %d)\n", threads,
+                row.seconds, row.speedup,
+                patty::corpus::resolve_batch_size(config, corpus.size(),
+                                                  threads));
   }
   return result;
 }
@@ -113,30 +125,70 @@ void append_rows_json(std::string* json, const std::vector<Row>& rows) {
   }
 }
 
+std::vector<const patty::corpus::CorpusProgram*> to_pointers(
+    const std::vector<patty::corpus::CorpusProgram>& programs,
+    std::size_t* loc_out) {
+  std::vector<const patty::corpus::CorpusProgram*> corpus;
+  corpus.reserve(programs.size());
+  std::size_t loc = 0;
+  for (const patty::corpus::CorpusProgram& p : programs) {
+    corpus.push_back(&p);
+    loc += p.loc();
+  }
+  if (loc_out) *loc_out = loc;
+  return corpus;
+}
+
+/// Best speedup of the last row across up to `attempts` re-measurements
+/// (relative-timing assertions flake on loaded machines; a real regression
+/// loses every attempt, noise loses at most one or two).
+double best_of(const std::vector<const patty::corpus::CorpusProgram*>& corpus,
+               bool work_sleeps, std::uint64_t work_sleep_ns, int threads,
+               double first, double bar, int attempts) {
+  double best = first;
+  for (int attempt = 1; attempt < attempts && best <= bar; ++attempt) {
+    std::string fp;  // fresh reference, still checks determinism per pair
+    std::printf("smoke retry %d (%s, x%d):\n", attempt,
+                work_sleeps ? "emulated" : "real", threads);
+    const ModeResult retry =
+        run_mode(corpus, work_sleeps, work_sleep_ns, {threads}, &fp);
+    if (retry.rows.back().speedup > best) best = retry.rows.back().speedup;
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool short_mode = false;
   bool assert_smoke = false;
+  int programs_override = 0;
+  int large_programs = -1;  // -1 = default (1000 full, 0 short)
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--short")) short_mode = true;
     if (!std::strcmp(argv[i], "--assert-smoke")) assert_smoke = true;
+    if (!std::strcmp(argv[i], "--programs") && i + 1 < argc)
+      programs_override = std::atoi(argv[++i]);
+    if (!std::strcmp(argv[i], "--large") && i + 1 < argc)
+      large_programs = std::atoi(argv[++i]);
   }
+  if (large_programs < 0) large_programs = short_mode ? 0 : 1000;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cpu_cores = hw == 0 ? 1 : static_cast<int>(hw);
 
   // The precision/recall study corpus (110 blocks, fixed seed); short mode
   // keeps the same generator but a slice of it.
-  const int blocks = short_mode ? 20 : 110;
+  const int blocks =
+      programs_override > 0 ? programs_override : (short_mode ? 20 : 110);
   const std::vector<patty::corpus::CorpusProgram> synthetic =
       patty::corpus::synthetic_suite(blocks, 20150207);
-  std::vector<const patty::corpus::CorpusProgram*> corpus;
-  corpus.reserve(synthetic.size());
   std::size_t loc = 0;
-  for (const patty::corpus::CorpusProgram& p : synthetic) {
-    corpus.push_back(&p);
-    loc += p.loc();
-  }
-  std::printf("corpus: %zu synthetic programs, %zu LoC%s\n", corpus.size(),
-              loc, short_mode ? " (short mode)" : "");
+  const std::vector<const patty::corpus::CorpusProgram*> corpus =
+      to_pointers(synthetic, &loc);
+  std::printf("corpus: %zu synthetic programs, %zu LoC%s; host: %d cores\n",
+              corpus.size(), loc, short_mode ? " (short mode)" : "",
+              cpu_cores);
 
   // Emulated multicore: work(n) sleeps 60us per cost unit, so the dynamic
   // analysis (the front-end's dominant stage) overlaps across workers the
@@ -154,7 +206,26 @@ int main(int argc, char** argv) {
 
   std::printf("\n== real CPU (work burns, host-bound) ==\n");
   const ModeResult real =
-      run_mode(corpus, /*work_sleeps=*/false, 0, {8}, &fingerprint);
+      run_mode(corpus, /*work_sleeps=*/false, 0, thread_counts, &fingerprint);
+
+  // Large corpus: generated with the same config knobs at 1000 programs.
+  // Real CPU only — this section exists to show the batched pipeline
+  // amortizing per-item handoff at scale, which emulated sleeps would mask.
+  ModeResult large;
+  std::size_t large_loc = 0;
+  if (large_programs > 0) {
+    patty::corpus::SyntheticConfig large_config;
+    large_config.programs = large_programs;
+    const std::vector<patty::corpus::CorpusProgram> large_synthetic =
+        patty::corpus::synthetic_suite(large_config);
+    const std::vector<const patty::corpus::CorpusProgram*> large_corpus =
+        to_pointers(large_synthetic, &large_loc);
+    std::printf("\n== large corpus, real CPU (%zu programs, %zu LoC) ==\n",
+                large_corpus.size(), large_loc);
+    std::string large_fp;  // own reference: different corpus
+    large = run_mode(large_corpus, /*work_sleeps=*/false, 0, {2, 8},
+                     &large_fp);
+  }
 
   const patty::corpus::DetectionScore& s = emulated.total;
   std::printf("\ndetection: precision %.3f recall %.3f "
@@ -163,12 +234,14 @@ int main(int argc, char** argv) {
               s.false_negatives, s.true_negatives);
 
   const double speedup8 = emulated.rows.back().speedup;
+  const double real8 = real.rows.back().speedup;
 
   std::string json = "{\n";
   json += std::string("  \"mode\": \"") + (short_mode ? "short" : "full") +
           "\",\n";
   json += "  \"programs\": " + std::to_string(corpus.size()) + ",\n";
   json += "  \"loc\": " + std::to_string(loc) + ",\n";
+  json += "  \"cpu_cores\": " + std::to_string(cpu_cores) + ",\n";
   {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -182,34 +255,56 @@ int main(int argc, char** argv) {
   append_rows_json(&json, emulated.rows);
   json += "    ]\n  },\n  \"real\": {\n    \"rows\": [\n";
   append_rows_json(&json, real.rows);
-  json += "    ]\n  }\n}\n";
+  json += "    ]\n  }";
+  if (large_programs > 0) {
+    json += ",\n  \"large\": {\n    \"programs\": " +
+            std::to_string(large_programs) +
+            ",\n    \"loc\": " + std::to_string(large_loc) +
+            ",\n    \"rows\": [\n";
+    append_rows_json(&json, large.rows);
+    json += "    ]\n  }";
+  }
+  json += "\n}\n";
   if (std::FILE* f = std::fopen("BENCH_analysis.json", "w")) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
-    std::printf("wrote BENCH_analysis.json (8-thread emulated speedup "
-                "%.2fx)\n",
-                speedup8);
+    std::printf("wrote BENCH_analysis.json (8-thread emulated %.2fx, "
+                "real %.2fx)\n",
+                speedup8, real8);
   }
 
   if (assert_smoke) {
-    // Relative-timing assertions flake on loaded machines; re-measure
-    // before failing the build. A real front-end regression loses every
-    // attempt, noise loses at most one or two.
-    double best = speedup8;
-    for (int attempt = 1; attempt < 3 && best <= 1.3; ++attempt) {
-      std::string fp;  // fresh reference, still checks determinism per pair
-      std::printf("smoke retry %d:\n", attempt);
-      const ModeResult retry =
-          run_mode(corpus, /*work_sleeps=*/true, sleep_ns, {8}, &fp);
-      if (retry.rows.back().speedup > best) best = retry.rows.back().speedup;
-    }
-    if (best <= 1.3) {
+    // Emulated bar: parallelism must actually overlap the sleeping dynamic
+    // analysis regardless of host cores.
+    const double best_emulated = best_of(corpus, /*work_sleeps=*/true,
+                                         sleep_ns, 8, speedup8, 1.3, 3);
+    if (best_emulated <= 1.3) {
       std::fprintf(stderr,
                    "perf-smoke FAILED: parallel front-end did not reach "
-                   "1.3x over sequential in any of 3 runs (best %.2fx)\n",
-                   best);
+                   "1.3x over sequential (emulated) in any of 3 runs "
+                   "(best %.2fx)\n",
+                   best_emulated);
       return 1;
     }
+    // Real-CPU bar, core-count-aware: with 2+ cores the parallel front-end
+    // must win outright; on a single core winning is physically impossible,
+    // so the bar is bounded overhead — threading must not cost more than a
+    // third of the sequential wall.
+    const double real_bar = cpu_cores >= 2 ? 1.0 : 0.70;
+    const double best_real = best_of(corpus, /*work_sleeps=*/false, 0, 8,
+                                     real8, real_bar, 3);
+    if (best_real <= real_bar) {
+      std::fprintf(stderr,
+                   "perf-smoke FAILED: real-CPU 8-worker front-end below "
+                   "the %s bar of %.2fx in all of 3 runs (best %.2fx, "
+                   "%d cores)\n",
+                   cpu_cores >= 2 ? "speedup" : "overhead", real_bar,
+                   best_real, cpu_cores);
+      return 1;
+    }
+    std::printf("perf-smoke OK: emulated best %.2fx (> 1.3x), real best "
+                "%.2fx (bar %.2fx on %d cores)\n",
+                best_emulated, best_real, real_bar, cpu_cores);
   }
   return 0;
 }

@@ -24,7 +24,11 @@ CallGraph build_call_graph(const lang::Program& program) {
         callee = e.as<lang::Call>().resolved;
       } else if (e.kind == lang::ExprKind::New) {
         const lang::New& n = e.as<lang::New>();
-        if (n.resolved) callee = n.resolved->find_method("init");
+        if (n.resolved) {
+          static const lang::Symbol kInit = lang::Symbol::intern("init");
+          callee = n.resolved->ctor ? n.resolved->ctor
+                                    : n.resolved->find_method(kInit);
+        }
       }
       if (!callee) return;
       const int idx = g.index(callee);

@@ -1,6 +1,8 @@
 #include "analysis/effects.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 
 #include "support/diagnostics.hpp"
 
@@ -8,6 +10,69 @@ namespace patty::analysis {
 
 using lang::ExprKind;
 using lang::StmtKind;
+using lang::Symbol;
+
+namespace {
+
+/// Rank of each kind in the legacy key order: "E:" < "F:" < "IO" < "L:" < "S:".
+int kind_rank(AbsLoc::Kind k) {
+  switch (k) {
+    case AbsLoc::Kind::Elements: return 0;
+    case AbsLoc::Kind::Field: return 1;
+    case AbsLoc::Kind::Io: return 2;
+    case AbsLoc::Kind::Local: return 3;
+    case AbsLoc::Kind::ListShape: return 4;
+  }
+  return 5;
+}
+
+/// Compare non-negative ints by their decimal spelling ("10" < "2"),
+/// matching how the legacy string keys ordered numeric components.
+int cmp_int_lex(int a, int b) {
+  char ba[16];
+  char bb[16];
+  const int la = std::snprintf(ba, sizeof(ba), "%d", a);
+  const int lb = std::snprintf(bb, sizeof(bb), "%d", b);
+  const int c = std::memcmp(ba, bb, static_cast<std::size_t>(std::min(la, lb)));
+  if (c != 0) return c;
+  return la - lb;
+}
+
+int cmp_text(Symbol a, Symbol b) {
+  if (a == b) return 0;
+  return a.view().compare(b.view());
+}
+
+/// Compare "cls:field" the way the legacy key string did, without building
+/// it: when one class name is a prefix of the other, the shorter one is
+/// followed by ':' in the key, which sorts before any identifier character
+/// that is >= ':' and after digits.
+int cmp_field_key(const AbsLoc& a, const AbsLoc& b) {
+  const std::string_view sa = a.cls.view();
+  const std::string_view sb = b.cls.view();
+  const std::size_t common = std::min(sa.size(), sb.size());
+  const int c = std::memcmp(sa.data(), sb.data(), common);
+  if (c != 0) return c;
+  if (sa.size() == sb.size()) return cmp_int_lex(a.field, b.field);
+  if (sa.size() < sb.size()) return ':' < sb[common] ? -1 : 1;
+  return sa[common] < ':' ? -1 : 1;
+}
+
+}  // namespace
+
+int AbsLoc::cmp(const AbsLoc& other) const {
+  const int ra = kind_rank(kind);
+  const int rb = kind_rank(other.kind);
+  if (ra != rb) return ra - rb;
+  switch (kind) {
+    case Kind::Local: return cmp_int_lex(slot, other.slot);
+    case Kind::Field: return cmp_field_key(*this, other);
+    case Kind::Elements:
+    case Kind::ListShape: return cmp_text(type_sig, other.type_sig);
+    case Kind::Io: return 0;
+  }
+  return 0;
+}
 
 std::string AbsLoc::key() const {
   switch (kind) {
@@ -43,24 +108,33 @@ AbsLoc AbsLoc::local(int slot) {
   l.slot = slot;
   return l;
 }
-AbsLoc AbsLoc::field_loc(std::string cls, int index) {
+AbsLoc AbsLoc::field_loc(Symbol cls, int index) {
   AbsLoc l;
   l.kind = Kind::Field;
-  l.cls = std::move(cls);
+  l.cls = cls;
   l.field = index;
   return l;
 }
-AbsLoc AbsLoc::elements(std::string type_sig) {
+AbsLoc AbsLoc::field_loc(const std::string& cls, int index) {
+  return field_loc(Symbol::intern(cls), index);
+}
+AbsLoc AbsLoc::elements(Symbol type_sig) {
   AbsLoc l;
   l.kind = Kind::Elements;
-  l.type_sig = std::move(type_sig);
+  l.type_sig = type_sig;
   return l;
 }
-AbsLoc AbsLoc::list_shape(std::string type_sig) {
+AbsLoc AbsLoc::elements(const std::string& type_sig) {
+  return elements(Symbol::intern(type_sig));
+}
+AbsLoc AbsLoc::list_shape(Symbol type_sig) {
   AbsLoc l;
   l.kind = Kind::ListShape;
-  l.type_sig = std::move(type_sig);
+  l.type_sig = type_sig;
   return l;
+}
+AbsLoc AbsLoc::list_shape(const std::string& type_sig) {
+  return list_shape(Symbol::intern(type_sig));
 }
 AbsLoc AbsLoc::io() {
   AbsLoc l;
@@ -193,7 +267,7 @@ void EffectAnalysis::collect_stmt(const lang::Stmt& st, EffectSet& out,
       const auto& f = st.as<lang::Foreach>();
       collect_expr(*f.iterable, out, include_locals);
       if (f.iterable->type)
-        out.reads.insert(AbsLoc::list_shape(f.iterable->type->str()));
+        out.reads.insert(AbsLoc::list_shape(f.iterable->type->sig()));
       if (include_locals) out.writes.insert(AbsLoc::local(f.slot));
       collect_stmt(*f.body, out, include_locals);
       break;
@@ -218,15 +292,18 @@ void EffectAnalysis::write_target(const lang::Expr& target, EffectSet& out,
       if (ref.is_local()) {
         if (include_locals) out.writes.insert(AbsLoc::local(ref.slot));
       } else {
+        static const Symbol kUnknown = Symbol::intern("?");
         out.writes.insert(AbsLoc::field_loc(
-            ref.owner_class ? ref.owner_class->name : "?", ref.field_index));
+            ref.owner_class ? ref.owner_class->name : kUnknown,
+            ref.field_index));
       }
       break;
     }
     case ExprKind::FieldAccess: {
       const auto& fa = target.as<lang::FieldAccess>();
       collect_expr(*fa.object, out, include_locals);
-      const std::string cls = fa.object->type ? fa.object->type->str() : "?";
+      static const Symbol kUnknown = Symbol::intern("?");
+      const Symbol cls = fa.object->type ? fa.object->type->sig() : kUnknown;
       out.writes.insert(AbsLoc::field_loc(cls, fa.field_index));
       break;
     }
@@ -234,7 +311,8 @@ void EffectAnalysis::write_target(const lang::Expr& target, EffectSet& out,
       const auto& ix = target.as<lang::IndexAccess>();
       collect_expr(*ix.base, out, include_locals);
       collect_expr(*ix.index, out, include_locals);
-      const std::string sig = ix.base->type ? ix.base->type->str() : "?";
+      static const Symbol kUnknown = Symbol::intern("?");
+      const Symbol sig = ix.base->type ? ix.base->type->sig() : kUnknown;
       out.writes.insert(AbsLoc::elements(sig));
       break;
     }
@@ -257,15 +335,18 @@ void EffectAnalysis::collect_expr(const lang::Expr& e, EffectSet& out,
       if (ref.is_local()) {
         if (include_locals) out.reads.insert(AbsLoc::local(ref.slot));
       } else {
+        static const Symbol kUnknown = Symbol::intern("?");
         out.reads.insert(AbsLoc::field_loc(
-            ref.owner_class ? ref.owner_class->name : "?", ref.field_index));
+            ref.owner_class ? ref.owner_class->name : kUnknown,
+            ref.field_index));
       }
       break;
     }
     case ExprKind::FieldAccess: {
       const auto& fa = e.as<lang::FieldAccess>();
       collect_expr(*fa.object, out, include_locals);
-      const std::string cls = fa.object->type ? fa.object->type->str() : "?";
+      static const Symbol kUnknown = Symbol::intern("?");
+      const Symbol cls = fa.object->type ? fa.object->type->sig() : kUnknown;
       out.reads.insert(AbsLoc::field_loc(cls, fa.field_index));
       break;
     }
@@ -273,7 +354,8 @@ void EffectAnalysis::collect_expr(const lang::Expr& e, EffectSet& out,
       const auto& ix = e.as<lang::IndexAccess>();
       collect_expr(*ix.base, out, include_locals);
       collect_expr(*ix.index, out, include_locals);
-      const std::string sig = ix.base->type ? ix.base->type->str() : "?";
+      static const Symbol kUnknown = Symbol::intern("?");
+      const Symbol sig = ix.base->type ? ix.base->type->sig() : kUnknown;
       out.reads.insert(AbsLoc::elements(sig));
       break;
     }
@@ -291,15 +373,16 @@ void EffectAnalysis::collect_expr(const lang::Expr& e, EffectSet& out,
             out.writes.insert(AbsLoc::io());
             break;
           case lang::Builtin::Push: {
-            const std::string sig =
-                c.args[0]->type ? c.args[0]->type->str() : "?";
+            static const Symbol kUnknown = Symbol::intern("?");
+            const Symbol sig =
+                c.args[0]->type ? c.args[0]->type->sig() : kUnknown;
             out.writes.insert(AbsLoc::list_shape(sig));
             break;
           }
           case lang::Builtin::Len: {
             const lang::TypePtr& t = c.args[0]->type;
             if (t && t->kind == lang::Type::Kind::List)
-              out.reads.insert(AbsLoc::list_shape(t->str()));
+              out.reads.insert(AbsLoc::list_shape(t->sig()));
             break;
           }
           default:
@@ -312,7 +395,8 @@ void EffectAnalysis::collect_expr(const lang::Expr& e, EffectSet& out,
       const auto& n = e.as<lang::New>();
       for (const auto& a : n.args) collect_expr(*a, out, include_locals);
       if (n.resolved) {
-        if (const lang::MethodDecl* ctor = n.resolved->find_method("init")) {
+        static const Symbol kInit = Symbol::intern("init");
+        if (const lang::MethodDecl* ctor = n.resolved->find_method(kInit)) {
           auto it = summaries_.find(ctor);
           if (it != summaries_.end()) out.merge(it->second);
         }

@@ -28,25 +28,36 @@ namespace patty::analysis {
 struct AbsLoc {
   enum class Kind : std::uint8_t { Local, Field, Elements, ListShape, Io };
   Kind kind = Kind::Local;
-  int slot = -1;          // Local
-  std::string cls;        // Field: class name
-  int field = -1;         // Field: index
-  std::string type_sig;   // Elements / ListShape: container type string
+  int slot = -1;               // Local
+  lang::Symbol cls;            // Field: class name (interned)
+  int field = -1;              // Field: index
+  lang::Symbol type_sig;       // Elements / ListShape: container type string
 
   [[nodiscard]] std::string key() const;
   [[nodiscard]] std::string pretty(const lang::MethodDecl* context) const;
 
+  /// Three-way comparison matching the legacy `key() < key()` string order
+  /// exactly (kind letters E < F < IO < L < S, numeric components by their
+  /// decimal spelling) — but field-wise, without building any strings.
+  /// Compares interned text, never symbol ids, so set order is
+  /// deterministic across runs and threads.
+  [[nodiscard]] int cmp(const AbsLoc& other) const;
+
   friend bool operator<(const AbsLoc& a, const AbsLoc& b) {
-    return a.key() < b.key();
+    return a.cmp(b) < 0;
   }
   friend bool operator==(const AbsLoc& a, const AbsLoc& b) {
-    return a.key() == b.key();
+    return a.kind == b.kind && a.slot == b.slot && a.field == b.field &&
+           a.cls == b.cls && a.type_sig == b.type_sig;
   }
 
   static AbsLoc local(int slot);
-  static AbsLoc field_loc(std::string cls, int index);
-  static AbsLoc elements(std::string type_sig);
-  static AbsLoc list_shape(std::string type_sig);
+  static AbsLoc field_loc(lang::Symbol cls, int index);
+  static AbsLoc field_loc(const std::string& cls, int index);
+  static AbsLoc elements(lang::Symbol type_sig);
+  static AbsLoc elements(const std::string& type_sig);
+  static AbsLoc list_shape(lang::Symbol type_sig);
+  static AbsLoc list_shape(const std::string& type_sig);
   static AbsLoc io();
 };
 

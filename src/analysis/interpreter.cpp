@@ -58,8 +58,11 @@ void Interpreter::clear_output() {
 Value Interpreter::run_main() {
   const lang::ClassDecl* entry = nullptr;
   const lang::MethodDecl* main_method = nullptr;
+  static const lang::Symbol kMain = lang::Symbol::intern("main");
   for (const auto& cls : program_.classes) {
-    if (const lang::MethodDecl* m = cls->find_method("main")) {
+    if (const lang::MethodDecl* m = cls->main_method
+                                        ? cls->main_method
+                                        : cls->find_method(kMain)) {
       if (entry) error(cls->range, "multiple classes declare main()");
       entry = cls.get();
       main_method = m;
@@ -77,7 +80,9 @@ Value Interpreter::instantiate(const lang::ClassDecl& cls,
   obj->fields.reserve(cls.fields.size());
   for (const auto& f : cls.fields) obj->fields.push_back(default_value(*f.type));
   Value self = Value::of_object(obj);
-  if (const lang::MethodDecl* ctor = cls.find_method("init")) {
+  static const lang::Symbol kInit = lang::Symbol::intern("init");
+  if (const lang::MethodDecl* ctor =
+          cls.ctor ? cls.ctor : cls.find_method(kInit)) {
     call(*ctor, self, std::move(args));
   } else if (!args.empty()) {
     error(cls.range, "class '" + cls.name + "' has no constructor");

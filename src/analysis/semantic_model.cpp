@@ -37,8 +37,12 @@ std::unique_ptr<SemanticModel> SemanticModel::build(
                        cfgs[static_cast<std::size_t>(i)] =
                            build_cfg(*methods[static_cast<std::size_t>(i)]);
                      });
+    // Build happened on worker threads; placing the results in the model's
+    // arena here is single-threaded (build() owns the model exclusively).
     for (std::size_t i = 0; i < methods.size(); ++i)
-      model->cfg_cache_.emplace(methods[i], std::move(cfgs[i]));
+      model->cfg_cache_.emplace(
+          methods[i],
+          support::make_in<Cfg>(model->arena_, std::move(cfgs[i])));
   }
 
   if (options.run_dynamic) {
@@ -107,11 +111,15 @@ const Cfg& SemanticModel::cfg(const lang::MethodDecl& method) const {
   {
     std::scoped_lock lock(cfg_mutex_);
     auto it = cfg_cache_.find(&method);
-    if (it != cfg_cache_.end()) return it->second;
+    if (it != cfg_cache_.end()) return *it->second;
   }
   Cfg built = build_cfg(method);  // pure; compute outside the lock
   std::scoped_lock lock(cfg_mutex_);
-  return cfg_cache_.emplace(&method, std::move(built)).first->second;
+  auto it = cfg_cache_.find(&method);
+  if (it != cfg_cache_.end()) return *it->second;  // racing builder won
+  return *cfg_cache_
+              .emplace(&method, support::make_in<Cfg>(arena_, std::move(built)))
+              .first->second;
 }
 
 bool SemanticModel::loop_was_profiled(const lang::Stmt& loop) const {
@@ -128,13 +136,19 @@ const std::vector<Dep>& SemanticModel::loop_dependences(
   {
     std::scoped_lock lock(dep_cache_mutex_);
     auto it = dep_cache_.find(key);
-    if (it != dep_cache_.end()) return it->second;
+    if (it != dep_cache_.end()) return *it->second;
   }
   // Compute outside the lock (deterministic, so a racing duplicate is
-  // identical and the first insert wins); entries are node-stable.
+  // identical and the first insert wins); values are arena-placed, so the
+  // returned reference is stable for the model's lifetime.
   std::vector<Dep> deps = compute_loop_dependences(loop, optimistic);
   std::scoped_lock lock(dep_cache_mutex_);
-  return dep_cache_.emplace(key, std::move(deps)).first->second;
+  auto it = dep_cache_.find(key);
+  if (it != dep_cache_.end()) return *it->second;  // racing builder won
+  return *dep_cache_
+              .emplace(key, support::make_in<std::vector<Dep>>(
+                                arena_, std::move(deps)))
+              .first->second;
 }
 
 std::vector<Dep> SemanticModel::compute_loop_dependences(

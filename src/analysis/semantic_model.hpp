@@ -15,6 +15,7 @@
 #include "analysis/interpreter.hpp"
 #include "analysis/profiler.hpp"
 #include "lang/ast.hpp"
+#include "support/arena.hpp"
 
 namespace patty::analysis {
 
@@ -83,6 +84,12 @@ class SemanticModel {
   std::vector<Dep> compute_loop_dependences(const lang::Stmt& loop,
                                             bool optimistic) const;
 
+  // Declared first so it outlives everything placed in it: cached CFGs and
+  // memoized dependence vectors live in this arena (one chunk-list drop
+  // reclaims the model's side structures when it dies). Arena allocation is
+  // serialized under the respective cache mutex.
+  mutable support::Arena arena_;
+
   const lang::Program* program_ = nullptr;
   CallGraph call_graph_;
   std::unique_ptr<EffectAnalysis> effects_;
@@ -91,12 +98,17 @@ class SemanticModel {
   std::unordered_map<int, const lang::Stmt*> stmt_by_id_;
   std::unordered_map<int, const lang::MethodDecl*> method_by_stmt_id_;
   mutable std::mutex cfg_mutex_;
-  mutable std::unordered_map<const lang::MethodDecl*, Cfg> cfg_cache_;
+  // Values are arena-placed; the ArenaPtr runs ~Cfg (inner vectors own
+  // heap) while the arena keeps the bytes. Pointer values mean references
+  // handed out stay stable across rehashes.
+  mutable std::unordered_map<const lang::MethodDecl*, support::ArenaPtr<Cfg>>
+      cfg_cache_;
   // Dependence memo, keyed (loop id << 1) | optimistic. Never invalidated:
   // the program, effects and profile are frozen once build() returns
   // (see DESIGN.md "Self-hosted front-end" on cache invalidation).
   mutable std::mutex dep_cache_mutex_;
-  mutable std::unordered_map<std::uint64_t, std::vector<Dep>> dep_cache_;
+  mutable std::unordered_map<std::uint64_t, support::ArenaPtr<std::vector<Dep>>>
+      dep_cache_;
 };
 
 }  // namespace patty::analysis

@@ -20,7 +20,9 @@ std::string Value::str() const {
   if (is_bool()) return as_bool() ? "true" : "false";
   if (is_string()) return as_string();
   if (is_object())
-    return "<" + (as_object() ? as_object()->cls->name : "null") + ">";
+    return "<" + (as_object() ? as_object()->cls->name.str()
+                              : std::string("null")) +
+           ">";
   if (is_array())
     return "<array[" + std::to_string(as_array()->elems.size()) + "]>";
   if (is_list())

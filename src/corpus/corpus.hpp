@@ -47,12 +47,35 @@ const CorpusProgram& histogram();
 /// All hand-written programs.
 std::vector<const CorpusProgram*> handwritten();
 
+/// Knobs for the seeded synthetic-program generator: corpus size, kernel
+/// working-set size, noise (dead filler methods), and the pattern mix.
+/// Same config + seed => byte-identical corpus, on any host.
+struct SyntheticConfig {
+  int programs = 110;          // generated program count
+  std::uint64_t seed = 20150207;
+  int min_elems = 24;          // kernel working-set size range (array length)
+  int max_elems = 48;
+  int min_filler = 18;         // dead helper methods per program (noise)
+  int max_filler = 26;
+  // Pattern mix: which labeled kernel families each program carries.
+  bool map_kernels = true;        // clear parfor positives (TP)
+  bool reduction_kernels = true;  // associative accumulations (TP)
+  bool pipeline_kernels = true;   // ordered stream stages (TP)
+  bool cold_kernels = true;       // positives in never-profiled code (FN)
+  bool scatter_kernels = true;    // input-dependent aliasing traps (FP)
+  bool chain_kernels = true;      // true recurrences (TN)
+};
+
 /// Deterministic synthetic suite for the precision/recall study. Programs
 /// are generated from templates covering: clear positives, positives hidden
 /// in never-executed code (optimism cannot help; static fallback misses
 /// them), input-dependent aliasing (optimism produces false positives),
 /// and true recurrences (correct rejections). `blocks` scales total size.
 std::vector<CorpusProgram> synthetic_suite(int blocks, std::uint64_t seed);
+
+/// Fully parameterized generator (synthetic_suite(blocks, seed) is the
+/// default-mix shorthand; identical output for the same size and seed).
+std::vector<CorpusProgram> synthetic_suite(const SyntheticConfig& config);
 
 /// Detection-quality scoring: compares detected loop locations (by line)
 /// against ground truth across a set of programs.
@@ -91,7 +114,18 @@ struct FrontendConfig {
   /// benches reproduce parallel speedup shapes on few-core hosts.
   bool work_sleeps = false;
   std::uint64_t work_sleep_ns = 2'000;
+  /// Programs per pipeline work item. Small MiniOO programs make per-item
+  /// queue/handoff overhead visible, so the parallel front-end moves
+  /// *blocks* of programs through the stages. 0 = auto-size from corpus
+  /// size and worker count (~8 batches in flight per worker, capped at
+  /// 32 programs per batch). Ignored by the sequential path.
+  int batch_size = 0;
 };
+
+/// The batch size the parallel front-end will use for a corpus of
+/// `corpus_size` programs on `threads` workers (resolves batch_size = 0).
+int resolve_batch_size(const FrontendConfig& config, std::size_t corpus_size,
+                       int threads);
 
 /// Per-program outcome of a corpus evaluation, in corpus order.
 struct ProgramReport {

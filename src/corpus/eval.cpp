@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstdlib>
 #include <set>
 #include <thread>
@@ -5,6 +6,8 @@
 #include "analysis/semantic_model.hpp"
 #include "corpus/corpus.hpp"
 #include "lang/sema.hpp"
+#include "observe/explain.hpp"
+#include "observe/trace.hpp"
 #include "patterns/detector.hpp"
 #include "runtime/pipeline.hpp"
 
@@ -16,7 +19,7 @@ namespace {
 /// a nonempty `error` short-circuits the remaining stages (pipeline stage
 /// bodies run on detached threads, so errors travel in the item rather
 /// than as exceptions).
-struct WorkItem {
+struct ProgramTask {
   std::size_t index = 0;  // slot in the report (arrival order varies)
   const CorpusProgram* program = nullptr;
   std::unique_ptr<lang::Program> parsed;
@@ -25,14 +28,22 @@ struct WorkItem {
   std::string error;
 };
 
-void stage_parse(WorkItem& item) {
+/// Pipeline work item: a *block* of consecutive programs. Batching
+/// amortizes queue handoff and stage wake-ups over batch_size programs —
+/// on real hardware the per-item constant cost is what separates the
+/// parallel front-end from the sequential loop.
+struct WorkItem {
+  std::vector<ProgramTask> tasks;
+};
+
+void stage_parse(ProgramTask& item) {
   DiagnosticSink diags;
   item.parsed = lang::parse_and_check(item.program->source, diags);
   if (!item.parsed)
     item.error = item.program->name + ": " + diags.to_string();
 }
 
-void stage_model(WorkItem& item, const FrontendConfig& config) {
+void stage_model(ProgramTask& item, const FrontendConfig& config) {
   if (!item.error.empty()) return;
   analysis::SemanticModelOptions options;
   options.parallel = config.parallel;
@@ -45,7 +56,7 @@ void stage_model(WorkItem& item, const FrontendConfig& config) {
   }
 }
 
-void stage_detect(WorkItem& item, const FrontendConfig& config) {
+void stage_detect(ProgramTask& item, const FrontendConfig& config) {
   if (!item.error.empty()) return;
   patterns::DetectionOptions options;
   options.optimistic = config.optimistic;
@@ -74,7 +85,7 @@ DetectionScore score_detection(const CorpusProgram& program,
   return score;
 }
 
-ProgramReport report_for(WorkItem& item) {
+ProgramReport report_for(ProgramTask& item) {
   ProgramReport report;
   report.name = item.program->name;
   report.error = item.error;
@@ -89,7 +100,7 @@ ProgramReport report_for(WorkItem& item) {
 
 DetectionScore score_program(const CorpusProgram& program, bool optimistic,
                              std::string* error) {
-  WorkItem item;
+  ProgramTask item;
   item.program = &program;
   FrontendConfig config;  // sequential defaults
   config.optimistic = optimistic;
@@ -101,6 +112,17 @@ DetectionScore score_program(const CorpusProgram& program, bool optimistic,
     return {};
   }
   return score_detection(program, item.detection);
+}
+
+int resolve_batch_size(const FrontendConfig& config, std::size_t corpus_size,
+                       int threads) {
+  if (config.batch_size > 0) return config.batch_size;
+  // Auto: keep ~8 batches in flight per worker so stages stay saturated
+  // while handoff costs amortize; cap so one batch never starves the rest
+  // of the pipeline.
+  const std::size_t per =
+      corpus_size / (static_cast<std::size_t>(std::max(1, threads)) * 8);
+  return static_cast<int>(std::clamp<std::size_t>(per, 1, 32));
 }
 
 int frontend_threads(int requested) {
@@ -132,7 +154,7 @@ CorpusReport evaluate_corpus(
 
   if (!config.parallel) {
     for (std::size_t i = 0; i < programs.size(); ++i) {
-      WorkItem item;
+      ProgramTask item;
       item.index = i;
       item.program = programs[i];
       stage_parse(item);
@@ -149,6 +171,8 @@ CorpusReport evaluate_corpus(
     // shared pool and join helpingly — that pool is shared across all
     // stage replicas, so the budget is approximate by design.
     const int threads = frontend_threads(config.threads);
+    const std::size_t batch = static_cast<std::size_t>(
+        resolve_batch_size(config, programs.size(), threads));
     rt::PipelineConfig pipe_config;
     pipe_config.name = "frontend";
     pipe_config.buffer_capacity =
@@ -156,13 +180,21 @@ CorpusReport evaluate_corpus(
     using Stage = rt::Pipeline<WorkItem>::Stage;
     std::vector<Stage> stages;
     stages.push_back({"parse",
-                      [](WorkItem& item) { stage_parse(item); },
+                      [](WorkItem& item) {
+                        for (ProgramTask& t : item.tasks) stage_parse(t);
+                      },
                       std::max(1, threads / 4)});
     stages.push_back({"model",
-                      [&config](WorkItem& item) { stage_model(item, config); },
+                      [&config](WorkItem& item) {
+                        for (ProgramTask& t : item.tasks)
+                          stage_model(t, config);
+                      },
                       threads});
     stages.push_back({"detect",
-                      [&config](WorkItem& item) { stage_detect(item, config); },
+                      [&config](WorkItem& item) {
+                        for (ProgramTask& t : item.tasks)
+                          stage_detect(t, config);
+                      },
                       std::max(1, threads / 2)});
     rt::Pipeline<WorkItem> pipeline(std::move(stages), pipe_config);
     std::size_t next = 0;
@@ -170,15 +202,21 @@ CorpusReport evaluate_corpus(
         [&]() -> std::optional<WorkItem> {
           if (next >= programs.size()) return std::nullopt;
           WorkItem item;
-          item.index = next;
-          item.program = programs[next];
-          ++next;
+          const std::size_t end = std::min(next + batch, programs.size());
+          item.tasks.reserve(end - next);
+          for (; next < end; ++next) {
+            ProgramTask t;
+            t.index = next;
+            t.program = programs[next];
+            item.tasks.push_back(std::move(t));
+          }
           return item;
         },
         [&report](WorkItem&& item) {
           // Arrival order is nondeterministic behind replicated stages;
           // index-addressed slots restore corpus order exactly.
-          report.programs[item.index] = report_for(item);
+          for (ProgramTask& t : item.tasks)
+            report.programs[t.index] = report_for(t);
         });
   }
 
@@ -188,6 +226,9 @@ CorpusReport evaluate_corpus(
     report.total.false_negatives += p.score.false_negatives;
     report.total.true_negatives += p.score.true_negatives;
   }
+  // Memory-footprint telemetry: sample process-wide arena totals and the
+  // intern table into the frontend.* gauges (observe::memory_summary).
+  if (observe::enabled()) observe::publish_frontend_memory();
   return report;
 }
 

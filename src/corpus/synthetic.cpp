@@ -71,10 +71,10 @@ void emit_filler(ProgramBuilder& b, Rng& rng, int methods) {
   }
 }
 
-CorpusProgram make_block(int index, Rng& rng) {
+CorpusProgram make_block(int index, Rng& rng, const SyntheticConfig& config) {
   ProgramBuilder b;
   const std::string cls = "Synth" + std::to_string(index);
-  const int n = rng.int_in(24, 48);
+  const int n = rng.int_in(config.min_elems, config.max_elems);
   const std::string N = std::to_string(n);
 
   b.line("class " + cls + " {");
@@ -97,37 +97,43 @@ CorpusProgram make_block(int index, Rng& rng) {
   b.line("  }");
 
   // 1) Clear data-parallel positive (found: TP).
-  b.line("  void MapKernel() {");
-  b.label(true, "parfor", "independent element map");
-  b.line("    for (int i = 0; i < " + N + "; i++) {");
-  b.line("      dst[i] = src[i] * " + std::to_string(rng.int_in(2, 9)) +
-         " + work(2);");
-  b.line("    }");
-  b.line("  }");
+  if (config.map_kernels) {
+    b.line("  void MapKernel() {");
+    b.label(true, "parfor", "independent element map");
+    b.line("    for (int i = 0; i < " + N + "; i++) {");
+    b.line("      dst[i] = src[i] * " + std::to_string(rng.int_in(2, 9)) +
+           " + work(2);");
+    b.line("    }");
+    b.line("  }");
+  }
 
   // 2) Clear reduction positive (found: TP).
-  b.line("  int SumKernel() {");
-  b.line("    int total = 0;");
-  b.label(true, "reduction", "associative accumulation");
-  b.line("    for (int i = 0; i < " + N + "; i++) {");
-  b.line("      total = total + src[i] * src[i];");
-  b.line("    }");
-  b.line("    return total;");
-  b.line("  }");
+  if (config.reduction_kernels) {
+    b.line("  int SumKernel() {");
+    b.line("    int total = 0;");
+    b.label(true, "reduction", "associative accumulation");
+    b.line("    for (int i = 0; i < " + N + "; i++) {");
+    b.line("      total = total + src[i] * src[i];");
+    b.line("    }");
+    b.line("    return total;");
+    b.line("  }");
+  }
 
   // 3) Pipeline positive (found: TP).
-  b.line("  void PipeKernel() {");
-  b.label(true, "pipeline", "two-stage stream with ordered append");
-  b.line("    foreach (int v in src) {");
-  b.line("      int cooked = v * 3 + work(3);");
-  b.line("      push(out, cooked);");
-  b.line("    }");
-  b.line("  }");
+  if (config.pipeline_kernels) {
+    b.line("  void PipeKernel() {");
+    b.label(true, "pipeline", "two-stage stream with ordered append");
+    b.line("    foreach (int v in src) {");
+    b.line("      int cooked = v * 3 + work(3);");
+    b.line("      push(out, cooked);");
+    b.line("    }");
+    b.line("  }");
+  }
 
   // 4) Positive hidden in never-executed code (missed: FN). The guard is
   // data-dependent and false under the embedded input; the static fallback
   // cannot tell dst/src apart (type-based aliasing) and rejects.
-  const int fn_count = (index % 2 == 0) ? 1 : 2;
+  const int fn_count = config.cold_kernels ? ((index % 2 == 0) ? 1 : 2) : 0;
   for (int f = 0; f < fn_count; ++f) {
     b.line("  void ColdKernel" + std::to_string(f) + "(int flag) {");
     b.line("    if (flag > " + std::to_string(1000 + f) + ") {");
@@ -144,32 +150,37 @@ CorpusProgram make_block(int index, Rng& rng) {
   // permutation under the profiled input, so the optimistic analysis sees
   // independent writes — but idx may contain duplicates in general, so the
   // ground truth is NOT parallelizable.
-  b.line("  void ScatterKernel() {");
-  b.label(false, "none", "scatter through possibly-duplicating index");
-  b.line("    for (int i = 0; i < " + N + "; i++) {");
-  b.line("      dst[idx[i]] = src[i] + 1;");
-  b.line("    }");
-  b.line("  }");
+  if (config.scatter_kernels) {
+    b.line("  void ScatterKernel() {");
+    b.label(false, "none", "scatter through possibly-duplicating index");
+    b.line("    for (int i = 0; i < " + N + "; i++) {");
+    b.line("      dst[idx[i]] = src[i] + 1;");
+    b.line("    }");
+    b.line("  }");
+  }
 
   // 6) True recurrence (correctly rejected: TN).
-  b.line("  void ChainKernel() {");
-  b.line("    chain[0] = 1;");
-  b.label(false, "none", "first-order recurrence");
-  b.line("    for (int i = 1; i < " + N + "; i++) {");
-  b.line("      chain[i] = chain[i - 1] + src[i];");
-  b.line("    }");
-  b.line("  }");
+  if (config.chain_kernels) {
+    b.line("  void ChainKernel() {");
+    b.line("    chain[0] = 1;");
+    b.label(false, "none", "first-order recurrence");
+    b.line("    for (int i = 1; i < " + N + "; i++) {");
+    b.line("      chain[i] = chain[i - 1] + src[i];");
+    b.line("    }");
+    b.line("  }");
+  }
 
-  emit_filler(b, rng, rng.int_in(18, 26));
+  emit_filler(b, rng, rng.int_in(config.min_filler, config.max_filler));
 
   b.line("  void main() {");
-  b.line("    MapKernel();");
-  b.line("    int s = SumKernel();");
-  b.line("    PipeKernel();");
-  b.line("    ColdKernel0(0);");
+  if (config.map_kernels) b.line("    MapKernel();");
+  b.line(config.reduction_kernels ? "    int s = SumKernel();"
+                                  : "    int s = 0;");
+  if (config.pipeline_kernels) b.line("    PipeKernel();");
+  if (fn_count > 0) b.line("    ColdKernel0(0);");
   if (fn_count > 1) b.line("    ColdKernel1(0);");
-  b.line("    ScatterKernel();");
-  b.line("    ChainKernel();");
+  if (config.scatter_kernels) b.line("    ScatterKernel();");
+  if (config.chain_kernels) b.line("    ChainKernel();");
   b.line("    print(s + len(out) + chain[" + N + " - 1] + dst[0]);");
   b.line("  }");
   b.line("}");
@@ -178,15 +189,25 @@ CorpusProgram make_block(int index, Rng& rng) {
 
 }  // namespace
 
-std::vector<CorpusProgram> synthetic_suite(int blocks, std::uint64_t seed) {
-  Rng rng(seed);
+std::vector<CorpusProgram> synthetic_suite(const SyntheticConfig& config) {
+  Rng rng(config.seed);
   std::vector<CorpusProgram> suite;
-  suite.reserve(static_cast<std::size_t>(blocks));
-  for (int i = 0; i < blocks; ++i) {
+  suite.reserve(static_cast<std::size_t>(std::max(0, config.programs)));
+  for (int i = 0; i < config.programs; ++i) {
+    // One split per program: program i's content depends only on (seed, i,
+    // config), never on how many neighbors exist — growing the corpus
+    // extends it without rewriting the prefix.
     Rng child = rng.split();
-    suite.push_back(make_block(i, child));
+    suite.push_back(make_block(i, child, config));
   }
   return suite;
+}
+
+std::vector<CorpusProgram> synthetic_suite(int blocks, std::uint64_t seed) {
+  SyntheticConfig config;
+  config.programs = blocks;
+  config.seed = seed;
+  return synthetic_suite(config);
 }
 
 }  // namespace patty::corpus

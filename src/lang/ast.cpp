@@ -118,6 +118,28 @@ void walk_stmt(const Stmt& st, const std::function<void(const Stmt&)>& stmt_fn,
 
 }  // namespace
 
+void ClassDecl::build_member_index() {
+  static const Symbol kInit = Symbol::intern("init");
+  static const Symbol kMain = Symbol::intern("main");
+  method_index.clear();
+  method_index.reserve(methods.size());
+  for (const auto& m : methods) method_index.emplace(m->name, m.get());
+  field_index.clear();
+  field_index.reserve(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    field_index.emplace(fields[i].name, static_cast<int>(i));
+  auto ctor_it = method_index.find(kInit);
+  ctor = ctor_it == method_index.end() ? nullptr : ctor_it->second;
+  auto main_it = method_index.find(kMain);
+  main_method = main_it == method_index.end() ? nullptr : main_it->second;
+}
+
+void Program::build_class_index() {
+  class_index.clear();
+  class_index.reserve(classes.size());
+  for (const auto& c : classes) class_index.emplace(c->name, c.get());
+}
+
 void for_each_stmt(const Stmt& st, const std::function<void(const Stmt&)>& fn) {
   walk_stmt(st, fn, nullptr);
 }

@@ -10,20 +10,36 @@
 //  * Semantic analysis fills in the `resolved_*` fields in place; the tree
 //    is otherwise immutable after parsing. The transformer builds new trees
 //    rather than mutating analyzed ones.
+//  * Memory layout: every node lives in its Program's bump arena
+//    (support/arena.hpp) — ExprPtr/StmtPtr run destructors but the bytes
+//    are reclaimed wholesale when the Program drops. Names are interned
+//    Symbols (support/intern.hpp): comparisons are integer compares and
+//    member lookup is an indexed map built by sema.
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "lang/type.hpp"
+#include "support/arena.hpp"
+#include "support/intern.hpp"
 #include "support/source_location.hpp"
 
 namespace patty::lang {
 
+using support::Symbol;
+using support::SymbolHash;
+
 struct ClassDecl;
 struct MethodDecl;
 struct Stmt;
+
+/// Owning pointer to an arena-placed AST node: the destructor runs (nodes
+/// hold std::vector/TypePtr members), the memory stays with the arena.
+template <typename T>
+using AstPtr = support::ArenaPtr<T>;
 
 // ---------------------------------------------------------------------------
 // Expressions
@@ -77,7 +93,7 @@ struct Expr {
   [[nodiscard]] T& as() { return static_cast<T&>(*this); }
 };
 
-using ExprPtr = std::unique_ptr<Expr>;
+using ExprPtr = AstPtr<Expr>;
 
 struct IntLit : Expr {
   std::int64_t value = 0;
@@ -106,7 +122,7 @@ struct NullLit : Expr {
 /// A bare name. Sema resolves it to either a local slot or (implicit `this`)
 /// a field of the enclosing class.
 struct VarRef : Expr {
-  std::string name;
+  Symbol name;
   int slot = -1;         // >= 0 when resolved to a local/parameter
   int field_index = -1;  // >= 0 when resolved to a field of `this`
   const ClassDecl* owner_class = nullptr;  // set when resolved to a field
@@ -116,7 +132,7 @@ struct VarRef : Expr {
 
 struct FieldAccess : Expr {
   ExprPtr object;
-  std::string field;
+  Symbol field;
   int field_index = -1;  // filled by sema
   FieldAccess() : Expr(ExprKind::FieldAccess) {}
 };
@@ -131,7 +147,7 @@ struct IndexAccess : Expr {
 /// `receiver.name(args)` (method call).
 struct Call : Expr {
   ExprPtr receiver;  // null for builtin / implicit-this calls
-  std::string name;
+  Symbol name;
   std::vector<ExprPtr> args;
   Builtin builtin = Builtin::None;          // filled by sema
   const MethodDecl* resolved = nullptr;     // filled by sema
@@ -141,7 +157,7 @@ struct Call : Expr {
 
 /// `new C(args)`; if C declares a method `init`, it runs as constructor.
 struct New : Expr {
-  std::string class_name;
+  Symbol class_name;
   std::vector<ExprPtr> args;
   const ClassDecl* resolved = nullptr;  // filled by sema
   New() : Expr(ExprKind::New) {}
@@ -194,7 +210,7 @@ struct Stmt {
   [[nodiscard]] T& as() { return static_cast<T&>(*this); }
 };
 
-using StmtPtr = std::unique_ptr<Stmt>;
+using StmtPtr = AstPtr<Stmt>;
 
 struct Block : Stmt {
   std::vector<StmtPtr> stmts;
@@ -203,7 +219,7 @@ struct Block : Stmt {
 
 struct VarDecl : Stmt {
   TypePtr declared;
-  std::string name;
+  Symbol name;
   ExprPtr init;   // may be null (default-initialized)
   int slot = -1;  // filled by sema
   VarDecl() : Stmt(StmtKind::VarDecl) {}
@@ -243,7 +259,7 @@ struct For : Stmt {
 
 struct Foreach : Stmt {
   TypePtr element_declared;
-  std::string var_name;
+  Symbol var_name;
   ExprPtr iterable;  // array or list expression
   StmtPtr body;
   int slot = -1;  // loop variable slot, filled by sema
@@ -277,56 +293,103 @@ struct Annotation : Stmt {
 
 struct Param {
   TypePtr type;
-  std::string name;
+  Symbol name;
   SourceRange range;
   int slot = -1;  // filled by sema
 };
 
 struct FieldDecl {
   TypePtr type;
-  std::string name;
+  Symbol name;
   SourceRange range;
   int index = -1;  // position in the object layout, filled by sema
 };
 
 struct MethodDecl {
   TypePtr return_type;
-  std::string name;
+  Symbol name;
   std::vector<Param> params;
-  std::unique_ptr<Block> body;
+  AstPtr<Block> body;
   SourceRange range;
 
   const ClassDecl* owner = nullptr;  // filled by sema
   int local_slot_count = 0;          // params + locals, filled by sema
-  std::vector<std::string> slot_names;  // debug names per slot, filled by sema
+  std::vector<Symbol> slot_names;    // debug names per slot, filled by sema
 };
 
 struct ClassDecl {
-  std::string name;
+  Symbol name;
   std::vector<FieldDecl> fields;
-  std::vector<std::unique_ptr<MethodDecl>> methods;
+  std::vector<AstPtr<MethodDecl>> methods;
   SourceRange range;
 
-  [[nodiscard]] const MethodDecl* find_method(const std::string& n) const {
+  // Interned-symbol member index, built by sema (build_member_index).
+  // Before sema runs the maps are empty and lookup falls back to the
+  // linear scan, so pre-sema callers keep working.
+  std::unordered_map<Symbol, const MethodDecl*, SymbolHash> method_index;
+  std::unordered_map<Symbol, int, SymbolHash> field_index;
+  const MethodDecl* ctor = nullptr;         // cached find_method("init")
+  const MethodDecl* main_method = nullptr;  // cached find_method("main")
+
+  void build_member_index();
+
+  [[nodiscard]] const MethodDecl* find_method(Symbol n) const {
+    if (!method_index.empty() || methods.empty()) {
+      auto it = method_index.find(n);
+      return it == method_index.end() ? nullptr : it->second;
+    }
     for (const auto& m : methods)
       if (m->name == n) return m.get();
     return nullptr;
   }
-  [[nodiscard]] int find_field(const std::string& n) const {
+  [[nodiscard]] const MethodDecl* find_method(const std::string& n) const {
+    return find_method(Symbol::intern(n));
+  }
+  [[nodiscard]] int find_field(Symbol n) const {
+    if (!field_index.empty() || fields.empty()) {
+      auto it = field_index.find(n);
+      return it == field_index.end() ? -1 : it->second;
+    }
     for (std::size_t i = 0; i < fields.size(); ++i)
       if (fields[i].name == n) return static_cast<int>(i);
     return -1;
   }
+  [[nodiscard]] int find_field(const std::string& n) const {
+    return find_field(Symbol::intern(n));
+  }
 };
 
 struct Program {
-  std::vector<std::unique_ptr<ClassDecl>> classes;
+  // Declared first so it is destroyed last: every AST node below lives in
+  // this arena, and their destructors (run via AstPtr) must finish before
+  // the backing chunks drop.
+  support::Arena arena;
+  std::vector<AstPtr<ClassDecl>> classes;
   int next_node_id = 0;  // one id space for stmts and exprs
 
-  [[nodiscard]] const ClassDecl* find_class(const std::string& n) const {
+  // Symbol-indexed class lookup, built by sema; empty before that (the
+  // linear fallback covers parse-time and hand-built programs).
+  std::unordered_map<Symbol, const ClassDecl*, SymbolHash> class_index;
+
+  /// Allocate an AST node in this program's arena.
+  template <typename T, typename... Args>
+  AstPtr<T> make(Args&&... args) {
+    return support::make_in<T>(arena, std::forward<Args>(args)...);
+  }
+
+  void build_class_index();
+
+  [[nodiscard]] const ClassDecl* find_class(Symbol n) const {
+    if (!class_index.empty() || classes.empty()) {
+      auto it = class_index.find(n);
+      return it == class_index.end() ? nullptr : it->second;
+    }
     for (const auto& c : classes)
       if (c->name == n) return c.get();
     return nullptr;
+  }
+  [[nodiscard]] const ClassDecl* find_class(const std::string& n) const {
+    return find_class(Symbol::intern(n));
   }
 };
 

@@ -6,9 +6,11 @@ namespace patty::lang {
 
 namespace {
 
+// Clones live in the same program's arena as the originals, so transformed
+// trees share the tree's memory lifetime.
 template <typename T>
-std::unique_ptr<T> shell(const Expr& src, Program& program) {
-  auto node = std::make_unique<T>();
+AstPtr<T> shell(const Expr& src, Program& program) {
+  auto node = program.make<T>();
   node->id = program.next_node_id++;
   node->range = src.range;
   node->type = src.type;
@@ -16,8 +18,8 @@ std::unique_ptr<T> shell(const Expr& src, Program& program) {
 }
 
 template <typename T>
-std::unique_ptr<T> shell_stmt(const Stmt& src, Program& program) {
-  auto node = std::make_unique<T>();
+AstPtr<T> shell_stmt(const Stmt& src, Program& program) {
+  auto node = program.make<T>();
   node->id = program.next_node_id++;
   node->range = src.range;
   return node;

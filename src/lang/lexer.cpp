@@ -156,12 +156,20 @@ Token Lexer::lex_number(SourcePos begin) {
 }
 
 Token Lexer::lex_identifier(SourcePos begin) {
-  std::string name;
+  // Slice the source instead of building the spelling char-by-char: the
+  // identifier is source_[start, pos_) once we advance past its tail.
+  const std::size_t start = pos_;
   while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
-    name += advance();
+    advance();
+  const std::string_view name = source_.substr(start, pos_ - start);
   auto it = keyword_table().find(name);
-  if (it != keyword_table().end()) return make(it->second, begin, name);
-  return make(TokenKind::Identifier, begin, std::move(name));
+  if (it != keyword_table().end()) return make(it->second, begin, std::string(name));
+  // Intern identifiers once during lexing; every later name lookup (parser,
+  // sema, effects, detector) compares 32-bit symbol ids instead of strings.
+  const support::Symbol sym = support::Symbol::intern(name);
+  Token t = make(TokenKind::Identifier, begin, sym.str());
+  t.symbol = sym;
+  return t;
 }
 
 Token Lexer::lex_string(SourcePos begin) {

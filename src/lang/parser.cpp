@@ -109,11 +109,11 @@ std::unique_ptr<Program> Parser::parse_program() {
   return std::move(program_);
 }
 
-std::unique_ptr<ClassDecl> Parser::parse_class() {
+AstPtr<ClassDecl> Parser::parse_class() {
   const SourcePos begin = begin_pos();
   expect(TokenKind::KwClass, "to start class declaration");
-  auto cls = std::make_unique<ClassDecl>();
-  cls->name = expect(TokenKind::Identifier, "as class name").text;
+  auto cls = support::make_in<ClassDecl>(program_->arena);
+  cls->name = expect(TokenKind::Identifier, "as class name").symbol;
   expect(TokenKind::LBrace, "to open class body");
   while (!check(TokenKind::RBrace) && !at_end()) {
     parse_member(*cls);
@@ -126,7 +126,7 @@ std::unique_ptr<ClassDecl> Parser::parse_class() {
 void Parser::parse_member(ClassDecl& cls) {
   const SourcePos begin = begin_pos();
   TypePtr type = parse_type();
-  const std::string name = expect(TokenKind::Identifier, "as member name").text;
+  const Symbol name = expect(TokenKind::Identifier, "as member name").symbol;
   if (accept(TokenKind::Semicolon)) {
     FieldDecl field;
     field.type = std::move(type);
@@ -135,7 +135,7 @@ void Parser::parse_member(ClassDecl& cls) {
     cls.fields.push_back(std::move(field));
     return;
   }
-  auto method = std::make_unique<MethodDecl>();
+  auto method = support::make_in<MethodDecl>(program_->arena);
   method->return_type = std::move(type);
   method->name = name;
   expect(TokenKind::LParen, "to open parameter list");
@@ -144,7 +144,7 @@ void Parser::parse_member(ClassDecl& cls) {
       Param p;
       const SourcePos pbegin = begin_pos();
       p.type = parse_type();
-      p.name = expect(TokenKind::Identifier, "as parameter name").text;
+      p.name = expect(TokenKind::Identifier, "as parameter name").symbol;
       p.range = {pbegin, last_end()};
       method->params.push_back(std::move(p));
     } while (accept(TokenKind::Comma));
@@ -172,7 +172,7 @@ TypePtr Parser::parse_type() {
       break;
     }
     case TokenKind::Identifier:
-      base = Type::class_t(advance().text);
+      base = Type::class_t(advance().symbol);
       break;
     default:
       diags_.error(peek().range, std::string("expected a type, found ") +
@@ -214,7 +214,7 @@ bool Parser::looks_like_var_decl() const {
   return peek(i).kind == TokenKind::Identifier;
 }
 
-std::unique_ptr<Block> Parser::parse_block() {
+AstPtr<Block> Parser::parse_block() {
   const SourcePos begin = begin_pos();
   expect(TokenKind::LBrace, "to open block");
   auto block = make_stmt<Block>(begin);
@@ -281,7 +281,7 @@ StmtPtr Parser::parse_var_decl(bool eat_semicolon) {
   const SourcePos begin = begin_pos();
   auto decl = make_stmt<VarDecl>(begin);
   decl->declared = parse_type();
-  decl->name = expect(TokenKind::Identifier, "as variable name").text;
+  decl->name = expect(TokenKind::Identifier, "as variable name").symbol;
   if (accept(TokenKind::Assign)) decl->init = parse_expr();
   if (eat_semicolon) expect(TokenKind::Semicolon, "after variable declaration");
   decl->range.end = last_end();
@@ -338,7 +338,7 @@ StmtPtr Parser::parse_foreach() {
   auto node = make_stmt<Foreach>(begin);
   expect(TokenKind::LParen, "after 'foreach'");
   node->element_declared = parse_type();
-  node->var_name = expect(TokenKind::Identifier, "as loop variable").text;
+  node->var_name = expect(TokenKind::Identifier, "as loop variable").symbol;
   expect(TokenKind::KwIn, "in foreach header");
   node->iterable = parse_expr();
   expect(TokenKind::RParen, "to close foreach header");
@@ -462,8 +462,7 @@ ExprPtr Parser::parse_postfix() {
     if (check(TokenKind::Dot)) {
       advance();
       const SourcePos begin = expr->range.begin;
-      const std::string name =
-          expect(TokenKind::Identifier, "after '.'").text;
+      const Symbol name = expect(TokenKind::Identifier, "after '.'").symbol;
       if (check(TokenKind::LParen)) {
         auto call = make_expr<Call>(begin);
         call->receiver = std::move(expr);
@@ -550,7 +549,7 @@ ExprPtr Parser::parse_primary() {
       return inner;
     }
     case TokenKind::Identifier: {
-      const std::string name = advance().text;
+      const Symbol name = advance().symbol;
       if (check(TokenKind::LParen)) {
         auto call = make_expr<Call>(begin);
         call->name = name;
@@ -594,7 +593,7 @@ ExprPtr Parser::parse_new() {
     case TokenKind::KwDouble: advance(); base = Type::double_t(); break;
     case TokenKind::KwBool: advance(); base = Type::bool_t(); break;
     case TokenKind::KwString: advance(); base = Type::string_t(); break;
-    case TokenKind::Identifier: base = Type::class_t(advance().text); break;
+    case TokenKind::Identifier: base = Type::class_t(advance().symbol); break;
     default:
       diags_.error(peek().range, "expected type after 'new'");
       advance();

@@ -50,16 +50,19 @@ class Parser {
   [[nodiscard]] bool at_end() const { return peek().kind == TokenKind::Eof; }
 
   int fresh_id() { return program_->next_node_id++; }
+  // All AST nodes live in the program's arena (see support/arena.hpp):
+  // allocation is a pointer bump, and the whole tree's memory is released
+  // in one chunk drop when the Program dies.
   template <typename T>
-  std::unique_ptr<T> make_expr(SourcePos begin) {
-    auto node = std::make_unique<T>();
+  AstPtr<T> make_expr(SourcePos begin) {
+    auto node = program_->make<T>();
     node->id = fresh_id();
     node->range.begin = begin;
     return node;
   }
   template <typename T>
-  std::unique_ptr<T> make_stmt(SourcePos begin) {
-    auto node = std::make_unique<T>();
+  AstPtr<T> make_stmt(SourcePos begin) {
+    auto node = program_->make<T>();
     node->id = fresh_id();
     node->range.begin = begin;
     return node;
@@ -67,13 +70,13 @@ class Parser {
   SourcePos begin_pos() const { return peek().range.begin; }
   SourcePos last_end() const { return last_end_; }
 
-  std::unique_ptr<ClassDecl> parse_class();
+  AstPtr<ClassDecl> parse_class();
   void parse_member(ClassDecl& cls);
   TypePtr parse_type();
   [[nodiscard]] bool looks_like_type_start() const;
   [[nodiscard]] bool looks_like_var_decl() const;
 
-  std::unique_ptr<Block> parse_block();
+  AstPtr<Block> parse_block();
   StmtPtr parse_stmt();
   StmtPtr parse_var_decl(bool eat_semicolon);
   StmtPtr parse_if();

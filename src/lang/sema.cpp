@@ -9,14 +9,24 @@ namespace patty::lang {
 
 namespace {
 
-const std::unordered_map<std::string, Builtin>& builtin_table() {
-  static const std::unordered_map<std::string, Builtin> table = {
-      {"print", Builtin::Print}, {"len", Builtin::Len},
-      {"push", Builtin::Push},   {"work", Builtin::Work},
-      {"sqrt", Builtin::Sqrt},   {"abs", Builtin::Abs},
-      {"min", Builtin::MinOf},   {"max", Builtin::MaxOf},
-      {"floor", Builtin::Floor}, {"str", Builtin::ToStr},
-      {"clamp", Builtin::Clamp},
+using support::Symbol;
+using support::SymbolHash;
+
+// Keyed by interned symbol: builtin lookup in analyze_call is an integer
+// hash instead of a string hash.
+const std::unordered_map<Symbol, Builtin, SymbolHash>& builtin_table() {
+  static const std::unordered_map<Symbol, Builtin, SymbolHash> table = {
+      {Symbol::intern("print"), Builtin::Print},
+      {Symbol::intern("len"), Builtin::Len},
+      {Symbol::intern("push"), Builtin::Push},
+      {Symbol::intern("work"), Builtin::Work},
+      {Symbol::intern("sqrt"), Builtin::Sqrt},
+      {Symbol::intern("abs"), Builtin::Abs},
+      {Symbol::intern("min"), Builtin::MinOf},
+      {Symbol::intern("max"), Builtin::MaxOf},
+      {Symbol::intern("floor"), Builtin::Floor},
+      {Symbol::intern("str"), Builtin::ToStr},
+      {Symbol::intern("clamp"), Builtin::Clamp},
   };
   return table;
 }
@@ -40,15 +50,16 @@ bool Sema::analyze(Program& program) {
   program_ = &program;
   const std::size_t errors_before = diags_.error_count();
 
-  std::unordered_set<std::string> class_names;
+  std::unordered_set<Symbol, SymbolHash> class_names;
   for (auto& cls : program.classes) {
     if (!class_names.insert(cls->name).second)
       diags_.error(cls->range, "duplicate class '" + cls->name + "'");
   }
+  program.build_class_index();
 
   // Resolve field types and indices first so methods can reference any class.
   for (auto& cls : program.classes) {
-    std::unordered_set<std::string> member_names;
+    std::unordered_set<Symbol, SymbolHash> member_names;
     for (std::size_t i = 0; i < cls->fields.size(); ++i) {
       FieldDecl& f = cls->fields[i];
       f.index = static_cast<int>(i);
@@ -64,6 +75,10 @@ bool Sema::analyze(Program& program) {
         diags_.error(m->range, "duplicate member '" + m->name + "'");
       m->owner = cls.get();
     }
+    // Freeze the indexed member tables (and the cached init/main methods)
+    // now that fields and methods are final; every later find_method /
+    // find_field on this class is a hash probe instead of a linear scan.
+    cls->build_member_index();
   }
 
   for (auto& cls : program.classes) {
@@ -103,7 +118,7 @@ void Sema::push_scope() { scopes_.emplace_back(); }
 
 void Sema::pop_scope() { scopes_.pop_back(); }
 
-int Sema::declare_local(const std::string& name, SourceRange range) {
+int Sema::declare_local(Symbol name, SourceRange range) {
   for (const LocalVar& v : scopes_.back()) {
     if (v.name == name) {
       diags_.error(range, "redeclaration of '" + name + "' in the same scope");
@@ -120,7 +135,7 @@ int Sema::declare_local(const std::string& name, SourceRange range) {
   return slot;
 }
 
-int Sema::lookup_local(const std::string& name) const {
+int Sema::lookup_local(Symbol name) const {
   for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope)
     for (const LocalVar& v : *scope)
       if (v.name == name) return v.slot;
@@ -348,7 +363,7 @@ TypePtr Sema::analyze_expr(Expr& e) {
       }
       n.resolved = cls;
       for (auto& a : n.args) analyze_expr(*a);
-      const MethodDecl* ctor = cls->find_method("init");
+      const MethodDecl* ctor = cls->ctor;
       if (ctor) {
         require(n.args.size() == ctor->params.size(), e.range,
                 "constructor of '" + cls->name + "' takes " +

@@ -32,8 +32,8 @@ class Sema {
   void require(bool ok, SourceRange range, const std::string& message);
   bool class_exists(const Type& t);
 
-  int declare_local(const std::string& name, SourceRange range);
-  int lookup_local(const std::string& name) const;
+  int declare_local(Symbol name, SourceRange range);
+  int lookup_local(Symbol name) const;
   void push_scope();
   void pop_scope();
 
@@ -44,7 +44,7 @@ class Sema {
   int loop_depth_ = 0;
 
   struct LocalVar {
-    std::string name;
+    Symbol name;
     int slot;
     TypePtr type;
   };

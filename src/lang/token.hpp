@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "support/intern.hpp"
 #include "support/source_location.hpp"
 
 namespace patty::lang {
@@ -41,7 +42,8 @@ enum class TokenKind : std::uint8_t {
 
 struct Token {
   TokenKind kind = TokenKind::Eof;
-  std::string text;      // identifier spelling, literal spelling, annotation body
+  std::string text;        // identifier spelling, literal spelling, annotation body
+  support::Symbol symbol;  // interned spelling for Identifier tokens
   std::int64_t int_value = 0;
   double double_value = 0.0;
   SourceRange range;

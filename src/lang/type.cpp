@@ -18,11 +18,24 @@ std::string Type::str() const {
     case Kind::Bool: return "bool";
     case Kind::String: return "string";
     case Kind::Null: return "null";
-    case Kind::Class: return class_name;
+    case Kind::Class: return class_name.str();
     case Kind::Array: return element->str() + "[]";
     case Kind::List: return "list<" + element->str() + ">";
   }
   return "?";
+}
+
+support::Symbol Type::sig() const {
+  const std::uint32_t cached = sig_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return support::Symbol::from_id(cached);
+  if (kind == Kind::Class) {
+    // Class types carry their interned spelling already; skip the re-intern.
+    sig_cache_.store(class_name.id(), std::memory_order_relaxed);
+    return class_name;
+  }
+  const support::Symbol s = support::Symbol::intern(str());
+  sig_cache_.store(s.id(), std::memory_order_relaxed);
+  return s;
 }
 
 TypePtr Type::void_t() {
@@ -50,11 +63,15 @@ TypePtr Type::null_t() {
   return t;
 }
 
-TypePtr Type::class_t(std::string name) {
+TypePtr Type::class_t(support::Symbol name) {
   auto t = std::make_shared<Type>();
   t->kind = Kind::Class;
-  t->class_name = std::move(name);
+  t->class_name = name;
   return t;
+}
+
+TypePtr Type::class_t(const std::string& name) {
+  return class_t(support::Symbol::intern(name));
 }
 
 TypePtr Type::array_t(TypePtr element) {

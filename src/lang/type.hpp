@@ -3,8 +3,11 @@
 // types, fixed arrays `T[]` and growable lists `list<T>`. Types are small
 // value objects; element types are shared.
 
+#include <atomic>
 #include <memory>
 #include <string>
+
+#include "support/intern.hpp"
 
 namespace patty::lang {
 
@@ -15,8 +18,8 @@ struct Type {
   enum class Kind { Void, Int, Double, Bool, String, Class, Array, List, Null };
 
   Kind kind = Kind::Void;
-  std::string class_name;  // Kind::Class only
-  TypePtr element;         // Kind::Array / Kind::List only
+  support::Symbol class_name;  // Kind::Class only
+  TypePtr element;             // Kind::Array / Kind::List only
 
   [[nodiscard]] bool is_numeric() const {
     return kind == Kind::Int || kind == Kind::Double;
@@ -28,15 +31,24 @@ struct Type {
 
   [[nodiscard]] std::string str() const;
 
+  /// Interned spelling of str(), memoized. The cache is an atomic symbol id
+  /// because builtin singleton types are shared across analysis threads; a
+  /// racing recompute is benign (interning the same text yields the same id).
+  [[nodiscard]] support::Symbol sig() const;
+
   static TypePtr void_t();
   static TypePtr int_t();
   static TypePtr double_t();
   static TypePtr bool_t();
   static TypePtr string_t();
   static TypePtr null_t();
-  static TypePtr class_t(std::string name);
+  static TypePtr class_t(support::Symbol name);
+  static TypePtr class_t(const std::string& name);
   static TypePtr array_t(TypePtr element);
   static TypePtr list_t(TypePtr element);
+
+ private:
+  mutable std::atomic<std::uint32_t> sig_cache_{0};  // 0 = not computed
 };
 
 /// Structural equality (Null compares equal only to Null).

@@ -1,14 +1,33 @@
 #include "observe/explain.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 
+#include "observe/metrics.hpp"
+#include "support/arena.hpp"
+#include "support/intern.hpp"
 #include "support/table.hpp"
 
 namespace patty::observe {
 
 namespace {
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 10ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 10ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
 
 struct PipelineRing {
   std::mutex mutex;
@@ -22,6 +41,36 @@ PipelineRing& ring() {
 }
 
 }  // namespace
+
+void publish_frontend_memory() {
+  Registry& reg = Registry::global();
+  reg.gauge("frontend.arena.bytes")
+      .set(static_cast<std::int64_t>(support::Arena::total_bytes_reserved()));
+  reg.gauge("frontend.arena.chunks")
+      .set(static_cast<std::int64_t>(support::Arena::total_chunks()));
+  const support::Interner::Stats interns = support::Interner::global().stats();
+  reg.gauge("frontend.intern.symbols")
+      .set(static_cast<std::int64_t>(interns.symbols));
+  reg.gauge("frontend.intern.bytes")
+      .set(static_cast<std::int64_t>(interns.bytes));
+}
+
+std::string memory_summary() {
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  auto gauge = [&snap](const char* name) -> std::int64_t {
+    auto it = snap.gauges.find(name);
+    return it == snap.gauges.end() ? 0 : it->second.value;
+  };
+  const std::int64_t arena_bytes = gauge("frontend.arena.bytes");
+  const std::int64_t symbols = gauge("frontend.intern.symbols");
+  if (arena_bytes == 0 && symbols == 0) return "";
+  std::string out = "front-end memory: arenas ";
+  out += fmt_bytes(static_cast<std::uint64_t>(arena_bytes));
+  out += " in " + std::to_string(gauge("frontend.arena.chunks")) + " chunks";
+  out += "; interner " + std::to_string(symbols) + " symbols, ";
+  out += fmt_bytes(static_cast<std::uint64_t>(gauge("frontend.intern.bytes")));
+  return out;
+}
 
 void record_pipeline(PipelineObservation obs) {
   PipelineRing& r = ring();
@@ -148,6 +197,8 @@ std::string render(const PipelineObservation& obs) {
   out += t.str();
   out += "bottleneck: " + (verdict.stage.empty() ? "-" : verdict.stage) +
          " [" + verdict.stall + "] " + verdict.detail + "\n";
+  const std::string memory = memory_summary();
+  if (!memory.empty()) out += memory + "\n";
   return out;
 }
 

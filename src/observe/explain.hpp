@@ -62,6 +62,20 @@ BottleneckReport explain(const PipelineObservation& obs);
 /// Per-stage text table (support/table) followed by the explain() verdict.
 std::string render(const PipelineObservation& obs);
 
+/// Sample the front-end's memory footprint — arena bytes/chunks reserved
+/// process-wide (support::Arena totals) and the intern table's symbol
+/// count and character bytes — into Registry gauges:
+///   frontend.arena.bytes, frontend.arena.chunks,
+///   frontend.intern.symbols, frontend.intern.bytes
+/// The corpus front-end calls this after every evaluate_corpus when
+/// telemetry is enabled; benches may call it directly.
+void publish_frontend_memory();
+
+/// One-line rendering of the frontend.* memory gauges ("arenas: 12.3 MB in
+/// 87 chunks; interner: 4821 symbols, 61.2 KB"), or "" when nothing has
+/// been published yet. render() appends it to pipeline reports.
+[[nodiscard]] std::string memory_summary();
+
 /// Global ring of the most recent pipeline observations (telemetry-enabled
 /// runs publish here automatically).
 void record_pipeline(PipelineObservation obs);

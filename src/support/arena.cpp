@@ -1,0 +1,45 @@
+#include "support/arena.hpp"
+
+namespace patty::support {
+
+std::atomic<std::uint64_t> Arena::global_bytes_{0};
+std::atomic<std::uint64_t> Arena::global_chunks_{0};
+
+void* Arena::allocate_slow(std::size_t size, std::size_t align) {
+  // Oversized requests get a dedicated chunk; normal requests get the next
+  // geometric chunk (so tiny programs stay at one 16K chunk while large
+  // generated ones amortize toward 256K mappings).
+  std::size_t payload = next_chunk_bytes_;
+  const std::size_t need = size + align;
+  if (need > payload) payload = need;
+  if (next_chunk_bytes_ < kMaxChunk) next_chunk_bytes_ *= 2;
+
+  auto* raw = static_cast<char*>(::operator new(sizeof(ChunkHeader) + payload));
+  auto* header = reinterpret_cast<ChunkHeader*>(raw);
+  header->next = head_;
+  header->size = payload;
+  head_ = header;
+  ptr_ = raw + sizeof(ChunkHeader);
+  end_ = ptr_ + payload;
+  bytes_reserved_ += payload;
+  ++chunks_;
+  global_bytes_.fetch_add(payload, std::memory_order_relaxed);
+  global_chunks_.fetch_add(1, std::memory_order_relaxed);
+
+  auto p = reinterpret_cast<std::uintptr_t>(ptr_);
+  const std::uintptr_t aligned = (p + (align - 1)) & ~(align - 1);
+  ptr_ = reinterpret_cast<char*>(aligned + size);
+  bytes_used_ += size + (aligned - p);
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::release_all() {
+  ChunkHeader* chunk = head_;
+  while (chunk != nullptr) {
+    ChunkHeader* next = chunk->next;
+    ::operator delete(static_cast<void*>(chunk));
+    chunk = next;
+  }
+}
+
+}  // namespace patty::support

@@ -1,0 +1,131 @@
+#pragma once
+// Bump allocator for the analysis front-end.
+//
+// An Arena owns chunks of raw memory and hands out aligned slices with a
+// pointer bump — no per-node malloc, no per-node free. The front-end
+// allocates every AST node of a program (and the semantic model's side
+// objects) from one arena, so:
+//
+//  * allocation in the parse/model hot path is ~4 instructions,
+//  * nodes of one program are contiguous (locality for the tree walks the
+//    detectors do), and
+//  * a program's whole analysis state is released in one chunk-list drop
+//    when the owner (lang::Program / analysis::SemanticModel) dies.
+//
+// Ownership rule (DESIGN.md "Memory layout & granularity"): arena-placed
+// objects are still *destroyed* individually — ArenaPtr runs the
+// destructor (members like std::vector own heap memory) but returns the
+// node's bytes to nothing; the memory goes away with the arena. The arena
+// member must therefore be declared FIRST in its owner so it is destroyed
+// LAST, after every node destructor has run.
+//
+// Arenas are single-owner and NOT thread-safe; concurrent stages each
+// build into their own program's arena. Global byte/chunk counters are
+// atomic so observe can report fleet-wide allocation pressure.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace patty::support {
+
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena() { release_all(); }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Aligned raw allocation; never returns null (throws std::bad_alloc).
+  void* allocate(std::size_t size, std::size_t align) {
+    auto p = reinterpret_cast<std::uintptr_t>(ptr_);
+    const std::uintptr_t aligned = (p + (align - 1)) & ~(align - 1);
+    if (aligned + size <= reinterpret_cast<std::uintptr_t>(end_)) {
+      ptr_ = reinterpret_cast<char*>(aligned + size);
+      bytes_used_ += size + (aligned - p);
+      return reinterpret_cast<void*>(aligned);
+    }
+    return allocate_slow(size, align);
+  }
+
+  /// Construct a T in the arena. The caller owns the object's lifetime
+  /// (wrap in ArenaPtr or call the destructor manually); memory is
+  /// reclaimed only by reset()/destruction of the arena.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Drop every chunk (chunk sizing restarts small). All objects placed in
+  /// the arena must already be destroyed.
+  void reset() {
+    release_all();
+    head_ = nullptr;
+    ptr_ = end_ = nullptr;
+    next_chunk_bytes_ = kMinChunk;
+    bytes_used_ = 0;
+    bytes_reserved_ = 0;
+    chunks_ = 0;
+  }
+
+  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_; }
+
+  /// Process-wide counters (all arenas, lifetime totals) for observe.
+  static std::uint64_t total_bytes_reserved() {
+    return global_bytes_.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t total_chunks() {
+    return global_chunks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kMinChunk = 16 * 1024;
+  static constexpr std::size_t kMaxChunk = 256 * 1024;
+
+  struct ChunkHeader {
+    ChunkHeader* next;
+    std::size_t size;  // payload bytes following the header
+  };
+
+  void* allocate_slow(std::size_t size, std::size_t align);
+  void release_all();
+
+  char* ptr_ = nullptr;
+  char* end_ = nullptr;
+  ChunkHeader* head_ = nullptr;
+  std::size_t next_chunk_bytes_ = kMinChunk;
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t chunks_ = 0;
+
+  static std::atomic<std::uint64_t> global_bytes_;
+  static std::atomic<std::uint64_t> global_chunks_;
+};
+
+/// Deleter that runs the destructor but returns no memory (the arena owns
+/// the bytes). Works through base-class pointers because the AST roots
+/// have virtual destructors.
+struct ArenaDestroy {
+  template <typename T>
+  void operator()(T* p) const noexcept {
+    if (p) p->~T();
+  }
+};
+
+/// Owning pointer to an arena-placed object: unique_ptr semantics for the
+/// object's lifetime, arena semantics for its memory.
+template <typename T>
+using ArenaPtr = std::unique_ptr<T, ArenaDestroy>;
+
+template <typename T, typename... Args>
+ArenaPtr<T> make_in(Arena& arena, Args&&... args) {
+  return ArenaPtr<T>(arena.make<T>(std::forward<Args>(args)...));
+}
+
+}  // namespace patty::support

@@ -63,10 +63,10 @@ BlockSlot find_slot_in_program(lang::Program& program, int stmt_id) {
   return {};
 }
 
-std::unique_ptr<lang::Annotation> make_annotation(lang::Program& program,
-                                                  std::string text,
-                                                  SourceRange near) {
-  auto ann = std::make_unique<lang::Annotation>();
+lang::AstPtr<lang::Annotation> make_annotation(lang::Program& program,
+                                               std::string text,
+                                               SourceRange near) {
+  auto ann = program.make<lang::Annotation>();
   ann->id = program.next_node_id++;
   ann->range = near;
   ann->text = std::move(text);

@@ -1,0 +1,207 @@
+// Memory-layout regression suite (label `analysis`): the bump arena and
+// the global intern table that the front-end's constant-factor budget
+// rests on.
+//  * Arena: bump allocation and alignment guarantees, object lifetime via
+//    ArenaPtr (destructors run, memory stays), reset()/reuse, chunk growth,
+//    and the process-wide counters observe reports.
+//  * Interner/Symbol: identity (same spelling <=> same id), id round-trips,
+//    the std::string compatibility operators the printer and detectors
+//    lean on, deterministic text ordering, and id stability when many
+//    threads intern the same spellings concurrently.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/intern.hpp"
+
+namespace patty::support {
+namespace {
+
+// --- Arena -------------------------------------------------------------------
+
+TEST(ArenaTest, BumpAllocationIsContiguousWithinAChunk) {
+  Arena arena;
+  char* a = static_cast<char*>(arena.allocate(8, 1));
+  char* b = static_cast<char*>(arena.allocate(8, 1));
+  EXPECT_EQ(b, a + 8);  // same chunk, no per-allocation header
+  EXPECT_GE(arena.bytes_used(), 16u);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  arena.allocate(1, 1);  // misalign the bump pointer
+  for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+    arena.allocate(1, 1);  // misalign again for the next round
+  }
+}
+
+TEST(ArenaTest, GrowsChunksOnDemand) {
+  Arena arena;
+  // Far more than one 16K starter chunk.
+  for (int i = 0; i < 1000; ++i) arena.allocate(256, 8);
+  EXPECT_GT(arena.chunk_count(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, OversizedAllocationGetsItsOwnChunk) {
+  Arena arena;
+  void* p = arena.allocate(1 << 20, 8);  // 1 MB > kMaxChunk
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{1} << 20);
+}
+
+struct Probed {
+  explicit Probed(std::atomic<int>& counter) : alive(&counter) { ++*alive; }
+  ~Probed() { --*alive; }
+  std::atomic<int>* alive;
+  // Heap-owning member: proves ~T runs even though the arena keeps the bytes.
+  std::vector<int> payload = std::vector<int>(32, 7);
+};
+
+TEST(ArenaTest, ArenaPtrRunsDestructorsButArenaKeepsBytes) {
+  std::atomic<int> alive{0};
+  Arena arena;
+  {
+    std::vector<ArenaPtr<Probed>> objects;
+    for (int i = 0; i < 10; ++i)
+      objects.push_back(make_in<Probed>(arena, alive));
+    EXPECT_EQ(alive.load(), 10);
+    const std::size_t used = arena.bytes_used();
+    objects.clear();  // destructors run ...
+    EXPECT_EQ(alive.load(), 0);
+    EXPECT_EQ(arena.bytes_used(), used);  // ... but no bytes come back
+  }
+}
+
+TEST(ArenaTest, ResetReclaimsAndRestartsSmall) {
+  Arena arena;
+  for (int i = 0; i < 1000; ++i) arena.allocate(256, 8);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  // Reusable after reset.
+  int* p = arena.make<int>(41);
+  EXPECT_EQ(*p + 1, 42);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+}
+
+TEST(ArenaTest, GlobalCountersGrowMonotonically) {
+  const std::uint64_t bytes_before = Arena::total_bytes_reserved();
+  const std::uint64_t chunks_before = Arena::total_chunks();
+  {
+    Arena arena;
+    arena.allocate(64, 8);
+  }
+  EXPECT_GT(Arena::total_bytes_reserved(), bytes_before);
+  EXPECT_GT(Arena::total_chunks(), chunks_before);
+}
+
+TEST(ArenaTest, ArenaPtrConvertsToBasePointer) {
+  struct Base {
+    virtual ~Base() = default;
+  };
+  struct Derived : Base {
+    int x = 5;
+  };
+  Arena arena;
+  ArenaPtr<Base> base = make_in<Derived>(arena);  // converting constructor
+  EXPECT_NE(base.get(), nullptr);
+}
+
+// --- Interner / Symbol -------------------------------------------------------
+
+TEST(InternTest, SameSpellingSameId) {
+  const Symbol a = Symbol::intern("wibble_test_symbol");
+  const Symbol b = Symbol::intern(std::string("wibble_") +
+                                  "test_symbol");  // different buffer
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.str(), "wibble_test_symbol");
+  EXPECT_NE(a, Symbol::intern("wobble_test_symbol"));
+}
+
+TEST(InternTest, EmptyStringIsIdZero) {
+  const Symbol empty = Symbol::intern("");
+  EXPECT_EQ(empty.id(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(Symbol().id(), 0u);  // default-constructed == interned empty
+}
+
+TEST(InternTest, FromIdRoundTrips) {
+  const Symbol a = Symbol::intern("round_trip_probe");
+  const Symbol b = Symbol::from_id(a.id());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.str(), "round_trip_probe");
+}
+
+TEST(InternTest, StringCompatOperators) {
+  const Symbol name = Symbol::intern("compat");
+  const std::string& as_string = name;  // implicit conversion
+  EXPECT_EQ(as_string, "compat");
+  EXPECT_EQ("pre_" + name, "pre_compat");
+  EXPECT_EQ(name + "_post", "compat_post");
+  EXPECT_TRUE(name == std::string_view("compat"));
+  EXPECT_TRUE(name != std::string_view("other"));
+  EXPECT_EQ(name.size(), 6u);
+  EXPECT_EQ(std::string(name.c_str()), "compat");
+}
+
+TEST(InternTest, TextLessOrdersBySpellingNotId) {
+  // Interned in reverse lexical order so id order disagrees with text
+  // order (ids are assigned by interning order).
+  const Symbol z = Symbol::intern("zz_order_probe");
+  const Symbol a = Symbol::intern("aa_order_probe");
+  EXPECT_TRUE(Symbol::text_less(a, z));
+  EXPECT_FALSE(Symbol::text_less(z, a));
+  EXPECT_FALSE(Symbol::text_less(a, a));
+}
+
+TEST(InternTest, StatsCountSymbolsAndBytes) {
+  const Interner::Stats before = Interner::global().stats();
+  Symbol::intern("stats_probe_symbol_one");
+  Symbol::intern("stats_probe_symbol_two");
+  Symbol::intern("stats_probe_symbol_one");  // duplicate: no growth
+  const Interner::Stats after = Interner::global().stats();
+  EXPECT_EQ(after.symbols, before.symbols + 2);
+  EXPECT_EQ(after.bytes, before.bytes + 2 * 22);
+}
+
+TEST(InternTest, ConcurrentInterningAgreesOnIds) {
+  // 8 threads intern the same 256 spellings in different orders; every
+  // thread must observe the same text->id mapping, and str() must be safe
+  // to call while other threads are still inserting.
+  constexpr int kThreads = 8;
+  constexpr int kSymbols = 256;
+  std::vector<std::vector<std::uint32_t>> ids(
+      kThreads, std::vector<std::uint32_t>(kSymbols));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ids] {
+      for (int i = 0; i < kSymbols; ++i) {
+        // Stagger the order per thread so shards race on first-insert.
+        const int k = (i * 37 + t * 11) % kSymbols;
+        const std::string text = "race_probe_" + std::to_string(k);
+        const Symbol s = Symbol::intern(text);
+        ASSERT_EQ(s.str(), text);  // lock-free read-back while racing
+        ids[static_cast<std::size_t>(t)][static_cast<std::size_t>(k)] = s.id();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[0], ids[static_cast<std::size_t>(t)]);
+}
+
+}  // namespace
+}  // namespace patty::support

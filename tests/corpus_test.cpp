@@ -145,6 +145,67 @@ TEST(CorpusTest, SyntheticBlockHasDesignedStructure) {
   EXPECT_EQ(odd.false_negatives, 2);
 }
 
+TEST(CorpusTest, SyntheticConfigDefaultsMatchLegacyOverload) {
+  // synthetic_suite(blocks, seed) is a shorthand for the default config;
+  // study fingerprints and the BENCH corpus depend on byte identity.
+  SyntheticConfig config;
+  config.programs = 5;
+  config.seed = 99;
+  const auto via_config = synthetic_suite(config);
+  const auto via_legacy = synthetic_suite(5, 99);
+  ASSERT_EQ(via_config.size(), via_legacy.size());
+  for (std::size_t i = 0; i < via_config.size(); ++i)
+    EXPECT_EQ(via_config[i].source, via_legacy[i].source);
+}
+
+TEST(CorpusTest, SyntheticConfigPrefixStableUnderGrowth) {
+  // Growing the corpus appends programs; the existing prefix is untouched
+  // (each program derives from one rng split, independent of the total).
+  SyntheticConfig small;
+  small.programs = 3;
+  SyntheticConfig big = small;
+  big.programs = 10;
+  const auto few = synthetic_suite(small);
+  const auto many = synthetic_suite(big);
+  for (std::size_t i = 0; i < few.size(); ++i)
+    EXPECT_EQ(few[i].source, many[i].source);
+}
+
+TEST(CorpusTest, SyntheticConfigControlsMixSizeAndNoise) {
+  // Pattern mix: dropping a family removes its labels but the program
+  // still parses and runs.
+  SyntheticConfig config;
+  config.programs = 2;
+  config.cold_kernels = false;     // drops the FN family
+  config.scatter_kernels = false;  // drops the FP family
+  config.min_filler = 2;           // and shrink the noise
+  config.max_filler = 3;
+  config.min_elems = 8;
+  config.max_elems = 8;
+  for (const CorpusProgram& p : synthetic_suite(config)) {
+    EXPECT_EQ(p.source.find("ColdKernel"), std::string::npos);
+    EXPECT_EQ(p.source.find("ScatterKernel"), std::string::npos);
+    DiagnosticSink diags;
+    auto program = lang::parse_and_check(p.source, diags);
+    ASSERT_TRUE(program) << p.name << ": " << diags.to_string();
+    analysis::Interpreter interp(*program);
+    EXPECT_NO_THROW(interp.run_main()) << p.name;
+    std::string error;
+    const DetectionScore score = score_program(p, true, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(score.false_negatives, 0);  // no cold family to miss
+    EXPECT_EQ(score.false_positives, 0);  // no scatter family to claim
+    EXPECT_EQ(score.true_positives, 3);   // map + reduction + pipeline
+    EXPECT_EQ(score.true_negatives, 1);   // chain recurrence kept
+  }
+  // Noise and size knobs move LoC: a low-noise corpus is much smaller.
+  SyntheticConfig noisy = config;
+  noisy.min_filler = 30;
+  noisy.max_filler = 30;
+  EXPECT_GT(synthetic_suite(noisy)[0].loc(),
+            synthetic_suite(config)[0].loc() + 50);
+}
+
 TEST(CorpusTest, SyntheticSuiteScalesPast26kLoc) {
   // The paper's §5 corpus totals 26,580 LoC; 110 blocks exceed that.
   auto suite = synthetic_suite(110, 20150207);

@@ -65,6 +65,49 @@ TEST(FrontendDeterminism, ParallelMatchesSequentialByteForByte) {
   }
 }
 
+TEST(FrontendDeterminism, LargeBatchedCorpusMatchesSequential) {
+  // Scale test for the batched pipeline granularity: a 300-program
+  // generated corpus, so the auto batch size exceeds 1 (work items carry
+  // blocks of programs) and explicit batch sizes cut the corpus at
+  // non-aligned boundaries. Every configuration must reproduce the
+  // sequential fingerprint byte for byte.
+  corpus::SyntheticConfig generator;
+  generator.programs = 300;
+  const std::vector<corpus::CorpusProgram> synthetic =
+      corpus::synthetic_suite(generator);
+  std::vector<const corpus::CorpusProgram*> all;
+  all.reserve(synthetic.size());
+  for (const corpus::CorpusProgram& p : synthetic) all.push_back(&p);
+
+  corpus::FrontendConfig config;  // sequential
+  const std::string reference =
+      corpus::evaluate_corpus(all, config).fingerprint();
+  ASSERT_FALSE(reference.empty());
+
+  config.parallel = true;
+  config.threads = 8;
+  // Auto batching must exceed one program per item at this scale.
+  EXPECT_GT(corpus::resolve_batch_size(config, all.size(), config.threads), 1);
+  for (int batch : {0, 1, 7, 32}) {  // 0 = auto; 7 straddles block bounds
+    config.batch_size = batch;
+    EXPECT_EQ(corpus::evaluate_corpus(all, config).fingerprint(), reference)
+        << "batch_size " << batch;
+  }
+}
+
+TEST(FrontendBatching, ResolvesFromCorpusAndWorkerCount) {
+  corpus::FrontendConfig config;
+  // Explicit override wins.
+  config.batch_size = 5;
+  EXPECT_EQ(corpus::resolve_batch_size(config, 1000, 8), 5);
+  // Auto: ~8 items in flight per worker, clamped to [1, 32].
+  config.batch_size = 0;
+  EXPECT_EQ(corpus::resolve_batch_size(config, 110, 8), 1);
+  EXPECT_EQ(corpus::resolve_batch_size(config, 1024, 8), 16);
+  EXPECT_EQ(corpus::resolve_batch_size(config, 1000000, 2), 32);
+  EXPECT_EQ(corpus::resolve_batch_size(config, 0, 8), 1);
+}
+
 TEST(FrontendDeterminism, ParallelDetectorMatchesSequentialPerProgram) {
   // Same invariant one layer down: detect_all with options.parallel against
   // the identical model, no corpus pipeline involved.

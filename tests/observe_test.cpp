@@ -15,6 +15,8 @@
 #include "observe/explain.hpp"
 #include "observe/metrics.hpp"
 #include "observe/trace.hpp"
+#include "support/arena.hpp"
+#include "support/intern.hpp"
 
 // Tests that need events recorded skip under -DPATTY_OBSERVE_DISABLED,
 // where set_enabled is a no-op by design.
@@ -283,6 +285,36 @@ TEST_F(ObserveTest, ExplainHandlesSequentialRuns) {
   const BottleneckReport report = explain(obs);
   EXPECT_EQ(report.stall, "sequential");
   EXPECT_EQ(report.parameter, "SequentialExecution");
+}
+
+TEST_F(ObserveTest, FrontendMemoryGaugesAndSummary) {
+  // Force some arena traffic and at least one interned symbol so the
+  // process-wide totals the gauges sample are nonzero.
+  support::Arena arena;
+  arena.allocate(256, 8);
+  support::Symbol::intern("observe_memory_probe");
+  publish_frontend_memory();
+
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  ASSERT_TRUE(snap.gauges.count("frontend.arena.bytes"));
+  ASSERT_TRUE(snap.gauges.count("frontend.arena.chunks"));
+  ASSERT_TRUE(snap.gauges.count("frontend.intern.symbols"));
+  ASSERT_TRUE(snap.gauges.count("frontend.intern.bytes"));
+  EXPECT_GT(snap.gauges.at("frontend.arena.bytes").value, 0);
+  EXPECT_GT(snap.gauges.at("frontend.intern.symbols").value, 0);
+
+  const std::string summary = memory_summary();
+  EXPECT_NE(summary.find("front-end memory"), std::string::npos);
+  EXPECT_NE(summary.find("symbols"), std::string::npos);
+
+  // render() appends the memory line to pipeline reports.
+  PipelineObservation obs;
+  obs.pipeline = "mem";
+  obs.sequential = true;
+  StageObservation a;
+  a.name = "A";
+  obs.stages = {a};
+  EXPECT_NE(render(obs).find("front-end memory"), std::string::npos);
 }
 
 }  // namespace
