@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "corpus/corpus.hpp"
+#include "transform/certify.hpp"
 
 namespace {
 
@@ -227,6 +228,44 @@ int main(int argc, char** argv) {
                      &large_fp);
   }
 
+  // MHP certification coverage over the study corpus: how much of the
+  // transformed corpus the static pre-filter discharges without an explorer
+  // run, and what the explorer found in the residue (the indirect-scatter
+  // family is the detector's known false positive — those programs are
+  // *expected* to land in residue-raced; the `ctest -L mhp` gate asserts
+  // the exact split). Recorded so the gate's coverage is tracked
+  // PR-over-PR.
+  std::printf("\n== MHP certification ==\n");
+  const auto cert_t0 = Clock::now();
+  const patty::transform::CorpusCertification certification =
+      patty::transform::certify_corpus(corpus);
+  const double cert_secs = seconds_since(cert_t0);
+  const patty::transform::CertificationTotals& ct = certification.totals;
+  std::printf("  %zu programs in %.3fs: %zu certified-static, "
+              "%zu certified-explored, %zu residue-raced, %zu errors\n",
+              ct.programs + ct.errors, cert_secs, ct.certified_static,
+              ct.certified_explored, ct.residue_raced, ct.errors);
+  std::printf("  %zu conflict pairs: %zu ordered, %zu disjoint, "
+              "%zu private/fresh, %zu residue -> %zu probes (%zu raced)\n",
+              ct.pairs, ct.ordered, ct.disjoint, ct.private_or_fresh,
+              ct.residue, ct.probes, ct.probes_raced);
+
+  // Same corpus size with the known-FP indirect family excluded: this is
+  // the population the >= 90%-static acceptance gate measures.
+  patty::corpus::SyntheticConfig clean_config;
+  clean_config.programs = blocks;
+  clean_config.indirect_kernels = false;
+  const std::vector<patty::corpus::CorpusProgram> clean_synthetic =
+      patty::corpus::synthetic_suite(clean_config);
+  const std::vector<const patty::corpus::CorpusProgram*> clean_corpus =
+      to_pointers(clean_synthetic, nullptr);
+  const patty::transform::CorpusCertification clean_certification =
+      patty::transform::certify_corpus(clean_corpus);
+  const patty::transform::CertificationTotals& cc = clean_certification.totals;
+  std::printf("  well-behaved corpus (indirect family excluded): "
+              "%zu/%zu certified-static (gate: >= 90%%)\n",
+              cc.certified_static, cc.programs);
+
   const patty::corpus::DetectionScore& s = emulated.total;
   std::printf("\ndetection: precision %.3f recall %.3f "
               "(tp=%d fp=%d fn=%d tn=%d), all runs byte-identical\n",
@@ -250,6 +289,28 @@ int main(int argc, char** argv) {
     json += buf;
   }
   json += "  \"deterministic\": true,\n";
+  {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"certification\": {\n"
+        "    \"programs\": %zu, \"certified_static\": %zu,\n"
+        "    \"certified_explored\": %zu, \"residue_raced\": %zu,\n"
+        "    \"errors\": %zu, \"seconds\": %.3f,\n"
+        "    \"pairs\": %zu, \"ordered\": %zu, \"disjoint\": %zu,\n"
+        "    \"private_or_fresh\": %zu, \"residue\": %zu,\n"
+        "    \"probes\": %zu, \"probes_raced\": %zu,\n"
+        "    \"well_behaved\": {\"programs\": %zu, "
+        "\"certified_static\": %zu,\n"
+        "      \"certified_explored\": %zu, \"residue_raced\": %zu}\n"
+        "  },\n",
+        ct.programs, ct.certified_static, ct.certified_explored,
+        ct.residue_raced, ct.errors, cert_secs, ct.pairs, ct.ordered,
+        ct.disjoint, ct.private_or_fresh, ct.residue, ct.probes,
+        ct.probes_raced, cc.programs, cc.certified_static,
+        cc.certified_explored, cc.residue_raced);
+    json += buf;
+  }
   json += "  \"emulated\": {\n    \"work_sleep_us\": " +
           std::to_string(sleep_ns / 1000) + ",\n    \"rows\": [\n";
   append_rows_json(&json, emulated.rows);

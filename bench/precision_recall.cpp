@@ -59,10 +59,13 @@ int main() {
   row("static baseline", pessimistic, "(overapprox., misses potential)");
   std::printf("%s\n", table.str().c_str());
 
-  std::printf("Shape checks: optimistic F within [0.6, 0.8] => %s; "
-              "optimistic recall > static recall => %s\n",
-              (optimistic.f1() >= 0.6 && optimistic.f1() <= 0.8) ? "HOLDS"
-                                                                 : "VIOLATED",
+  // The paper reports F ~ 0.70; the detector here must not fall below that
+  // ballpark (beating it — the detector-triage PRs pushed F to ~0.87 — is
+  // an improvement, not a reproduction failure).
+  std::printf("Shape checks: optimistic F >= paper's ~0.70 => %s "
+              "(F %.2f); optimistic recall > static recall => %s\n",
+              optimistic.f1() >= 0.65 ? "HOLDS" : "VIOLATED",
+              optimistic.f1(),
               optimistic.recall() > pessimistic.recall() ? "HOLDS"
                                                          : "VIOLATED");
   return 0;

@@ -100,9 +100,98 @@ std::set<AbsLoc> intersect(const std::set<AbsLoc>& a,
 
 }  // namespace
 
+int canonical_induction_slot(const lang::Stmt& loop) {
+  if (loop.kind != lang::StmtKind::For) return -1;
+  const auto& f = loop.as<lang::For>();
+  if (!f.init || !f.step) return -1;
+  int slot = -1;
+  if (f.init->kind == lang::StmtKind::VarDecl)
+    slot = f.init->as<lang::VarDecl>().slot;
+  else if (f.init->kind == lang::StmtKind::Assign) {
+    const auto& a = f.init->as<lang::Assign>();
+    if (a.target->kind == lang::ExprKind::VarRef &&
+        a.target->as<lang::VarRef>().is_local())
+      slot = a.target->as<lang::VarRef>().slot;
+  }
+  if (slot < 0) return -1;
+  // Step: `i = i + <intlit>` or `i = i - <intlit>` (i++ desugars to this).
+  if (f.step->kind != lang::StmtKind::Assign) return -1;
+  const auto& step = f.step->as<lang::Assign>();
+  if (step.target->kind != lang::ExprKind::VarRef ||
+      step.target->as<lang::VarRef>().slot != slot)
+    return -1;
+  if (step.value->kind != lang::ExprKind::Binary) return -1;
+  const auto& bin = step.value->as<lang::Binary>();
+  if (bin.op != lang::BinaryOp::Add && bin.op != lang::BinaryOp::Sub)
+    return -1;
+  auto is_slot = [&](const lang::Expr& e) {
+    return e.kind == lang::ExprKind::VarRef &&
+           e.as<lang::VarRef>().slot == slot;
+  };
+  auto is_nonzero_lit = [](const lang::Expr& e) {
+    return e.kind == lang::ExprKind::IntLit && e.as<lang::IntLit>().value != 0;
+  };
+  const bool canonical_step =
+      (is_slot(*bin.lhs) && is_nonzero_lit(*bin.rhs)) ||
+      (bin.op == lang::BinaryOp::Add && is_nonzero_lit(*bin.lhs) &&
+       is_slot(*bin.rhs));
+  if (!canonical_step) return -1;
+  // The body must never reassign the induction variable.
+  bool reassigned = false;
+  lang::for_each_stmt(*f.body, [&](const lang::Stmt& st) {
+    if (st.kind == lang::StmtKind::Assign) {
+      const auto& a = st.as<lang::Assign>();
+      if (a.target->kind == lang::ExprKind::VarRef &&
+          a.target->as<lang::VarRef>().slot == slot)
+        reassigned = true;
+    }
+    if (st.kind == lang::StmtKind::Foreach &&
+        st.as<lang::Foreach>().slot == slot)
+      reassigned = true;
+  });
+  return reassigned ? -1 : slot;
+}
+
+std::set<AbsLoc> induction_uniform_elements(const lang::Stmt& loop,
+                                            const EffectAnalysis& effects) {
+  const int slot = canonical_induction_slot(loop);
+  if (slot < 0) return {};
+  const lang::Stmt* body = loop.as<lang::For>().body.get();
+  std::set<AbsLoc> uniform;
+  std::set<AbsLoc> poisoned;
+  static const lang::Symbol kUnknown = lang::Symbol::intern("?");
+  lang::for_each_expr(*body, [&](const lang::Expr& e) {
+    if (e.kind == lang::ExprKind::IndexAccess) {
+      const auto& ix = e.as<lang::IndexAccess>();
+      const AbsLoc loc = AbsLoc::elements(
+          ix.base->type ? ix.base->type->sig() : kUnknown);
+      const bool exact_induction =
+          ix.index->kind == lang::ExprKind::VarRef &&
+          ix.index->as<lang::VarRef>().slot == slot;
+      (exact_induction ? uniform : poisoned).insert(loc);
+      return;
+    }
+    // Elements effects entering through a callee carry unknown subscripts.
+    const lang::MethodDecl* callee = nullptr;
+    if (e.kind == lang::ExprKind::Call) callee = e.as<lang::Call>().resolved;
+    if (e.kind == lang::ExprKind::New) {
+      const auto& n = e.as<lang::New>();
+      if (n.resolved) callee = n.resolved->find_method("init");
+    }
+    if (!callee) return;
+    const EffectSet& summary = effects.method_summary(callee);
+    for (const std::set<AbsLoc>* side : {&summary.reads, &summary.writes})
+      for (const AbsLoc& l : *side)
+        if (l.kind == AbsLoc::Kind::Elements) poisoned.insert(l);
+  });
+  for (const AbsLoc& p : poisoned) uniform.erase(p);
+  return uniform;
+}
+
 std::vector<Dep> static_loop_dependences(
     const std::vector<const lang::Stmt*>& body_stmts,
-    const EffectAnalysis& effects, const lang::MethodDecl* context) {
+    const EffectAnalysis& effects, const lang::MethodDecl* context,
+    const std::set<AbsLoc>* refuted_carried) {
   std::vector<EffectSet> sets;
   sets.reserve(body_stmts.size());
   for (const lang::Stmt* st : body_stmts) sets.push_back(effects.stmt_effects(*st));
@@ -125,7 +214,11 @@ std::vector<Dep> static_loop_dependences(
                  std::set<AbsLoc> locs) {
     // Carried dependences never arise through privatized per-iteration
     // temporaries (true deps through them are impossible by scoping).
-    if (carried) locs = without_privatized(std::move(locs));
+    if (carried) {
+      locs = without_privatized(std::move(locs));
+      if (refuted_carried)
+        for (const AbsLoc& r : *refuted_carried) locs.erase(r);
+    }
     if (locs.empty()) return;
     Dep d;
     d.from_id = body_stmts[static_cast<std::size_t>(from)]->id;

@@ -44,9 +44,31 @@ struct Dep {
 /// Lexical scoping guarantees locals declared inside the body cannot be
 /// read by earlier statements, so carried dependences through per-iteration
 /// temporaries do not arise.
+///
+/// `refuted_carried` (optional) names abstract locations proven to never
+/// carry a dependence across iterations (e.g. by the induction-subscript
+/// refinement below); carried conflicts through them are dropped.
 std::vector<Dep> static_loop_dependences(
     const std::vector<const lang::Stmt*>& body_stmts,
-    const EffectAnalysis& effects, const lang::MethodDecl* context);
+    const EffectAnalysis& effects, const lang::MethodDecl* context,
+    const std::set<AbsLoc>* refuted_carried = nullptr);
+
+/// Slot of the canonical induction variable of a For loop, or -1.
+/// Canonical shape: `for (int i = <init>; ...; i = i ± <intlit>)` (the
+/// parser desugars `i++`/`i--` to that form) with `i` never reassigned in
+/// the body. Such a variable takes a distinct value in every iteration.
+int canonical_induction_slot(const lang::Stmt& loop);
+
+/// Induction-subscript refinement: the Elements locations of the loop for
+/// which *every* index access anywhere in the loop subtree subscripts with
+/// exactly the canonical induction variable. Distinct iterations then touch
+/// distinct indices through those locations — even when several arrays
+/// share one type-based Elements class — so loop-carried dependences on
+/// them are refuted. Conservative: a single non-induction subscript, or any
+/// Elements effect entering through a call summary (callee subscripts are
+/// unknown), disqualifies that location.
+std::set<AbsLoc> induction_uniform_elements(const lang::Stmt& loop,
+                                            const EffectAnalysis& effects);
 
 /// Top-level statements of a loop body in program order (annotations
 /// excluded; a non-block body yields one element).

@@ -420,4 +420,276 @@ void EffectAnalysis::collect_expr(const lang::Expr& e, EffectSet& out,
   }
 }
 
+// ---------------------------------------------------------------------------
+// FreshnessAnalysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One reaching definition of a local slot. `value` is null for
+/// definitions whose value is not an analyzable expression: parameter
+/// bindings and foreach element bindings (never fresh). Uninitialized
+/// VarDecls are *not* recorded: they define null, which is no object and
+/// cannot alias or escape, so they are neutral for both fact families.
+struct SlotDef {
+  int slot = -1;
+  const lang::Expr* value = nullptr;
+};
+
+std::vector<SlotDef> collect_slot_defs(const lang::MethodDecl& m) {
+  std::vector<SlotDef> defs;
+  for (const lang::Param& p : m.params) defs.push_back({p.slot, nullptr});
+  lang::for_each_stmt(*m.body, [&](const lang::Stmt& st) {
+    if (st.kind == StmtKind::VarDecl) {
+      const auto& d = st.as<lang::VarDecl>();
+      if (d.init) defs.push_back({d.slot, d.init.get()});
+    } else if (st.kind == StmtKind::Assign) {
+      const auto& a = st.as<lang::Assign>();
+      if (a.target->kind == ExprKind::VarRef) {
+        const auto& ref = a.target->as<lang::VarRef>();
+        if (ref.is_local()) defs.push_back({ref.slot, a.value.get()});
+      }
+    } else if (st.kind == StmtKind::Foreach) {
+      defs.push_back({st.as<lang::Foreach>().slot, nullptr});
+    }
+  });
+  return defs;
+}
+
+bool is_allocation(const lang::Expr& e) {
+  return e.kind == ExprKind::New || e.kind == ExprKind::NewArray;
+}
+
+}  // namespace
+
+FreshnessAnalysis::FreshnessAnalysis(const lang::Program& program,
+                                     const CallGraph& cg,
+                                     const EffectAnalysis& effects)
+    : program_(program), cg_(cg), effects_(effects) {
+  compute();
+}
+
+bool FreshnessAnalysis::expr_is_fresh(const lang::Expr& e,
+                                      const MethodFacts& facts) const {
+  switch (e.kind) {
+    case ExprKind::New:
+    case ExprKind::NewArray:
+      return true;
+    case ExprKind::VarRef: {
+      const auto& ref = e.as<lang::VarRef>();
+      return ref.is_local() && facts.fresh_slots.count(ref.slot) > 0;
+    }
+    case ExprKind::Call: {
+      const auto& c = e.as<lang::Call>();
+      if (!c.resolved) return false;
+      auto it = facts_.find(c.resolved);
+      return it != facts_.end() && it->second.returns_fresh;
+    }
+    default:
+      return false;
+  }
+}
+
+void FreshnessAnalysis::compute() {
+  // Per-method definition tables, gathered once.
+  std::map<const lang::MethodDecl*, std::vector<SlotDef>> defs;
+  for (const lang::MethodDecl* m : cg_.methods) defs[m] = collect_slot_defs(*m);
+
+  // Phase 1 — activation freshness, greatest fixpoint. Start every slot
+  // with at least one recorded definition as fresh and every value-
+  // returning method as fresh-returning, then knock facts out until the
+  // optimistic claims are self-supporting. Mutually recursive methods that
+  // only ever return each other's results stay "fresh": the claim is
+  // vacuous (such a call never returns).
+  for (const lang::MethodDecl* m : cg_.methods) {
+    MethodFacts& f = facts_[m];
+    for (const SlotDef& d : defs[m])
+      if (d.value) f.fresh_slots.insert(d.slot);
+    // Parameter/foreach bindings disqualify their slot outright.
+    for (const SlotDef& d : defs[m])
+      if (!d.value) f.fresh_slots.erase(d.slot);
+    lang::for_each_stmt(*m->body, [&](const lang::Stmt& st) {
+      if (st.kind == StmtKind::Return && st.as<lang::Return>().value)
+        f.returns_fresh = true;
+    });
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const lang::MethodDecl* m : cg_.methods) {
+      MethodFacts& f = facts_[m];
+      for (const SlotDef& d : defs[m]) {
+        if (d.value && f.fresh_slots.count(d.slot) &&
+            !expr_is_fresh(*d.value, f)) {
+          f.fresh_slots.erase(d.slot);
+          changed = true;
+        }
+      }
+      if (f.returns_fresh) {
+        lang::for_each_stmt(*m->body, [&](const lang::Stmt& st) {
+          if (st.kind == StmtKind::Return) {
+            const auto& r = st.as<lang::Return>();
+            if (r.value && f.returns_fresh && !expr_is_fresh(*r.value, f)) {
+              f.returns_fresh = false;
+              changed = true;
+            }
+          }
+        });
+      }
+    }
+  }
+
+  // Phase 2 — allocation-rooted locals: every recorded definition is a
+  // direct allocation expression (parameter/foreach bindings disqualify).
+  for (const lang::MethodDecl* m : cg_.methods) {
+    MethodFacts& f = facts_[m];
+    std::set<int> seen;
+    std::set<int> bad;
+    for (const SlotDef& d : defs[m]) {
+      seen.insert(d.slot);
+      if (!d.value || !is_allocation(*d.value)) bad.insert(d.slot);
+    }
+    for (int s : seen)
+      if (!bad.count(s)) f.rooted_slots.insert(s);
+  }
+
+  // Phase 3 — allocation-rooted fields: scan every store in the program.
+  for (const auto& cls : program_.classes) {
+    for (const auto& m : cls->methods) {
+      lang::for_each_stmt(*m->body, [&](const lang::Stmt& st) {
+        if (st.kind != StmtKind::Assign) return;
+        const auto& a = st.as<lang::Assign>();
+        if (a.target->kind == ExprKind::VarRef) {
+          const auto& ref = a.target->as<lang::VarRef>();
+          if (!ref.is_local() && ref.owner_class && !is_allocation(*a.value))
+            unrooted_fields_.insert({ref.owner_class->name, ref.field_index});
+        } else if (a.target->kind == ExprKind::FieldAccess) {
+          const auto& fa = a.target->as<lang::FieldAccess>();
+          if (fa.object->type && !is_allocation(*a.value))
+            unrooted_fields_.insert({fa.object->type->sig(), fa.field_index});
+        }
+      });
+    }
+  }
+
+  // Phase 4 — write freshness, least fixpoint: shared/via_this only grow.
+  // Direct stores classify against the (now final) activation-freshness
+  // facts; call sites import the callee's classification, rebinding its
+  // via_this writes through the receiver expression (fresh receiver =>
+  // fresh, implicit this => still via_this, anything else => shared). A
+  // `new C()` constructor runs with the brand-new object as receiver, so
+  // its via_this writes are fresh at the allocation site.
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const lang::MethodDecl* m : cg_.methods) {
+      MethodFacts& f = facts_[m];
+      const std::size_t before = f.writes.shared.size() + f.writes.via_this.size();
+      auto classify_expr = [&](const lang::Expr& e) {
+        if (e.kind == ExprKind::Call) {
+          const auto& c = e.as<lang::Call>();
+          if (c.builtin == lang::Builtin::Print) {
+            f.writes.shared.insert(AbsLoc::io());
+          } else if (c.builtin == lang::Builtin::Push) {
+            static const Symbol kUnknown = Symbol::intern("?");
+            const Symbol sig = c.args[0]->type ? c.args[0]->type->sig() : kUnknown;
+            if (!expr_is_fresh(*c.args[0], f))
+              f.writes.shared.insert(AbsLoc::list_shape(sig));
+          } else if (c.resolved) {
+            auto it = facts_.find(c.resolved);
+            if (it == facts_.end()) return;
+            const WriteFreshness& callee = it->second.writes;
+            f.writes.shared.insert(callee.shared.begin(), callee.shared.end());
+            for (const AbsLoc& l : callee.via_this) {
+              if (c.implicit_this || !c.receiver) {
+                f.writes.via_this.insert(l);
+              } else if (!expr_is_fresh(*c.receiver, f)) {
+                f.writes.shared.insert(l);
+              }
+            }
+          }
+        } else if (e.kind == ExprKind::New) {
+          const auto& n = e.as<lang::New>();
+          if (!n.resolved) return;
+          static const Symbol kInit = Symbol::intern("init");
+          if (const lang::MethodDecl* ctor = n.resolved->find_method(kInit)) {
+            auto it = facts_.find(ctor);
+            if (it == facts_.end()) return;
+            const WriteFreshness& callee = it->second.writes;
+            f.writes.shared.insert(callee.shared.begin(), callee.shared.end());
+            // via_this lands on the freshly allocated object: fresh here.
+          }
+        }
+      };
+      lang::for_each_stmt(*m->body, [&](const lang::Stmt& st) {
+        lang::for_each_expr(st, classify_expr);
+        if (st.kind != StmtKind::Assign) return;
+        const auto& a = st.as<lang::Assign>();
+        static const Symbol kUnknown = Symbol::intern("?");
+        if (a.target->kind == ExprKind::VarRef) {
+          const auto& ref = a.target->as<lang::VarRef>();
+          if (!ref.is_local())
+            f.writes.via_this.insert(AbsLoc::field_loc(
+                ref.owner_class ? ref.owner_class->name : kUnknown,
+                ref.field_index));
+        } else if (a.target->kind == ExprKind::FieldAccess) {
+          const auto& fa = a.target->as<lang::FieldAccess>();
+          const Symbol cls = fa.object->type ? fa.object->type->sig() : kUnknown;
+          if (!expr_is_fresh(*fa.object, f))
+            f.writes.shared.insert(AbsLoc::field_loc(cls, fa.field_index));
+        } else if (a.target->kind == ExprKind::IndexAccess) {
+          const auto& ix = a.target->as<lang::IndexAccess>();
+          const Symbol sig = ix.base->type ? ix.base->type->sig() : kUnknown;
+          if (!expr_is_fresh(*ix.base, f))
+            f.writes.shared.insert(AbsLoc::elements(sig));
+        }
+      });
+      if (f.writes.shared.size() + f.writes.via_this.size() != before)
+        changed = true;
+    }
+  }
+}
+
+bool FreshnessAnalysis::returns_fresh(const lang::MethodDecl* m) const {
+  auto it = facts_.find(m);
+  return it != facts_.end() && it->second.returns_fresh;
+}
+
+bool FreshnessAnalysis::local_is_fresh(const lang::MethodDecl* m,
+                                       int slot) const {
+  auto it = facts_.find(m);
+  return it != facts_.end() && it->second.fresh_slots.count(slot) > 0;
+}
+
+bool FreshnessAnalysis::local_allocation_rooted(const lang::MethodDecl* m,
+                                                int slot) const {
+  auto it = facts_.find(m);
+  return it != facts_.end() && it->second.rooted_slots.count(slot) > 0;
+}
+
+bool FreshnessAnalysis::field_allocation_rooted(Symbol cls,
+                                                int field_index) const {
+  return unrooted_fields_.count({cls, field_index}) == 0;
+}
+
+const WriteFreshness& FreshnessAnalysis::write_freshness(
+    const lang::MethodDecl* m) const {
+  auto it = facts_.find(m);
+  if (it == facts_.end()) fatal("no freshness facts for method");
+  return it->second.writes;
+}
+
+std::set<AbsLoc> FreshnessAnalysis::fresh_writes(
+    const lang::MethodDecl* m) const {
+  const EffectSet& summary = effects_.method_summary(m);
+  const WriteFreshness& wf = write_freshness(m);
+  std::set<AbsLoc> out;
+  for (const AbsLoc& l : summary.writes) {
+    if (l.kind == AbsLoc::Kind::Local) continue;
+    if (wf.shared.count(l) || wf.via_this.count(l)) continue;
+    out.insert(l);
+  }
+  return out;
+}
+
 }  // namespace patty::analysis

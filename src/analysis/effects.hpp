@@ -19,6 +19,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "analysis/callgraph.hpp"
 #include "lang/ast.hpp"
@@ -46,9 +47,12 @@ struct AbsLoc {
   friend bool operator<(const AbsLoc& a, const AbsLoc& b) {
     return a.cmp(b) < 0;
   }
+  // Equality delegates to cmp() so it can never disagree with set order:
+  // cmp() only inspects the fields its kind actually uses, and comparing
+  // interned *text* keeps two locations equal even if a future field (or a
+  // second intern table) gave them different raw symbol ids.
   friend bool operator==(const AbsLoc& a, const AbsLoc& b) {
-    return a.kind == b.kind && a.slot == b.slot && a.field == b.field &&
-           a.cls == b.cls && a.type_sig == b.type_sig;
+    return a.cmp(b) == 0;
   }
 
   static AbsLoc local(int slot);
@@ -97,6 +101,97 @@ class EffectAnalysis {
   const lang::Program& program_;
   const CallGraph& cg_;
   std::map<const lang::MethodDecl*, EffectSet> summaries_;
+};
+
+/// Where a method's non-local writes land, relative to its own activation.
+/// Locations absent from both sets are written only through objects the
+/// activation allocated itself (Fonseca-style freshness) — per-call-private
+/// until published, which is what lets the MHP certifier discharge
+/// write/write conflicts between concurrent instances of a region node.
+struct WriteFreshness {
+  /// Some write reaches pre-existing shared state (a field of an object
+  /// the activation did not allocate, a non-fresh array/list, or io).
+  std::set<AbsLoc> shared;
+  /// Some write lands on the method's own receiver (`this`). At a call
+  /// site these become fresh when the receiver expression is fresh (the
+  /// `new C()` constructor case) and shared otherwise.
+  std::set<AbsLoc> via_this;
+};
+
+/// Allocation-freshness facts, computed as one whole-program fixpoint over
+/// the call graph (greatest fixpoint: start optimistic, knock facts out).
+///
+/// Two independent fact families:
+///  * activation freshness — "this value was allocated during the current
+///    call" (returns_fresh, local_is_fresh, write_freshness). Justifies
+///    treating writes as instance-private in fork-join regions where each
+///    concurrent instance is a separate activation.
+///  * allocation rooting — "every store this root ever receives is a
+///    syntactic allocation expression" (field_/local_allocation_rooted).
+///    An allocation expression produces a brand-new object at exactly one
+///    store site, so two distinct allocation-rooted roots can never hold
+///    the same object: accesses through them are disjoint regardless of
+///    type-based aliasing.
+class FreshnessAnalysis {
+ public:
+  FreshnessAnalysis(const lang::Program& program, const CallGraph& cg,
+                    const EffectAnalysis& effects);
+
+  /// Every value the method can return was allocated within the call
+  /// (directly, via a fresh local, or by a fresh-returning callee).
+  [[nodiscard]] bool returns_fresh(const lang::MethodDecl* m) const;
+
+  /// Every definition of the local is a fresh allocation (New/NewArray, a
+  /// fresh-returning call, or a copy of another fresh local). Parameters
+  /// and foreach bindings are never fresh.
+  [[nodiscard]] bool local_is_fresh(const lang::MethodDecl* m, int slot) const;
+
+  /// Every definition of the local is a direct New/NewArray expression.
+  [[nodiscard]] bool local_allocation_rooted(const lang::MethodDecl* m,
+                                             int slot) const;
+
+  /// Every store to Field(cls, index) anywhere in the program is a direct
+  /// New/NewArray expression (fields never stored are trivially rooted).
+  [[nodiscard]] bool field_allocation_rooted(lang::Symbol cls,
+                                             int field_index) const;
+
+  /// Shared/via-this classification of m's transitive non-local writes.
+  [[nodiscard]] const WriteFreshness& write_freshness(
+      const lang::MethodDecl* m) const;
+
+  /// Non-local locations m writes exclusively through objects allocated in
+  /// its own activation: summary writes minus shared minus via_this.
+  [[nodiscard]] std::set<AbsLoc> fresh_writes(const lang::MethodDecl* m) const;
+
+ private:
+  struct MethodFacts {
+    bool returns_fresh = false;
+    std::set<int> fresh_slots;
+    std::set<int> rooted_slots;
+    WriteFreshness writes;
+  };
+
+  void compute();
+  [[nodiscard]] bool expr_is_fresh(const lang::Expr& e,
+                                   const MethodFacts& facts) const;
+
+  /// Orders (class name, field index) keys by interned text, then index —
+  /// Symbol itself deliberately has no operator< (ids are not stable).
+  struct FieldKeyLess {
+    bool operator()(const std::pair<lang::Symbol, int>& a,
+                    const std::pair<lang::Symbol, int>& b) const {
+      if (a.first.view() != b.first.view())
+        return a.first.view() < b.first.view();
+      return a.second < b.second;
+    }
+  };
+
+  const lang::Program& program_;
+  const CallGraph& cg_;
+  const EffectAnalysis& effects_;
+  std::map<const lang::MethodDecl*, MethodFacts> facts_;
+  /// (class name, field index) pairs with at least one non-allocation store.
+  std::set<std::pair<lang::Symbol, int>, FieldKeyLess> unrooted_fields_;
 };
 
 }  // namespace patty::analysis

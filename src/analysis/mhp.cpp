@@ -1,0 +1,584 @@
+#include "analysis/mhp.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace patty::analysis {
+
+using lang::ExprKind;
+using lang::StmtKind;
+using lang::Symbol;
+
+MhpFacts::MhpFacts(const MhpGraph& graph)
+    : concurrent_regions_(graph.concurrent_regions) {
+  region_.reserve(graph.nodes.size());
+  multiplicity_.reserve(graph.nodes.size());
+  for (const MhpNode& n : graph.nodes) {
+    region_.push_back(n.region);
+    multiplicity_.push_back(n.multiplicity);
+  }
+}
+
+bool MhpFacts::may_happen_in_parallel(int a, int b) const {
+  const auto ia = static_cast<std::size_t>(a);
+  const auto ib = static_cast<std::size_t>(b);
+  if (ia >= region_.size() || ib >= region_.size()) return false;
+  if (region_[ia] != region_[ib]) return false;      // program order
+  if (!concurrent_regions_.count(region_[ia])) return false;  // fallback
+  if (a == b) return multiplicity_[ia] > 1;
+  return true;  // streaming: stages overlap across elements
+}
+
+const char* discharge_name(Discharge d) {
+  switch (d) {
+    case Discharge::Ordered: return "ordered";
+    case Discharge::Disjoint: return "disjoint";
+    case Discharge::PrivateOrFresh: return "private-or-fresh";
+    case Discharge::Residue: return "residue";
+  }
+  return "?";
+}
+
+namespace {
+
+/// How an access names the cell it touches, relative to the region's
+/// element index.
+enum class SubClass : std::uint8_t {
+  Uniform,        // subscript is exactly the induction variable
+  PureInduction,  // pure arithmetic over the induction variable only
+  Opaque,         // loads memory, other locals, or reached via a call
+};
+
+/// The named storage root an access goes through (the array/list-valued
+/// variable), used for allocation-root separation.
+struct Root {
+  enum class Kind : std::uint8_t { None, Local, Field } kind = Kind::None;
+  int slot = -1;       // Local
+  Symbol cls;          // Field: class type name
+  int field = -1;      // Field
+  friend bool operator==(const Root& a, const Root& b) {
+    if (a.kind != b.kind) return false;
+    if (a.kind == Kind::Local) return a.slot == b.slot;
+    if (a.kind == Kind::Field) return a.cls == b.cls && a.field == b.field;
+    return true;
+  }
+};
+
+struct Access {
+  bool write = false;
+  SubClass sub = SubClass::Opaque;
+  Root root;
+};
+
+Root root_of(const lang::Expr& base) {
+  Root r;
+  if (base.kind == ExprKind::VarRef) {
+    const auto& ref = base.as<lang::VarRef>();
+    if (ref.is_local()) {
+      r.kind = Root::Kind::Local;
+      r.slot = ref.slot;
+    } else if (ref.owner_class) {
+      r.kind = Root::Kind::Field;
+      r.cls = ref.owner_class->name;
+      r.field = ref.field_index;
+    }
+  } else if (base.kind == ExprKind::FieldAccess) {
+    const auto& fa = base.as<lang::FieldAccess>();
+    if (fa.object->type) {
+      r.kind = Root::Kind::Field;
+      r.cls = fa.object->type->sig();
+      r.field = fa.field_index;
+    }
+  }
+  return r;
+}
+
+SubClass classify_subscript(const lang::Expr& index, int induction_slot) {
+  if (induction_slot < 0) return SubClass::Opaque;
+  if (index.kind == ExprKind::VarRef) {
+    const auto& ref = index.as<lang::VarRef>();
+    if (ref.is_local() && ref.slot == induction_slot) return SubClass::Uniform;
+  }
+  bool pure = true;
+  lang::for_each_expr_in(index, [&](const lang::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::Binary:
+      case ExprKind::Unary:
+        break;
+      case ExprKind::VarRef: {
+        const auto& ref = e.as<lang::VarRef>();
+        if (!ref.is_local() || ref.slot != induction_slot) pure = false;
+        break;
+      }
+      default:
+        pure = false;
+        break;
+    }
+  });
+  return pure ? SubClass::PureInduction : SubClass::Opaque;
+}
+
+Symbol sig_or_unknown(const lang::TypePtr& t) {
+  static const Symbol kUnknown = Symbol::intern("?");
+  return t ? t->sig() : kUnknown;
+}
+
+/// Per-node syntactic view of one abstract location's accesses plus the
+/// definitions of the node method's locals (for instance-freshness).
+struct NodeView {
+  const MhpNode* node = nullptr;
+  EffectSet effects;
+  /// Elements/ListShape accesses keyed by location.
+  std::map<AbsLoc, std::vector<Access>> accesses;
+  /// Statement ids contained in the node's statement subtrees.
+  std::set<int> stmt_ids;
+};
+
+void add_summary_accesses(NodeView& view, const EffectSet& summary) {
+  for (const AbsLoc& l : summary.reads) {
+    if (l.kind == AbsLoc::Kind::Elements || l.kind == AbsLoc::Kind::ListShape)
+      view.accesses[l].push_back({false, SubClass::Opaque, {}});
+  }
+  for (const AbsLoc& l : summary.writes) {
+    if (l.kind == AbsLoc::Kind::Elements || l.kind == AbsLoc::Kind::ListShape)
+      view.accesses[l].push_back({true, SubClass::Opaque, {}});
+  }
+}
+
+NodeView build_view(const MhpNode& node, const EffectAnalysis& effects) {
+  NodeView view;
+  view.node = &node;
+  const int ind = node.induction_slot;
+
+  // Records index-expression reads of an expression subtree, excluding a
+  // write target's own IndexAccess node (handled by the caller).
+  std::function<void(const lang::Expr&, bool)> walk_expr =
+      [&](const lang::Expr& e, bool as_write) {
+        if (e.kind == ExprKind::IndexAccess) {
+          const auto& ix = e.as<lang::IndexAccess>();
+          Access a;
+          a.write = as_write;
+          a.sub = classify_subscript(*ix.index, ind);
+          a.root = root_of(*ix.base);
+          view.accesses[AbsLoc::elements(sig_or_unknown(ix.base->type))]
+              .push_back(a);
+          walk_expr(*ix.base, false);
+          walk_expr(*ix.index, false);
+          return;
+        }
+        if (e.kind == ExprKind::Call) {
+          const auto& c = e.as<lang::Call>();
+          if (c.receiver) walk_expr(*c.receiver, false);
+          for (const auto& arg : c.args) walk_expr(*arg, false);
+          if (c.builtin == lang::Builtin::Push) {
+            Access a;
+            a.write = true;
+            a.root = root_of(*c.args[0]);
+            view.accesses[AbsLoc::list_shape(sig_or_unknown(c.args[0]->type))]
+                .push_back(a);
+          } else if (c.builtin == lang::Builtin::Len) {
+            const lang::TypePtr& t = c.args[0]->type;
+            if (t && t->kind == lang::Type::Kind::List) {
+              Access a;
+              a.root = root_of(*c.args[0]);
+              view.accesses[AbsLoc::list_shape(t->sig())].push_back(a);
+            }
+          } else if (c.resolved) {
+            view.effects.merge(effects.method_summary(c.resolved));
+            add_summary_accesses(view, effects.method_summary(c.resolved));
+          }
+          return;
+        }
+        if (e.kind == ExprKind::New) {
+          const auto& n = e.as<lang::New>();
+          for (const auto& arg : n.args) walk_expr(*arg, false);
+          if (n.resolved) {
+            static const Symbol kInit = Symbol::intern("init");
+            if (const lang::MethodDecl* ctor = n.resolved->find_method(kInit)) {
+              view.effects.merge(effects.method_summary(ctor));
+              add_summary_accesses(view, effects.method_summary(ctor));
+            }
+          }
+          return;
+        }
+        if (e.kind == ExprKind::FieldAccess)
+          walk_expr(*e.as<lang::FieldAccess>().object, false);
+        if (e.kind == ExprKind::Binary) {
+          walk_expr(*e.as<lang::Binary>().lhs, false);
+          walk_expr(*e.as<lang::Binary>().rhs, false);
+        }
+        if (e.kind == ExprKind::Unary)
+          walk_expr(*e.as<lang::Unary>().operand, false);
+        if (e.kind == ExprKind::NewArray) {
+          const auto& n = e.as<lang::NewArray>();
+          if (n.size) walk_expr(*n.size, false);
+        }
+      };
+
+  std::function<void(const lang::Stmt&)> walk_stmt =
+      [&](const lang::Stmt& st) {
+        view.stmt_ids.insert(st.id);
+        switch (st.kind) {
+          case StmtKind::Block:
+            for (const auto& s : st.as<lang::Block>().stmts) walk_stmt(*s);
+            break;
+          case StmtKind::VarDecl: {
+            const auto& d = st.as<lang::VarDecl>();
+            if (d.init) walk_expr(*d.init, false);
+            break;
+          }
+          case StmtKind::Assign: {
+            const auto& a = st.as<lang::Assign>();
+            walk_expr(*a.value, false);
+            if (a.target->kind == ExprKind::IndexAccess) {
+              const auto& ix = a.target->as<lang::IndexAccess>();
+              Access acc;
+              acc.write = true;
+              acc.sub = classify_subscript(*ix.index, ind);
+              acc.root = root_of(*ix.base);
+              view.accesses[AbsLoc::elements(sig_or_unknown(ix.base->type))]
+                  .push_back(acc);
+              walk_expr(*ix.base, false);
+              walk_expr(*ix.index, false);
+            } else {
+              walk_expr(*a.target, false);
+            }
+            break;
+          }
+          case StmtKind::ExprStmt:
+            walk_expr(*st.as<lang::ExprStmt>().expr, false);
+            break;
+          case StmtKind::If: {
+            const auto& i = st.as<lang::If>();
+            walk_expr(*i.cond, false);
+            walk_stmt(*i.then_branch);
+            if (i.else_branch) walk_stmt(*i.else_branch);
+            break;
+          }
+          case StmtKind::While: {
+            const auto& w = st.as<lang::While>();
+            walk_expr(*w.cond, false);
+            walk_stmt(*w.body);
+            break;
+          }
+          case StmtKind::For: {
+            const auto& f = st.as<lang::For>();
+            if (f.init) walk_stmt(*f.init);
+            if (f.cond) walk_expr(*f.cond, false);
+            if (f.step) walk_stmt(*f.step);
+            walk_stmt(*f.body);
+            break;
+          }
+          case StmtKind::Foreach: {
+            const auto& f = st.as<lang::Foreach>();
+            walk_expr(*f.iterable, false);
+            if (f.iterable->type &&
+                f.iterable->type->kind == lang::Type::Kind::List) {
+              Access a;
+              a.root = root_of(*f.iterable);
+              view.accesses[AbsLoc::list_shape(f.iterable->type->sig())]
+                  .push_back(a);
+            }
+            walk_stmt(*f.body);
+            break;
+          }
+          case StmtKind::Return: {
+            const auto& r = st.as<lang::Return>();
+            if (r.value) walk_expr(*r.value, false);
+            break;
+          }
+          default:
+            break;
+        }
+      };
+
+  for (const lang::Stmt* st : node.stmts) {
+    view.effects.merge(effects.stmt_effects(*st));
+    walk_stmt(*st);
+  }
+  return view;
+}
+
+/// A local whose every method-wide definition is a fresh allocation *and*
+/// lies inside the node's statements: re-executed per element, so the
+/// object is private to one instance (not just to one activation).
+bool local_fresh_in_node(const NodeView& view,
+                         const FreshnessAnalysis& freshness, int slot) {
+  const lang::MethodDecl* m = view.node->method;
+  if (!m || !freshness.local_is_fresh(m, slot)) return false;
+  bool all_inside = true;
+  lang::for_each_stmt(*m->body, [&](const lang::Stmt& st) {
+    int def_slot = -1;
+    if (st.kind == StmtKind::VarDecl) {
+      def_slot = st.as<lang::VarDecl>().slot;
+    } else if (st.kind == StmtKind::Assign) {
+      const auto& a = st.as<lang::Assign>();
+      if (a.target->kind == ExprKind::VarRef) {
+        const auto& ref = a.target->as<lang::VarRef>();
+        if (ref.is_local()) def_slot = ref.slot;
+      }
+    } else if (st.kind == StmtKind::Foreach) {
+      def_slot = st.as<lang::Foreach>().slot;
+    }
+    if (def_slot == slot && !view.stmt_ids.count(st.id)) all_inside = false;
+  });
+  return all_inside;
+}
+
+bool expr_fresh_in_node(const NodeView& view,
+                        const FreshnessAnalysis& freshness,
+                        const lang::Expr& e) {
+  switch (e.kind) {
+    case ExprKind::New:
+    case ExprKind::NewArray:
+      return true;
+    case ExprKind::VarRef: {
+      const auto& ref = e.as<lang::VarRef>();
+      return ref.is_local() && local_fresh_in_node(view, freshness, ref.slot);
+    }
+    case ExprKind::Call: {
+      const auto& c = e.as<lang::Call>();
+      return c.resolved && freshness.returns_fresh(c.resolved);
+    }
+    default:
+      return false;
+  }
+}
+
+/// Every write the node performs to Field location `loc` lands on an
+/// object allocated by the current instance.
+bool node_writes_only_fresh(const NodeView& view,
+                            const FreshnessAnalysis& freshness,
+                            const EffectAnalysis& effects, const AbsLoc& loc) {
+  bool fresh = true;
+  auto check_call_writes = [&](const lang::MethodDecl* callee,
+                               const lang::Expr* receiver,
+                               bool receiver_is_fresh) {
+    if (!callee || !fresh) return;
+    const EffectSet& summary = effects.method_summary(callee);
+    if (!summary.writes.count(loc)) return;
+    const WriteFreshness& wf = freshness.write_freshness(callee);
+    if (wf.shared.count(loc)) {
+      fresh = false;
+      return;
+    }
+    if (wf.via_this.count(loc)) {
+      const bool rf =
+          receiver_is_fresh ||
+          (receiver && expr_fresh_in_node(view, freshness, *receiver));
+      if (!rf) fresh = false;
+    }
+  };
+  for (const lang::Stmt* top : view.node->stmts) {
+    lang::for_each_stmt(*top, [&](const lang::Stmt& st) {
+      if (!fresh || st.kind != StmtKind::Assign) return;
+      const auto& a = st.as<lang::Assign>();
+      if (a.target->kind == ExprKind::VarRef) {
+        const auto& ref = a.target->as<lang::VarRef>();
+        if (!ref.is_local() && ref.owner_class &&
+            AbsLoc::field_loc(ref.owner_class->name, ref.field_index) == loc)
+          fresh = false;  // write through the shared receiver
+      } else if (a.target->kind == ExprKind::FieldAccess) {
+        const auto& fa = a.target->as<lang::FieldAccess>();
+        if (fa.object->type &&
+            AbsLoc::field_loc(fa.object->type->sig(), fa.field_index) == loc &&
+            !expr_fresh_in_node(view, freshness, *fa.object))
+          fresh = false;
+      }
+    });
+    lang::for_each_expr(*top, [&](const lang::Expr& e) {
+      if (!fresh) return;
+      if (e.kind == ExprKind::Call) {
+        const auto& c = e.as<lang::Call>();
+        if (c.resolved)
+          check_call_writes(c.resolved, c.receiver.get(),
+                            /*receiver_is_fresh=*/false);
+      } else if (e.kind == ExprKind::New) {
+        const auto& n = e.as<lang::New>();
+        if (n.resolved) {
+          static const Symbol kInit = Symbol::intern("init");
+          check_call_writes(n.resolved->find_method(kInit), nullptr,
+                            /*receiver_is_fresh=*/true);
+        }
+      }
+    });
+  }
+  return fresh;
+}
+
+struct RootFacts {
+  const lang::MethodDecl* method = nullptr;
+  std::set<int> untouched_params;  // parameter slots with no stores in m
+};
+
+RootFacts root_facts_for(const lang::MethodDecl* m) {
+  RootFacts rf;
+  rf.method = m;
+  if (!m) return rf;
+  for (const lang::Param& p : m->params) rf.untouched_params.insert(p.slot);
+  lang::for_each_stmt(*m->body, [&](const lang::Stmt& st) {
+    if (st.kind != StmtKind::Assign) return;
+    const auto& a = st.as<lang::Assign>();
+    if (a.target->kind == ExprKind::VarRef) {
+      const auto& ref = a.target->as<lang::VarRef>();
+      if (ref.is_local()) rf.untouched_params.erase(ref.slot);
+    }
+  });
+  return rf;
+}
+
+/// Two accesses through these roots can never touch the same object:
+/// either both roots only ever receive direct allocations (each allocation
+/// lands in exactly one root), or one is an allocation-rooted local of the
+/// method and the other a never-stored parameter (bound before any of the
+/// local's allocations executed, so it cannot hold one of them).
+bool roots_separated(const FreshnessAnalysis& freshness, const RootFacts& rf,
+                     const Root& x, const Root& y) {
+  if (x.kind == Root::Kind::None || y.kind == Root::Kind::None) return false;
+  if (x == y) return false;
+  auto rooted = [&](const Root& r) {
+    if (r.kind == Root::Kind::Field)
+      return freshness.field_allocation_rooted(r.cls, r.field);
+    return freshness.local_allocation_rooted(rf.method, r.slot);
+  };
+  auto local_rooted = [&](const Root& r) {
+    return r.kind == Root::Kind::Local &&
+           freshness.local_allocation_rooted(rf.method, r.slot);
+  };
+  auto untouched_param = [&](const Root& r) {
+    return r.kind == Root::Kind::Local && rf.untouched_params.count(r.slot) > 0;
+  };
+  if (rooted(x) && rooted(y)) return true;
+  if (local_rooted(x) && untouched_param(y)) return true;
+  if (untouched_param(x) && local_rooted(y)) return true;
+  return false;
+}
+
+}  // namespace
+
+MhpSummary enumerate_conflicts(const MhpGraph& graph, const MhpFacts& facts,
+                               const EffectAnalysis& effects,
+                               const FreshnessAnalysis& freshness) {
+  MhpSummary summary;
+  std::vector<NodeView> views;
+  views.reserve(graph.nodes.size());
+  for (const MhpNode& n : graph.nodes) views.push_back(build_view(n, effects));
+
+  std::map<const lang::MethodDecl*, RootFacts> root_facts;
+  auto facts_for = [&](const lang::MethodDecl* m) -> const RootFacts& {
+    auto it = root_facts.find(m);
+    if (it == root_facts.end())
+      it = root_facts.emplace(m, root_facts_for(m)).first;
+    return it->second;
+  };
+
+  const int n = static_cast<int>(graph.nodes.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const NodeView& vi = views[static_cast<std::size_t>(i)];
+      const NodeView& vj = views[static_cast<std::size_t>(j)];
+      if (i == j && graph.nodes[static_cast<std::size_t>(i)].multiplicity <= 1 &&
+          !facts.may_happen_in_parallel(i, j))
+        continue;  // a single sequential instance cannot conflict with itself
+
+      // Locations with at least one write on some side and any touch on
+      // the other.
+      std::set<AbsLoc> conflicting;
+      for (const AbsLoc& l : vi.effects.writes)
+        if (vj.effects.reads.count(l) || vj.effects.writes.count(l))
+          conflicting.insert(l);
+      for (const AbsLoc& l : vj.effects.writes)
+        if (vi.effects.reads.count(l)) conflicting.insert(l);
+
+      for (const AbsLoc& loc : conflicting) {
+        ConflictPair pair;
+        pair.a = i;
+        pair.b = j;
+        pair.loc = loc;
+
+        if (!facts.may_happen_in_parallel(i, j)) {
+          pair.discharge = Discharge::Ordered;
+          pair.rule = "fork-join program order";
+        } else if (loc.kind == AbsLoc::Kind::Local) {
+          pair.discharge = Discharge::PrivateOrFresh;
+          pair.rule = "per-element snapshot frame";
+        } else if (loc.kind == AbsLoc::Kind::Io) {
+          pair.discharge = Discharge::Residue;
+          pair.rule = "unordered output interleaving";
+          pair.opaque = true;
+        } else if (loc.kind == AbsLoc::Kind::Field) {
+          const bool wi = vi.effects.writes.count(loc) == 0 ||
+                          node_writes_only_fresh(vi, freshness, effects, loc);
+          const bool wj = vj.effects.writes.count(loc) == 0 ||
+                          node_writes_only_fresh(vj, freshness, effects, loc);
+          if (wi && wj) {
+            pair.discharge = Discharge::PrivateOrFresh;
+            pair.rule = "writes land on instance-fresh objects";
+          } else {
+            pair.discharge = Discharge::Residue;
+            pair.rule = "shared field writes";
+            pair.opaque = true;
+          }
+        } else {
+          // Elements / ListShape: refine access pair by access pair.
+          const RootFacts& rf =
+              facts_for(graph.nodes[static_cast<std::size_t>(i)].method);
+          auto it_a = vi.accesses.find(loc);
+          auto it_b = vj.accesses.find(loc);
+          static const std::vector<Access> kOpaqueOnly = {
+              {true, SubClass::Opaque, {}}};
+          const std::vector<Access>& A =
+              it_a != vi.accesses.end() ? it_a->second : kOpaqueOnly;
+          const std::vector<Access>& B =
+              it_b != vj.accesses.end() ? it_b->second : kOpaqueOnly;
+          bool all_discharged = true;
+          bool saw_uniform = false;
+          bool saw_roots = false;
+          for (const Access& x : A) {
+            for (const Access& y : B) {
+              if (!x.write && !y.write) continue;
+              if (x.sub == SubClass::Uniform && y.sub == SubClass::Uniform) {
+                saw_uniform = true;
+                continue;  // instance k touches slot k only
+              }
+              if (roots_separated(freshness, rf, x.root, y.root)) {
+                saw_roots = true;
+                continue;
+              }
+              all_discharged = false;
+              if (x.sub == SubClass::Opaque || y.sub == SubClass::Opaque)
+                pair.opaque = true;
+            }
+          }
+          if (all_discharged) {
+            pair.discharge = Discharge::Disjoint;
+            pair.rule = saw_uniform && saw_roots
+                            ? "induction-uniform subscripts + separated "
+                              "allocation roots"
+                        : saw_uniform ? "induction-uniform subscripts"
+                                      : "separated allocation roots";
+          } else {
+            pair.discharge = Discharge::Residue;
+            pair.rule = pair.opaque
+                            ? "subscript reaches memory the analysis cannot "
+                              "refine"
+                            : "pure induction subscripts beyond the uniform "
+                              "refinement";
+          }
+        }
+
+        switch (pair.discharge) {
+          case Discharge::Ordered: ++summary.ordered; break;
+          case Discharge::Disjoint: ++summary.disjoint; break;
+          case Discharge::PrivateOrFresh: ++summary.private_or_fresh; break;
+          case Discharge::Residue: ++summary.residue; break;
+        }
+        summary.pairs.push_back(std::move(pair));
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace patty::analysis

@@ -190,7 +190,12 @@ std::vector<Dep> SemanticModel::compute_loop_dependences(
     return projected;
   }
   const lang::MethodDecl* method = method_of(loop);
-  return static_loop_dependences(body, *effects_, method);
+  // Induction-subscript refinement: element locations always subscripted
+  // with the canonical induction variable cannot carry dependences across
+  // iterations, even under type-based array aliasing.
+  const std::set<AbsLoc> uniform = induction_uniform_elements(loop, *effects_);
+  return static_loop_dependences(body, *effects_, method,
+                                 uniform.empty() ? nullptr : &uniform);
 }
 
 double SemanticModel::runtime_share(const lang::Stmt& st) const {

@@ -17,8 +17,19 @@
 // (26,580 LoC detection-quality corpus) with per-loop ground truth.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
+
+namespace patty::lang {
+struct Program;
+}
+namespace patty::analysis {
+class SemanticModel;
+}
+namespace patty::patterns {
+struct DetectionResult;
+}
 
 namespace patty::corpus {
 
@@ -61,9 +72,19 @@ struct SyntheticConfig {
   bool map_kernels = true;        // clear parfor positives (TP)
   bool reduction_kernels = true;  // associative accumulations (TP)
   bool pipeline_kernels = true;   // ordered stream stages (TP)
-  bool cold_kernels = true;       // positives in never-profiled code (FN)
-  bool scatter_kernels = true;    // input-dependent aliasing traps (FP)
+  bool cold_kernels = true;       // positives in never-profiled code; the
+                                  // induction-uniform ones are discharged
+                                  // statically (TP), shifted-subscript ones
+                                  // in odd blocks stay missed (FN)
+  bool scatter_kernels = true;    // direct aliasing scatters, rejected by
+                                  // the PLDS scatter guard (TN)
   bool chain_kernels = true;      // true recurrences (TN)
+  bool shift_kernels = true;      // hot shifted-subscript maps: found by
+                                  // optimism (TP), missed by the static
+                                  // baseline (keeps the recall gap honest)
+  bool indirect_kernels = true;   // scatter hidden behind a local copy of
+                                  // the index load — escapes the syntactic
+                                  // scatter guard (FP)
 };
 
 /// Deterministic synthetic suite for the precision/recall study. Programs
@@ -120,6 +141,25 @@ struct FrontendConfig {
   /// size and worker count (~8 batches in flight per worker, capped at
   /// 32 programs per batch). Ignored by the sequential path.
   int batch_size = 0;
+  /// Optional per-program tap, invoked at the report sink with the full
+  /// front-end artifacts (AST, semantic model, detection result) before
+  /// they are torn down. Lets downstream drivers — the MHP certifier in
+  /// particular — run over every corpus program without re-parsing or
+  /// re-analyzing. Under the parallel front-end the hook fires on sink
+  /// threads, possibly concurrently: it must be thread-safe. Never called
+  /// for programs whose front-end failed (see ProgramReport::error).
+  std::function<void(const struct ProgramInspection&)> inspect;
+};
+
+/// Front-end artifacts for one successfully analyzed corpus program,
+/// handed to FrontendConfig::inspect. Pointers are valid only for the
+/// duration of the call.
+struct ProgramInspection {
+  std::size_t index = 0;  // corpus position
+  const CorpusProgram* program = nullptr;
+  const lang::Program* parsed = nullptr;
+  const analysis::SemanticModel* model = nullptr;
+  const patterns::DetectionResult* detection = nullptr;
 };
 
 /// The batch size the parallel front-end will use for a corpus of

@@ -85,13 +85,22 @@ DetectionScore score_detection(const CorpusProgram& program,
   return score;
 }
 
-ProgramReport report_for(ProgramTask& item) {
+ProgramReport report_for(ProgramTask& item, const FrontendConfig& config) {
   ProgramReport report;
   report.name = item.program->name;
   report.error = item.error;
   if (item.error.empty()) {
     report.score = score_detection(*item.program, item.detection);
     report.fingerprint = patterns::detection_fingerprint(item.detection);
+    if (config.inspect) {
+      ProgramInspection inspection;
+      inspection.index = item.index;
+      inspection.program = item.program;
+      inspection.parsed = item.parsed.get();
+      inspection.model = item.model.get();
+      inspection.detection = &item.detection;
+      config.inspect(inspection);
+    }
   }
   return report;
 }
@@ -160,7 +169,7 @@ CorpusReport evaluate_corpus(
       stage_parse(item);
       stage_model(item, config);
       stage_detect(item, config);
-      report.programs[i] = report_for(item);
+      report.programs[i] = report_for(item, config);
     }
   } else {
     // Self-hosted front-end: the corpus streams through the lock-free
@@ -212,11 +221,11 @@ CorpusReport evaluate_corpus(
           }
           return item;
         },
-        [&report](WorkItem&& item) {
+        [&report, &config](WorkItem&& item) {
           // Arrival order is nondeterministic behind replicated stages;
           // index-addressed slots restore corpus order exactly.
           for (ProgramTask& t : item.tasks)
-            report.programs[t.index] = report_for(t);
+            report.programs[t.index] = report_for(t, config);
         });
   }
 

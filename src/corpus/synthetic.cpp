@@ -130,31 +130,69 @@ CorpusProgram make_block(int index, Rng& rng, const SyntheticConfig& config) {
     b.line("  }");
   }
 
-  // 4) Positive hidden in never-executed code (missed: FN). The guard is
-  // data-dependent and false under the embedded input; the static fallback
-  // cannot tell dst/src apart (type-based aliasing) and rejects.
-  const int fn_count = config.cold_kernels ? ((index % 2 == 0) ? 1 : 2) : 0;
-  for (int f = 0; f < fn_count; ++f) {
+  // 3b) Shifted-subscript map (found by optimism: TP; the static baseline
+  // keeps the type-aliased carried dependence because the read subscript is
+  // i + 1, outside the induction-uniform refinement).
+  if (config.shift_kernels) {
+    b.line("  void ShiftKernel() {");
+    b.label(true, "parfor", "shifted read from a distinct array");
+    b.line("    for (int i = 0; i < " + N + " - 1; i++) {");
+    b.line("      dst[i] = src[i + 1] * " + std::to_string(rng.int_in(2, 9)) +
+           ";");
+    b.line("    }");
+    b.line("  }");
+  }
+
+  // 4) Positives hidden in never-executed code. ColdKernel0 is an
+  // induction-uniform map: the static fallback discharges its type-aliased
+  // carried dependence (every subscript is exactly i), so it is found
+  // without profiling (TP). Odd blocks add ColdKernel1, whose shifted read
+  // (i + 1) defeats the refinement — missed (FN) until the analysis learns
+  // subscript ranges.
+  const int cold_count = config.cold_kernels ? ((index % 2 == 0) ? 1 : 2) : 0;
+  for (int f = 0; f < cold_count; ++f) {
     b.line("  void ColdKernel" + std::to_string(f) + "(int flag) {");
     b.line("    if (flag > " + std::to_string(1000 + f) + ") {");
-    b.label(true, "parfor", "independent map in never-profiled branch");
-    b.line("      for (int i = 0; i < " + N + "; i++) {");
-    b.line("        dst[i] = src[i] + " + std::to_string(rng.int_in(1, 9)) +
-           ";");
+    if (f == 0) {
+      b.label(true, "parfor", "induction-uniform map in never-profiled branch");
+      b.line("      for (int i = 0; i < " + N + "; i++) {");
+      b.line("        dst[i] = src[i] + " + std::to_string(rng.int_in(1, 9)) +
+             ";");
+    } else {
+      b.label(true, "parfor", "shifted map in never-profiled branch");
+      b.line("      for (int i = 0; i < " + N + " - 1; i++) {");
+      b.line("        dst[i] = src[i + 1] + " +
+             std::to_string(rng.int_in(1, 9)) + ";");
+    }
     b.line("      }");
     b.line("    }");
     b.line("  }");
   }
 
-  // 5) Input-dependent aliasing (claimed: FP). idx is an identity
-  // permutation under the profiled input, so the optimistic analysis sees
-  // independent writes — but idx may contain duplicates in general, so the
-  // ground truth is NOT parallelizable.
+  // 5) Input-dependent aliasing. idx is an identity permutation under the
+  // profiled input, so the optimistic analysis sees independent writes —
+  // but idx may contain duplicates in general, so the ground truth is NOT
+  // parallelizable. The PLDS scatter guard rejects the direct form (the
+  // write subscript loads memory): TN.
   if (config.scatter_kernels) {
     b.line("  void ScatterKernel() {");
     b.label(false, "none", "scatter through possibly-duplicating index");
     b.line("    for (int i = 0; i < " + N + "; i++) {");
     b.line("      dst[idx[i]] = src[i] + 1;");
+    b.line("    }");
+    b.line("  }");
+  }
+
+  // 5b) The same trap hidden behind a local copy of the index load: the
+  // write subscript is a plain local, so the syntactic scatter guard does
+  // not fire and the optimistic analysis still claims it (FP) — irreducible
+  // without dataflow through per-iteration locals.
+  if (config.indirect_kernels) {
+    b.line("  void IndirectKernel() {");
+    b.label(false, "none", "scatter behind a local alias of the index load");
+    b.line("    for (int i = 0; i < " + N + "; i++) {");
+    b.line("      int j = idx[i];");
+    b.line("      dst[j] = src[i] + 2;");
     b.line("    }");
     b.line("  }");
   }
@@ -177,9 +215,11 @@ CorpusProgram make_block(int index, Rng& rng, const SyntheticConfig& config) {
   b.line(config.reduction_kernels ? "    int s = SumKernel();"
                                   : "    int s = 0;");
   if (config.pipeline_kernels) b.line("    PipeKernel();");
-  if (fn_count > 0) b.line("    ColdKernel0(0);");
-  if (fn_count > 1) b.line("    ColdKernel1(0);");
+  if (config.shift_kernels) b.line("    ShiftKernel();");
+  if (cold_count > 0) b.line("    ColdKernel0(0);");
+  if (cold_count > 1) b.line("    ColdKernel1(0);");
   if (config.scatter_kernels) b.line("    ScatterKernel();");
+  if (config.indirect_kernels) b.line("    IndirectKernel();");
   if (config.chain_kernels) b.line("    ChainKernel();");
   b.line("    print(s + len(out) + chain[" + N + " - 1] + dst[0]);");
   b.line("  }");

@@ -409,6 +409,47 @@ PipelineOutcome detect_data_parallel(const SemanticModel& model,
     return outcome;
   }
 
+  // PLDS: the loop passed on *observed* independence. If an array write
+  // subscripts through memory (another element, a field, a call result),
+  // the profiled input may be a collision-free special case — e.g. an
+  // identity permutation — of an aliasing scatter. Only when the static
+  // analysis disagrees (a carried dependence survives the induction
+  // refinement) is the observed evidence decisive, and then we do not
+  // trust it for memory-derived subscripts.
+  if (options.scatter_guard && options.optimistic &&
+      model.loop_was_profiled(loop)) {
+    bool memory_subscript_write = false;
+    for (const Stmt* top : body) {
+      lang::for_each_stmt(*top, [&](const Stmt& st) {
+        if (st.kind != StmtKind::Assign) return;
+        const auto& a = st.as<lang::Assign>();
+        if (a.target->kind != lang::ExprKind::IndexAccess) return;
+        const auto& ix = a.target->as<lang::IndexAccess>();
+        lang::for_each_expr_in(*ix.index, [&](const lang::Expr& e) {
+          if (e.kind == lang::ExprKind::IndexAccess ||
+              e.kind == lang::ExprKind::FieldAccess ||
+              e.kind == lang::ExprKind::Call ||
+              (e.kind == lang::ExprKind::VarRef &&
+               !e.as<lang::VarRef>().is_local()))
+            memory_subscript_write = true;
+        });
+      });
+      if (memory_subscript_write) break;
+    }
+    if (memory_subscript_write) {
+      bool static_carried = false;
+      for (const Dep& d : model.loop_dependences(loop, /*optimistic=*/false))
+        if (d.carried) static_carried = true;
+      if (static_carried) {
+        outcome.rejection = {&loop, "PLDS",
+                             "array write subscripted through memory; "
+                             "observed independence may not generalize "
+                             "beyond the profiled input"};
+        return outcome;
+      }
+    }
+  }
+
   Candidate cand;
   cand.kind = PatternKind::DataParallelLoop;
   cand.anchor = &loop;
@@ -568,6 +609,10 @@ PipelineOutcome match_loop(const SemanticModel& model,
       return {};  // matched but below threshold: no candidate, no rejection
     return dp;
   }
+  // A PLDS verdict is a safety rejection, not a shape mismatch: the loop
+  // must not run in parallel at all, so do not offer it as a pipeline and
+  // keep the guard's reason visible.
+  if (dp.rejection && dp.rejection->rule == "PLDS") return dp;
   PipelineOutcome pl = detect_pipeline(model, *li.loop, options);
   if (pl.candidate) {
     if (pl.candidate->runtime_share < options.min_runtime_share) return {};

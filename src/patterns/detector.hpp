@@ -22,6 +22,14 @@ struct DetectionOptions {
   double min_runtime_share = 0.0;
   /// Default replication ceiling offered to the tuner.
   int max_replication = 8;
+  /// PLDS: distrust observed independence for array writes whose subscript
+  /// loads memory (`a[idx[i]] = ...`): the profiled input may be a
+  /// collision-free special case of an aliasing access pattern. Fires only
+  /// when the static analysis disagrees (sees a carried dependence), so
+  /// statically-proven loops are unaffected. Off reproduces the pre-guard
+  /// optimistic detector (used by the certification tests to manufacture
+  /// racy residue).
+  bool scatter_guard = true;
   /// Self-hosted front-end: per-loop pattern matching fans out over the
   /// runtime's own pool (parallel_for over the loop list, master/worker
   /// region detection concurrently). Output is byte-identical to the

@@ -1,0 +1,114 @@
+#pragma once
+// MHP certification of transformed programs: prove, then probe.
+//
+// For every candidate a detection run produced, the certifier reconstructs
+// the fork-join region the plan executor would run (plan_region_shapes),
+// computes the may-happen-in-parallel relation over its node graph
+// (analysis/mhp), and intersects it with the effect analysis to enumerate
+// candidate conflicting access pairs. Pairs proven ordered by the fork-join
+// structure, or disjoint/private by the effect + freshness machinery, are
+// discharged statically; only the residue is lowered into systematic
+// interleaving probes on the CHESS-style explorer (patty::race):
+//
+//  * conflict probes — each residue pair becomes a task set touching the
+//    cells the pair names. Opaque residue (subscripts that load memory,
+//    call-summary-only accesses, shared field writes) must assume
+//    worst-case aliasing, so both instances share one cell and the
+//    vector-clock detector decides; non-opaque residue (pure index
+//    arithmetic beyond the uniform refinement) models the instances on the
+//    distinct cells its element indices name — the explorer then certifies
+//    that the region's structure around them admits no other conflict.
+//  * order probes — a pipeline stage tuned to replication > 1 with order
+//    preservation off is a structural residue (the undecidable case the
+//    paper defers to testing); explore_order_probe hunts the
+//    emission-order-violating schedule.
+//
+// Verdict ladder: certified-static (no residue at all), certified-explored
+// (residue, every probe clean), residue-raced (some probe provoked a race
+// or violation). A program's verdict is the worst over its candidates.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/mhp.hpp"
+#include "corpus/corpus.hpp"
+#include "patterns/candidate.hpp"
+#include "transform/plan.hpp"
+
+namespace patty::transform {
+
+enum class Verdict : std::uint8_t {
+  CertifiedStatic,
+  CertifiedExplored,
+  ResidueRaced,
+};
+
+/// "certified-static" / "certified-explored" / "residue-raced".
+const char* verdict_name(Verdict v);
+
+/// One explorer probe lowered from a residue pair or a structural order
+/// residue.
+struct ProbeOutcome {
+  std::string label;   // which pair / stage the probe modeled
+  bool raced = false;  // explorer provoked a race / order violation
+  std::size_t schedules_explored = 0;
+  std::string detail;  // first failure description ("" when clean)
+};
+
+struct ProgramCertificate {
+  std::string program;
+  Verdict verdict = Verdict::CertifiedStatic;
+  /// Conflicting access pairs over all of the program's regions.
+  analysis::MhpSummary summary;
+  std::vector<ProbeOutcome> probes;
+  /// Nonempty when the front-end failed; nothing was certified.
+  std::string error;
+};
+
+/// Build the MHP node graph for a set of region shapes: one region per
+/// shape (the executor joins each region before the next starts, so
+/// cross-region pairs are ordered), one node per stage. A stage replication
+/// of 0 (runtime default: one worker per hardware thread) is treated as
+/// "more than one instance".
+analysis::MhpGraph build_region_graph(const std::vector<RegionShape>& shapes);
+
+/// Certify one program's candidates under a tuning (null = defaults).
+ProgramCertificate certify_program(
+    const lang::Program& program,
+    const std::vector<patterns::Candidate>& candidates,
+    const rt::TuningConfig* tuning = nullptr,
+    const std::string& name = "program");
+
+struct CertificationTotals {
+  std::size_t programs = 0;
+  std::size_t certified_static = 0;
+  std::size_t certified_explored = 0;
+  std::size_t residue_raced = 0;
+  std::size_t errors = 0;
+  // Pair-level discharge totals across the corpus.
+  std::size_t pairs = 0;
+  std::size_t ordered = 0;
+  std::size_t disjoint = 0;
+  std::size_t private_or_fresh = 0;
+  std::size_t residue = 0;
+  std::size_t probes = 0;
+  std::size_t probes_raced = 0;
+};
+
+struct CorpusCertification {
+  std::vector<ProgramCertificate> programs;  // corpus order
+  CertificationTotals totals;
+};
+
+/// Drive certification over a corpus through the evaluation front-end
+/// (corpus::evaluate_corpus with the inspect tap): every program that
+/// parses and analyzes gets a verdict; front-end failures surface as
+/// certificates with `error` set. `base` controls the front-end (parallel,
+/// optimistic, threads); its inspect member is overwritten. Publishes the
+/// `mhp.*` counters when observability is on.
+CorpusCertification certify_corpus(
+    const std::vector<const corpus::CorpusProgram*>& programs,
+    corpus::FrontendConfig base = {});
+
+}  // namespace patty::transform

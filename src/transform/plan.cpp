@@ -44,6 +44,8 @@ struct LoopPlan {
   std::vector<const Stmt*> body;
   /// Outer-declared local slots written by the body (ordered write-back).
   std::vector<int> writeback_slots;
+  /// Loop variable managed by the header (element index), -1 if none.
+  int induction_slot = -1;
   /// Reduction bookkeeping (data-parallel reductions only).
   int reduction_slot = -1;
   lang::BinaryOp reduction_op = lang::BinaryOp::Add;
@@ -52,6 +54,20 @@ struct LoopPlan {
 
   [[nodiscard]] bool unsafe() const { return !unsafe_reason.empty(); }
 };
+
+/// Tuning parameter lookup by name suffix, shared by the executor and the
+/// shape computation so both resolve parameters identically.
+std::int64_t tuned_param(const Candidate& c, const rt::TuningConfig* tuning,
+                         const std::string& suffix, std::int64_t fallback) {
+  for (const rt::TuningParameter& p : c.tuning) {
+    if (p.name.size() > suffix.size() &&
+        p.name.compare(p.name.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+      return tuning ? tuning->get_or(p.name, p.value) : p.value;
+    }
+  }
+  return fallback;
+}
 
 /// Collect every local slot declared inside a statement subtree.
 std::set<int> declared_slots(const std::vector<const Stmt*>& body) {
@@ -89,6 +105,105 @@ void expr_slots(const lang::Expr& e, std::set<int>* slots) {
   });
 }
 
+/// The safety/shape analysis of one loop candidate (pipeline or
+/// data-parallel): body statements, write-back slots, reduction
+/// bookkeeping, and every reason the executor must fall back to sequential.
+/// Shared by the executor's plan builder and plan_region_shapes so the
+/// certifier reasons about exactly the region the executor would run.
+LoopPlan analyze_loop_plan(const Candidate& c,
+                           const analysis::EffectAnalysis& effects) {
+  LoopPlan plan;
+  plan.candidate = &c;
+  plan.body = analysis::loop_body_statements(*c.anchor);
+
+  if (c.anchor->kind == StmtKind::While) {
+    plan.unsafe_reason = "while-loop headers cannot stream-generate";
+  }
+
+  const std::set<int> declared = declared_slots(plan.body);
+  std::set<int> reads, writes;
+  body_local_effects(effects, plan.body, &reads, &writes);
+
+  // Header slots: For init/cond/step, Foreach loop variable + iterable.
+  std::set<int> header_reads;
+  if (c.anchor->kind == StmtKind::For) {
+    const auto& f = c.anchor->as<lang::For>();
+    if (f.cond) expr_slots(*f.cond, &header_reads);
+    if (f.step) {
+      const analysis::EffectSet es = effects.stmt_effects(*f.step);
+      for (const analysis::AbsLoc& l : es.reads)
+        if (l.kind == analysis::AbsLoc::Kind::Local)
+          header_reads.insert(l.slot);
+      for (const analysis::AbsLoc& l : es.writes)
+        if (l.kind == analysis::AbsLoc::Kind::Local && writes.count(l.slot))
+          plan.unsafe_reason = "loop body writes the induction variable";
+    }
+    if (f.init && f.init->kind == StmtKind::VarDecl)
+      plan.induction_slot = f.init->as<lang::VarDecl>().slot;
+  } else if (c.anchor->kind == StmtKind::Foreach) {
+    plan.induction_slot = c.anchor->as<lang::Foreach>().slot;
+  }
+
+  // Reduction bookkeeping.
+  if (c.is_reduction && c.reduction_stmt_id >= 0) {
+    const Stmt* red = nullptr;
+    for (const Stmt* top : plan.body) {
+      lang::for_each_stmt(*top, [&](const Stmt& st) {
+        if (st.id == c.reduction_stmt_id) red = &st;
+      });
+    }
+    if (red && red->kind == StmtKind::Assign) {
+      const auto& a = red->as<lang::Assign>();
+      if (a.target->kind == lang::ExprKind::VarRef) {
+        const auto& tgt = a.target->as<lang::VarRef>();
+        if (tgt.is_local() && a.value->kind == lang::ExprKind::Binary) {
+          plan.reduction_slot = tgt.slot;
+          plan.reduction_op = a.value->as<lang::Binary>().op;
+        } else {
+          plan.unsafe_reason =
+              "reduction accumulator is a field (shared heap state)";
+        }
+      }
+    }
+    if (plan.reduction_slot < 0 && plan.unsafe_reason.empty())
+      plan.unsafe_reason = "reduction statement shape not executable";
+  }
+
+  // Scalar carried state: an outer-declared slot both written and read by
+  // the body (or read by the loop header) cannot be represented with
+  // per-element snapshot frames.
+  if (plan.unsafe_reason.empty()) {
+    for (int slot : writes) {
+      if (declared.count(slot)) continue;     // per-iteration temporary
+      if (slot == plan.induction_slot) continue;  // header-managed
+      if (slot == plan.reduction_slot) continue;  // handled specially
+      if (reads.count(slot) || header_reads.count(slot)) {
+        plan.unsafe_reason =
+            "loop-carried scalar state in an outer local (slot " +
+            std::to_string(slot) + ")";
+        break;
+      }
+      plan.writeback_slots.push_back(slot);
+    }
+  }
+  return plan;
+}
+
+/// Method whose body contains the statement with this id, or null.
+const lang::MethodDecl* method_containing(const lang::Program& program,
+                                          int stmt_id) {
+  for (const auto& cls : program.classes) {
+    for (const auto& m : cls->methods) {
+      bool found = false;
+      lang::for_each_stmt(*m->body, [&](const Stmt& st) {
+        if (st.id == stmt_id) found = true;
+      });
+      if (found) return m.get();
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 struct ParallelPlanExecutor::Impl {
@@ -119,14 +234,7 @@ struct ParallelPlanExecutor::Impl {
 
   std::int64_t param(const Candidate& c, const std::string& suffix,
                      std::int64_t fallback) const {
-    for (const rt::TuningParameter& p : c.tuning) {
-      if (p.name.size() > suffix.size() &&
-          p.name.compare(p.name.size() - suffix.size(), suffix.size(),
-                         suffix) == 0) {
-        return tuning ? tuning->get_or(p.name, p.value) : p.value;
-      }
-    }
-    return fallback;
+    return tuned_param(c, tuning, suffix, fallback);
   }
 
   void build_plan(const Candidate& c) {
@@ -139,83 +247,7 @@ struct ParallelPlanExecutor::Impl {
         absorbed.insert(c.task_stmt_ids[i]);
       return;
     }
-
-    LoopPlan plan;
-    plan.candidate = &c;
-    plan.body = analysis::loop_body_statements(*c.anchor);
-
-    if (c.anchor->kind == StmtKind::While) {
-      plan.unsafe_reason = "while-loop headers cannot stream-generate";
-    }
-
-    const std::set<int> declared = declared_slots(plan.body);
-    std::set<int> reads, writes;
-    body_local_effects(*effects, plan.body, &reads, &writes);
-
-    // Header slots: For init/cond/step, Foreach loop variable + iterable.
-    std::set<int> header_reads;
-    int loop_var_slot = -1;
-    if (c.anchor->kind == StmtKind::For) {
-      const auto& f = c.anchor->as<lang::For>();
-      if (f.cond) expr_slots(*f.cond, &header_reads);
-      if (f.step) {
-        const analysis::EffectSet es = effects->stmt_effects(*f.step);
-        for (const analysis::AbsLoc& l : es.reads)
-          if (l.kind == analysis::AbsLoc::Kind::Local)
-            header_reads.insert(l.slot);
-        for (const analysis::AbsLoc& l : es.writes)
-          if (l.kind == analysis::AbsLoc::Kind::Local && writes.count(l.slot))
-            plan.unsafe_reason = "loop body writes the induction variable";
-      }
-      if (f.init && f.init->kind == StmtKind::VarDecl)
-        loop_var_slot = f.init->as<lang::VarDecl>().slot;
-    } else if (c.anchor->kind == StmtKind::Foreach) {
-      loop_var_slot = c.anchor->as<lang::Foreach>().slot;
-    }
-
-    // Reduction bookkeeping.
-    if (c.is_reduction && c.reduction_stmt_id >= 0) {
-      const Stmt* red = nullptr;
-      for (const Stmt* top : plan.body) {
-        lang::for_each_stmt(*top, [&](const Stmt& st) {
-          if (st.id == c.reduction_stmt_id) red = &st;
-        });
-      }
-      if (red && red->kind == StmtKind::Assign) {
-        const auto& a = red->as<lang::Assign>();
-        if (a.target->kind == lang::ExprKind::VarRef) {
-          const auto& tgt = a.target->as<lang::VarRef>();
-          if (tgt.is_local() && a.value->kind == lang::ExprKind::Binary) {
-            plan.reduction_slot = tgt.slot;
-            plan.reduction_op = a.value->as<lang::Binary>().op;
-          } else {
-            plan.unsafe_reason =
-                "reduction accumulator is a field (shared heap state)";
-          }
-        }
-      }
-      if (plan.reduction_slot < 0 && plan.unsafe_reason.empty())
-        plan.unsafe_reason = "reduction statement shape not executable";
-    }
-
-    // Scalar carried state: an outer-declared slot both written and read by
-    // the body (or read by the loop header) cannot be represented with
-    // per-element snapshot frames.
-    if (plan.unsafe_reason.empty()) {
-      for (int slot : writes) {
-        if (declared.count(slot)) continue;     // per-iteration temporary
-        if (slot == loop_var_slot) continue;    // header-managed
-        if (slot == plan.reduction_slot) continue;  // handled specially
-        if (reads.count(slot) || header_reads.count(slot)) {
-          plan.unsafe_reason =
-              "loop-carried scalar state in an outer local (slot " +
-              std::to_string(slot) + ")";
-          break;
-        }
-        plan.writeback_slots.push_back(slot);
-      }
-    }
-    plans[c.anchor->id] = std::move(plan);
+    plans[c.anchor->id] = analyze_loop_plan(c, *effects);
   }
 
   PlanReport& report_for(const Candidate& c) {
@@ -628,6 +660,89 @@ rt::TuningConfig default_tuning(const std::vector<Candidate>& candidates) {
   for (const Candidate& c : candidates)
     for (const rt::TuningParameter& p : c.tuning) config.define(p);
   return config;
+}
+
+std::vector<RegionShape> plan_region_shapes(
+    const lang::Program& program, const std::vector<Candidate>& candidates,
+    const rt::TuningConfig* tuning) {
+  const analysis::CallGraph cg = analysis::build_call_graph(program);
+  const analysis::EffectAnalysis effects(program, cg);
+
+  std::vector<RegionShape> shapes;
+  shapes.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    if (!c.anchor) continue;
+    RegionShape shape;
+    shape.candidate = &c;
+    shape.method = method_containing(program, c.anchor->id);
+
+    if (c.kind == PatternKind::MasterWorker) {
+      for (std::size_t k = 0; k < c.task_stmt_ids.size(); ++k) {
+        StageShape stage;
+        stage.label = "task" + std::to_string(k);
+        const Stmt* st = nullptr;
+        if (shape.method) {
+          lang::for_each_stmt(*shape.method->body, [&](const Stmt& s) {
+            if (s.id == c.task_stmt_ids[k]) st = &s;
+          });
+        }
+        if (st) stage.stmts.push_back(st);
+        shape.stages.push_back(std::move(stage));
+      }
+      shapes.push_back(std::move(shape));
+      continue;
+    }
+
+    const LoopPlan plan = analyze_loop_plan(c, effects);
+    shape.induction_slot = plan.induction_slot;
+    shape.reduction_slot = plan.reduction_slot;
+    if (plan.unsafe() || tuned_param(c, tuning, ".sequential", 0) != 0) {
+      shape.sequential = true;
+      shape.sequential_reason =
+          plan.unsafe() ? plan.unsafe_reason : "SequentialExecution enabled";
+    }
+
+    if (c.kind == PatternKind::DataParallelLoop) {
+      StageShape stage;
+      stage.label = "body";
+      stage.replication =
+          static_cast<int>(tuned_param(c, tuning, ".threads", 0));
+      if (stage.replication < 0) stage.replication = 0;
+      stage.stmts = plan.body;
+      shape.stages.push_back(std::move(stage));
+    } else {
+      // Pipeline: one stage shape per StageSpec, in section order. Stages
+      // of a multi-member section run concurrently even on the same
+      // element (the executor gives the section a worker crew); the
+      // detector only groups stages it proved mutually independent.
+      auto stmts_of = [&](const patterns::StageSpec& spec) {
+        std::vector<const Stmt*> out;
+        for (int id : spec.stmt_ids)
+          for (const Stmt* st : plan.body)
+            if (st->id == id) out.push_back(st);
+        return out;
+      };
+      for (const auto& section : c.sections) {
+        for (int idx : section) {
+          const patterns::StageSpec& spec =
+              c.stages[static_cast<std::size_t>(idx)];
+          StageShape stage;
+          stage.label = spec.label;
+          stage.stmts = stmts_of(spec);
+          if (spec.replicable) {
+            stage.replication = static_cast<int>(tuned_param(
+                c, tuning, ".stage" + spec.label + ".replication", 1));
+            if (stage.replication < 1) stage.replication = 1;
+          }
+          stage.preserve_order =
+              tuned_param(c, tuning, ".stage" + spec.label + ".order", 1) != 0;
+          shape.stages.push_back(std::move(stage));
+        }
+      }
+    }
+    shapes.push_back(std::move(shape));
+  }
+  return shapes;
 }
 
 }  // namespace patty::transform

@@ -153,6 +153,14 @@ std::int64_t config_suffix_or(const rt::TuningConfig& config,
 
 }  // namespace
 
+bool same_failure_class(const std::string& a, const std::string& b) {
+  auto failure_class = [](std::string_view msg) {
+    const auto pos = msg.rfind(": ");
+    return pos == std::string_view::npos ? msg : msg.substr(pos + 2);
+  };
+  return failure_class(a) == failure_class(b);
+}
+
 ExplorationOutcome explore_order_probe(const ParallelUnitTest& test,
                                        int preemption_bound) {
   const auto replication =
@@ -199,9 +207,14 @@ ExplorationOutcome explore_order_probe(const ParallelUnitTest& test,
     // through the textual form and re-execute standalone.
     if (const auto parsed = race::Schedule::from_string(
             outcome.failing_schedule)) {
+      // Compare on failure class, not message bytes: the replay re-executes
+      // every worker, so the violation may surface on a different item/slot
+      // pair while still being the identical kind of failure at the same
+      // site — previously such replays were silently reported unverified.
       const race::ReplayResult rep = race::replay(workers, *parsed, opts);
       for (const std::string& msg : rep.assertion_failures)
-        if (msg == outcome.detail) outcome.replay_verified = true;
+        if (same_failure_class(msg, outcome.detail))
+          outcome.replay_verified = true;
     }
   }
   return outcome;

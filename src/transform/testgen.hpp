@@ -90,6 +90,15 @@ TestOutcome run_unit_test(const lang::Program& program,
 ExplorationOutcome explore_order_probe(const ParallelUnitTest& test,
                                        int preemption_bound = 2);
 
+/// Two interleaving-failure messages describe the same failure *class* when
+/// their violation kind — the text after the last ": " separator — matches:
+/// "item 3 emitted at slot 1: order violated" and "item 0 emitted at slot
+/// 2: order violated" are the same class (which elements collide depends on
+/// the interleaving), while "...: order violated" vs "...: lost update" are
+/// not. Replay verification compares on class, not bytes: a replay that
+/// fails the same way on different elements still certifies the schedule.
+bool same_failure_class(const std::string& a, const std::string& b);
+
 /// Path-coverage input selection: each entry of `variant_sources` is a
 /// complete MiniOO program (same code, different embedded input data). The
 /// result is a minimal-ish subset (greedy set cover) whose union covers

@@ -246,6 +246,44 @@ TEST(EffectsTest, IndexWriteHitsElements) {
   EXPECT_TRUE(es.writes.count(AbsLoc::elements("int[]")));
 }
 
+TEST(EffectsTest, EqualityAgreesWithThreeWayComparisonOverAllKinds) {
+  // Property: for every pair of locations, operator== and cmp() must tell
+  // the same story — equality is defined as cmp() == 0 precisely so the two
+  // can never drift apart when AbsLoc grows fields, and this test keeps any
+  // future hand-rolled operator== honest. The battery covers every kind and
+  // the order-sensitive corners: slots whose decimal spellings sort unlike
+  // their values (2 vs 10), class names where one is a prefix of another
+  // (the ':' sentinel in the Field key), and shared vs. distinct type sigs.
+  std::vector<AbsLoc> locs;
+  for (int slot : {0, 1, 2, 10}) locs.push_back(AbsLoc::local(slot));
+  for (const char* cls : {"A", "AB", "Counter"})
+    for (int field : {0, 1, 10}) locs.push_back(AbsLoc::field_loc(cls, field));
+  for (const char* sig : {"int[]", "list<int>", "list<list<int>>"}) {
+    locs.push_back(AbsLoc::elements(sig));
+    locs.push_back(AbsLoc::list_shape(sig));
+  }
+  locs.push_back(AbsLoc::io());
+  // Duplicates constructed independently must land equal.
+  locs.push_back(AbsLoc::local(2));
+  locs.push_back(AbsLoc::field_loc("AB", 1));
+  locs.push_back(AbsLoc::elements("int[]"));
+
+  for (const AbsLoc& a : locs) {
+    for (const AbsLoc& b : locs) {
+      const int c = a.cmp(b);
+      EXPECT_EQ(a == b, c == 0) << a.key() << " vs " << b.key();
+      EXPECT_EQ(a < b, c < 0) << a.key() << " vs " << b.key();
+      // cmp matches the legacy string order of key() exactly.
+      EXPECT_EQ(c < 0, a.key() < b.key()) << a.key() << " vs " << b.key();
+      EXPECT_EQ(c == 0, a.key() == b.key()) << a.key() << " vs " << b.key();
+      // Antisymmetry.
+      EXPECT_EQ(c == 0 ? 0 : (c < 0 ? -1 : 1),
+                b.cmp(a) == 0 ? 0 : (b.cmp(a) < 0 ? 1 : -1))
+          << a.key() << " vs " << b.key();
+    }
+  }
+}
+
 // --- Static loop dependences -------------------------------------------------
 
 TEST(StaticDepTest, IndependentIterationsHaveNoCarriedDeps) {

@@ -132,17 +132,23 @@ TEST(CorpusTest, SyntheticProgramsParseAndRun) {
 }
 
 TEST(CorpusTest, SyntheticBlockHasDesignedStructure) {
-  // Per even block: 3 TP, 1 FN, 1 FP, 1 TN; odd blocks add one FN.
+  // Per even block: 5 TP (map, reduction, pipeline, cold induction-uniform
+  // map, hot shifted map), 1 FP (indirect scatter), 2 TN (direct scatter,
+  // recurrence), 0 FN; odd blocks add one FN (the cold *shifted* map that
+  // the induction refinement cannot discharge).
   auto suite = synthetic_suite(2, 42);
   std::string error;
   const DetectionScore even = score_program(suite[0], true, &error);
   EXPECT_TRUE(error.empty()) << error;
-  EXPECT_EQ(even.true_positives, 3);
-  EXPECT_EQ(even.false_negatives, 1);
+  EXPECT_EQ(even.true_positives, 5);
+  EXPECT_EQ(even.false_negatives, 0);
   EXPECT_EQ(even.false_positives, 1);
-  EXPECT_EQ(even.true_negatives, 1);
+  EXPECT_EQ(even.true_negatives, 2);
   const DetectionScore odd = score_program(suite[1], true, &error);
-  EXPECT_EQ(odd.false_negatives, 2);
+  EXPECT_EQ(odd.true_positives, 5);
+  EXPECT_EQ(odd.false_negatives, 1);
+  EXPECT_EQ(odd.false_positives, 1);
+  EXPECT_EQ(odd.true_negatives, 2);
 }
 
 TEST(CorpusTest, SyntheticConfigDefaultsMatchLegacyOverload) {
@@ -176,15 +182,19 @@ TEST(CorpusTest, SyntheticConfigControlsMixSizeAndNoise) {
   // still parses and runs.
   SyntheticConfig config;
   config.programs = 2;
-  config.cold_kernels = false;     // drops the FN family
-  config.scatter_kernels = false;  // drops the FP family
-  config.min_filler = 2;           // and shrink the noise
+  config.cold_kernels = false;      // drops the cold families (incl. the FN)
+  config.scatter_kernels = false;   // drops the direct-scatter TN family
+  config.indirect_kernels = false;  // drops the FP family
+  config.shift_kernels = false;     // drops the optimism-only TP family
+  config.min_filler = 2;            // and shrink the noise
   config.max_filler = 3;
   config.min_elems = 8;
   config.max_elems = 8;
   for (const CorpusProgram& p : synthetic_suite(config)) {
     EXPECT_EQ(p.source.find("ColdKernel"), std::string::npos);
     EXPECT_EQ(p.source.find("ScatterKernel"), std::string::npos);
+    EXPECT_EQ(p.source.find("IndirectKernel"), std::string::npos);
+    EXPECT_EQ(p.source.find("ShiftKernel"), std::string::npos);
     DiagnosticSink diags;
     auto program = lang::parse_and_check(p.source, diags);
     ASSERT_TRUE(program) << p.name << ": " << diags.to_string();

@@ -219,5 +219,123 @@ class Main {
     EXPECT_FALSE(c.is_reduction);
 }
 
+TEST(DetectorEdgeTest, FalseNegativeFixColdUniformMapFoundStatically) {
+  // Regression (PR-8 FN fix): a parallel map in a never-executed branch has
+  // no profile, so detection falls back to the static analysis — which used
+  // to reject `dst[i] = src[i] + 1` on the type-aliased Elements(int[])
+  // self-dependence. The induction-subscript refinement discharges it:
+  // every element access subscripts with exactly the canonical induction
+  // variable, so iterations touch disjoint indices in any aliasing.
+  Detect d(R"(
+class Main {
+  int[] src; int[] dst;
+  void init() { src = new int[16]; dst = new int[16]; }
+  void Cold(int flag) {
+    if (flag > 1000) {
+      for (int i = 0; i < 16; i++) {
+        dst[i] = src[i] + 1;
+      }
+    }
+  }
+  void main() {
+    Cold(0);
+    print(dst[0]);
+  }
+})");
+  EXPECT_NE(d.find(PatternKind::DataParallelLoop), nullptr);
+  // The same holds for the purely static baseline: no profile is involved.
+  DetectionOptions static_opts;
+  static_opts.optimistic = false;
+  Detect baseline(R"(
+class Main {
+  int[] src; int[] dst;
+  void init() { src = new int[16]; dst = new int[16]; }
+  void main() {
+    for (int i = 0; i < 16; i++) {
+      dst[i] = src[i] + 1;
+    }
+    print(dst[0]);
+  }
+})",
+                  static_opts);
+  EXPECT_NE(baseline.find(PatternKind::DataParallelLoop), nullptr);
+}
+
+TEST(DetectorEdgeTest, InductionRefinementKeepsRealRecurrences) {
+  // The refinement must not discharge subscripts it cannot prove disjoint:
+  // a first-order recurrence reads chain[i - 1].
+  Detect d(R"(
+class Main {
+  void main() {
+    int[] chain = new int[16];
+    chain[0] = 1;
+    for (int i = 1; i < 16; i++) {
+      chain[i] = chain[i - 1] + 1;
+    }
+    print(chain[15]);
+  }
+})");
+  EXPECT_EQ(d.find(PatternKind::DataParallelLoop), nullptr);
+}
+
+TEST(DetectorEdgeTest, FalsePositiveFixScatterGuardRejectsIndexLoad) {
+  // Regression (PR-8 FP fix): the profiled input makes idx an identity
+  // permutation, so the observed dependences show independent writes — but
+  // idx may contain duplicates in general. The PLDS guard distrusts the
+  // observed evidence because the write subscript loads memory and the
+  // static analysis still sees a carried dependence.
+  const char* src = R"(
+class Main {
+  int[] src; int[] dst; int[] idx;
+  void init() {
+    src = new int[16]; dst = new int[16]; idx = new int[16];
+    for (int i = 0; i < 16; i++) { idx[i] = i; src[i] = i * 3; }
+  }
+  void main() {
+    for (int i = 0; i < 16; i++) {
+      dst[idx[i]] = src[i] + 1;
+    }
+    print(dst[0]);
+  }
+})";
+  // (The init loop is a legitimate data-parallel candidate, so assertions
+  // target the scatter loop in main.)
+  auto main_parfor = [](const Detect& d) {
+    for (const Candidate& c : d.result.candidates)
+      if (c.kind == PatternKind::DataParallelLoop &&
+          c.method->name.view() == "main")
+        return true;
+    return false;
+  };
+  Detect guarded(src);
+  EXPECT_FALSE(main_parfor(guarded));
+  bool plds = false;
+  for (const RejectedLoop& r : guarded.result.rejected)
+    if (r.rule == "PLDS") plds = true;
+  EXPECT_TRUE(plds);
+  // Disabling the guard reproduces the pre-fix optimistic claim — the knob
+  // the certification suite uses to manufacture racy residue.
+  DetectionOptions unguarded;
+  unguarded.scatter_guard = false;
+  Detect trusting(src, unguarded);
+  EXPECT_TRUE(main_parfor(trusting));
+}
+
+TEST(DetectorEdgeTest, ScatterGuardLeavesPureSubscriptsAlone) {
+  // Affine local-only subscripts carry no aliasing risk: the guard must not
+  // reject the classic hot map (precision on the verified kernels).
+  Detect d(R"(
+class Main {
+  void main() {
+    int[] a = new int[32];
+    for (int i = 0; i < 32; i++) {
+      a[i * 1] = i + work(2);
+    }
+    print(a[0]);
+  }
+})");
+  EXPECT_NE(d.find(PatternKind::DataParallelLoop), nullptr);
+}
+
 }  // namespace
 }  // namespace patty::patterns

@@ -369,15 +369,17 @@ class Main {
 }
 
 TEST(DetectAllTest, OptimisticFindsMoreThanStatic) {
-  // Disjoint arrays: dynamic analysis proves independence, the type-based
-  // static analysis cannot (paper's core optimism argument).
+  // Disjoint arrays with a shifted read: dynamic analysis proves
+  // independence, while the type-based static analysis cannot — the i + 1
+  // subscript defeats the induction-uniform refinement, so this is the
+  // paper's core optimism argument in its post-refinement form.
   const char* src = R"(
 class Main {
   void main() {
     int[] src = new int[32];
     int[] dst = new int[32];
-    for (int i = 0; i < 32; i++) {
-      dst[i] = src[i] + work(3);
+    for (int i = 0; i < 31; i++) {
+      dst[i] = src[i + 1] + work(3);
     }
     print(dst[0]);
   }

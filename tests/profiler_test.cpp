@@ -98,12 +98,14 @@ TEST(ProfilerTest, CallCounts) {
 TEST(ProfilerTest, ObservedDepsDistinguishDisjointArrays) {
   // The static analysis reports a spurious carried dependence between two
   // int[] objects; the dynamic profile must NOT (optimistic analysis).
+  // The shifted read subscript keeps the loop outside the
+  // induction-uniform refinement, so the static side stays conservative.
   Model m(R"(class Main {
     void main() {
       int[] src = new int[10];
       int[] dst = new int[10];
-      for (int i = 0; i < 10; i++) {
-        dst[i] = src[i] + 1;
+      for (int i = 0; i < 9; i++) {
+        dst[i] = src[i + 1] + 1;
       }
     }
   })");

@@ -345,6 +345,26 @@ TEST(TestGenTest, OrderProbeExploresAndSerializesFailingSchedule) {
   EXPECT_TRUE(probed);
 }
 
+TEST(TestGenTest, ReplayVerificationComparesFailureClassNotBytes) {
+  // Pin for the replay_verified bug: the replay re-executes every worker,
+  // so the violation can surface on a different item/slot pair than the
+  // exploration's first failure. Byte-equality silently reported such
+  // replays unverified; the comparison is on failure class (the violation
+  // kind after the last ": ").
+  EXPECT_TRUE(same_failure_class("item 3 emitted at slot 1: order violated",
+                                 "item 0 emitted at slot 2: order violated"));
+  EXPECT_TRUE(same_failure_class("order violated", "order violated"));
+  EXPECT_FALSE(same_failure_class("item 3 emitted at slot 1: order violated",
+                                  "item 3 emitted at slot 1: lost update"));
+  // No separator: the whole message is the class.
+  EXPECT_FALSE(same_failure_class("deadlock", "livelock"));
+  EXPECT_TRUE(same_failure_class("deadlock", "deadlock"));
+  // Same class, different site: distinct suffixes keep distinct sites
+  // apart when callers embed the site in the kind segment.
+  EXPECT_FALSE(same_failure_class("x: order violated at sink",
+                                  "x: order violated at stage B"));
+}
+
 TEST(TestGenTest, InputSelectionCoversBranches) {
   // Variant 0 covers the small branch, variant 1 the big one, variant 2
   // adds nothing beyond variant 1.
