@@ -23,6 +23,7 @@
 #include "transform/codegen.hpp"
 #include "transform/plan.hpp"
 #include "transform/testgen.hpp"
+#include "tuning/model.hpp"
 
 int main() {
   using namespace patty;
@@ -50,11 +51,17 @@ int main() {
 
   // Phase 2: source pattern detection.
   auto detection = patterns::detect_all(*model);
+  // Design-time prediction: what the cost model says each region is worth
+  // before any transformation runs (DESIGN.md §13). Predict for the paper's
+  // quad-core target so the numbers are meaningful on single-core hosts too.
+  tuning::annotate_predicted_speedups(detection.candidates,
+                                      tuning::Hardware{4});
   std::printf("=== Phase 2: pattern analysis ===\n");
   for (const patterns::Candidate& c : detection.candidates) {
-    std::printf("  %-18s @ line %u  runtime %4.1f%%  TADL: %s\n",
+    std::printf("  %-18s @ line %u  runtime %4.1f%%  predicted %.2fx  "
+                "TADL: %s\n",
                 pattern_kind_name(c.kind), c.anchor->range.begin.line,
-                100.0 * c.runtime_share, c.tadl.c_str());
+                100.0 * c.runtime_share, c.predicted_speedup, c.tadl.c_str());
   }
   for (const patterns::RejectedLoop& r : detection.rejected) {
     std::printf("  rejected loop @ line %u (%s): %s\n",

@@ -48,6 +48,8 @@ void publish_frontend_memory() {
       .set(static_cast<std::int64_t>(support::Arena::total_bytes_reserved()));
   reg.gauge("frontend.arena.chunks")
       .set(static_cast<std::int64_t>(support::Arena::total_chunks()));
+  reg.gauge("frontend.arena.recycled")
+      .set(static_cast<std::int64_t>(support::Arena::total_recycled_chunks()));
   const support::Interner::Stats interns = support::Interner::global().stats();
   reg.gauge("frontend.intern.symbols")
       .set(static_cast<std::int64_t>(interns.symbols));
@@ -67,6 +69,8 @@ std::string memory_summary() {
   std::string out = "front-end memory: arenas ";
   out += fmt_bytes(static_cast<std::uint64_t>(arena_bytes));
   out += " in " + std::to_string(gauge("frontend.arena.chunks")) + " chunks";
+  const std::int64_t recycled = gauge("frontend.arena.recycled");
+  if (recycled > 0) out += " (" + std::to_string(recycled) + " recycled)";
   out += "; interner " + std::to_string(symbols) + " symbols, ";
   out += fmt_bytes(static_cast<std::uint64_t>(gauge("frontend.intern.bytes")));
   return out;

@@ -1,0 +1,79 @@
+#include "observe/snapshot.hpp"
+
+#include <cstdio>
+
+namespace patty::observe {
+
+std::uint64_t TelemetryDelta::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+WindowStats TelemetryDelta::histogram(const std::string& name) const {
+  auto it = histograms.find(name);
+  return it == histograms.end() ? WindowStats{} : it->second;
+}
+
+bool TelemetryDelta::empty() const {
+  for (const auto& [name, v] : counters) {
+    (void)name;
+    if (v != 0) return false;
+  }
+  for (const auto& [name, w] : histograms) {
+    (void)name;
+    if (w.count != 0) return false;
+  }
+  return true;
+}
+
+std::string TelemetryDelta::str() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, v] : counters) {
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, w] : histograms) {
+    if (w.count == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-40s n=%llu mean=%.2f sum=%.1f\n",
+                  name.c_str(), static_cast<unsigned long long>(w.count),
+                  w.mean, w.sum);
+    out += buf;
+  }
+  return out;
+}
+
+MetricsSnapshot capture() { return Registry::global().snapshot(); }
+
+TelemetryDelta delta(const MetricsSnapshot& before,
+                     const MetricsSnapshot& after) {
+  TelemetryDelta d;
+  for (const auto& [name, v] : after.counters) {
+    auto it = before.counters.find(name);
+    const std::uint64_t prev = it == before.counters.end() ? 0 : it->second;
+    d.counters[name] = v >= prev ? v - prev : v;  // clamp across reset()
+  }
+  for (const auto& [name, h] : after.histograms) {
+    auto it = before.histograms.find(name);
+    WindowStats w;
+    if (it == before.histograms.end() || h.count < it->second.count) {
+      w.count = h.count;  // new instrument, or reset() inside the window
+      w.sum = h.sum;
+    } else {
+      w.count = h.count - it->second.count;
+      w.sum = h.sum - it->second.sum;
+    }
+    if (w.count > 0) w.mean = w.sum / static_cast<double>(w.count);
+    d.histograms[name] = w;
+  }
+  d.gauges = after.gauges;
+  return d;
+}
+
+TelemetryDelta delta_since(const MetricsSnapshot& before) {
+  return delta(before, capture());
+}
+
+}  // namespace patty::observe

@@ -1,0 +1,58 @@
+#pragma once
+// Telemetry windows: capture the metrics registry before a measured region
+// and diff it afterwards. A TelemetryDelta is the region's own metric
+// traffic — counter increments, histogram count/sum deltas (and the mean
+// over just that window) — independent of whatever ran earlier in the
+// process. The model-guided tuner (src/tuning/model.hpp) fits its
+// per-pattern cost models from exactly these windows: one probe run with
+// telemetry on yields per-stage service times, chunk costs, steal and
+// queue-wait rates without any dedicated profiling mode.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "observe/metrics.hpp"
+
+namespace patty::observe {
+
+/// Histogram traffic inside one window: how many samples landed, their sum,
+/// and the window mean. Quantiles are not delta-able (the reservoir wraps),
+/// so a window exposes only the moments that subtract exactly.
+struct WindowStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;  // sum / count, 0 when count == 0
+};
+
+/// Difference between two MetricsSnapshots. Counters and histogram
+/// count/sum subtract (clamped at zero against resets); gauges keep their
+/// end-of-window value and high-water mark.
+struct TelemetryDelta {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, WindowStats> histograms;
+  std::map<std::string, GaugeSnapshot> gauges;
+
+  /// Lookup helpers: absent names read as zero traffic, so callers probe
+  /// for instrumentation that may not have fired without branching.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] WindowStats histogram(const std::string& name) const;
+
+  /// True when no counter ticked and no histogram recorded in the window.
+  [[nodiscard]] bool empty() const;
+
+  /// Plain-text rendering (nonzero entries only), for explain-style reports.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Snapshot the global registry (shorthand for Registry::global().snapshot()).
+[[nodiscard]] MetricsSnapshot capture();
+
+/// The metric traffic between two snapshots.
+[[nodiscard]] TelemetryDelta delta(const MetricsSnapshot& before,
+                                   const MetricsSnapshot& after);
+
+/// The metric traffic since `before` (diffs against a fresh capture()).
+[[nodiscard]] TelemetryDelta delta_since(const MetricsSnapshot& before);
+
+}  // namespace patty::observe

@@ -59,6 +59,11 @@ struct Candidate {
   std::vector<rt::TuningParameter> tuning;
   /// TADL expression, e.g. "(A || B || C+) => D => E".
   std::string tadl;
+  /// Predicted speedup of the best tuned configuration over sequential,
+  /// from the design-time cost model (tuning::annotate_predicted_speedups).
+  /// 0 = not predicted. Deliberately absent from detection fingerprints:
+  /// it depends on the machine, not the source.
+  double predicted_speedup = 0.0;
 
   [[nodiscard]] std::string location() const {
     return anchor ? anchor->range.str() : "<unknown>";

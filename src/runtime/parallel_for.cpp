@@ -24,6 +24,8 @@ struct LoopMetrics {
   observe::Counter& sequential_fallbacks;
   observe::Counter& chunks;
   observe::Counter& faults;
+  observe::Counter& spawns;
+  observe::Counter& iterations;
   observe::Histogram& chunk_us;
 };
 
@@ -33,6 +35,8 @@ LoopMetrics& loop_metrics() {
       observe::Registry::global().counter("parallel_for.sequential"),
       observe::Registry::global().counter("parallel_for.chunks"),
       observe::Registry::global().counter("parallel_for.faults"),
+      observe::Registry::global().counter("parallel_for.spawns"),
+      observe::Registry::global().counter("parallel_for.iterations"),
       observe::Registry::global().histogram("parallel_for.chunk_us"),
   };
   return m;
@@ -92,6 +96,7 @@ struct SplitCtx {
       const std::uint64_t dur = observe::now_us() - t0;
       LoopMetrics& m = loop_metrics();
       m.chunks.add();
+      m.iterations.add(static_cast<std::uint64_t>(hi - lo));
       m.chunk_us.record(static_cast<double>(dur));
       observe::record_complete("pf.chunk", "loop", t0, dur,
                                std::to_string(lo) + ".." + std::to_string(hi));
@@ -114,6 +119,7 @@ void run_range(SplitCtx& c, std::int64_t lo, std::int64_t hi) {
     const std::int64_t mid =
         lo + ((half + c.grain - 1) / c.grain) * c.grain;
     c.group.add(1);
+    if (c.telemetry) loop_metrics().spawns.add();
     ThreadPool::shared().submit_fast([&c, mid, hi] {
       run_range(c, mid, hi);
       c.group.finish();

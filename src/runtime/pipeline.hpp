@@ -504,8 +504,25 @@ class Pipeline {
         so.input_queue_full_waits = qs.full_waits;
         so.input_queue_empty_waits = qs.empty_waits;
       }
+      // Registry histograms keyed by stage index, one sample per run: the
+      // per-item service time and the per-item queue wait of this stage.
+      // Snapshot/delta windows (observe/snapshot.hpp) read these to fit
+      // pipeline cost models without holding the observation object.
+      if (so.items > 0) {
+        const std::string key = "pipeline.stage" + std::to_string(i);
+        const double items = static_cast<double>(so.items);
+        observe::Registry::global()
+            .histogram(key + ".service_us")
+            .record(so.busy_ms * 1000.0 / items);
+        observe::Registry::global()
+            .histogram(key + ".wait_us")
+            .record((so.input_wait_ms + so.output_wait_ms) * 1000.0 / items);
+      }
       obs->stages.push_back(std::move(so));
     }
+    observe::Registry::global().counter("pipeline.runs").add();
+    observe::Registry::global().counter("pipeline.elements").add(
+        stats->elements);
     observe::record_pipeline(*obs);
     stats->observation = std::move(obs);
   }

@@ -1,9 +1,26 @@
 #include "support/arena.hpp"
 
+#include <mutex>
+
 namespace patty::support {
 
 std::atomic<std::uint64_t> Arena::global_bytes_{0};
 std::atomic<std::uint64_t> Arena::global_chunks_{0};
+Arena::ChunkHeader* Arena::pool_head_ = nullptr;
+
+namespace {
+
+/// Recycle-pool cap: 32 max-size chunks. Enough that a corpus pipeline's
+/// working set of concurrent Program arenas cycles entirely through the
+/// pool, small enough that a one-off giant program doesn't pin memory.
+constexpr std::size_t kPoolCapBytes = 8 * 1024 * 1024;
+
+std::mutex g_pool_mutex;
+bool g_recycling = true;                      // guarded by g_pool_mutex
+std::size_t g_pool_bytes = 0;                 // guarded by g_pool_mutex
+std::atomic<std::uint64_t> g_recycled{0};
+
+}  // namespace
 
 void* Arena::allocate_slow(std::size_t size, std::size_t align) {
   // Oversized requests get a dedicated chunk; normal requests get the next
@@ -14,15 +31,23 @@ void* Arena::allocate_slow(std::size_t size, std::size_t align) {
   if (need > payload) payload = need;
   if (next_chunk_bytes_ < kMaxChunk) next_chunk_bytes_ *= 2;
 
-  auto* raw = static_cast<char*>(::operator new(sizeof(ChunkHeader) + payload));
-  auto* header = reinterpret_cast<ChunkHeader*>(raw);
+  ChunkHeader* header = pool_take(need);
+  if (header != nullptr) {
+    payload = header->size;  // reuse at the parked chunk's own capacity
+  } else {
+    auto* raw =
+        static_cast<char*>(::operator new(sizeof(ChunkHeader) + payload));
+    header = reinterpret_cast<ChunkHeader*>(raw);
+    header->size = payload;
+  }
   header->next = head_;
-  header->size = payload;
   head_ = header;
-  ptr_ = raw + sizeof(ChunkHeader);
+  ptr_ = reinterpret_cast<char*>(header) + sizeof(ChunkHeader);
   end_ = ptr_ + payload;
   bytes_reserved_ += payload;
   ++chunks_;
+  // Recycled chunks count again: the globals are "handed to arenas over the
+  // process lifetime", so monitoring (and tests) see monotone growth.
   global_bytes_.fetch_add(payload, std::memory_order_relaxed);
   global_chunks_.fetch_add(1, std::memory_order_relaxed);
 
@@ -37,9 +62,68 @@ void Arena::release_all() {
   ChunkHeader* chunk = head_;
   while (chunk != nullptr) {
     ChunkHeader* next = chunk->next;
-    ::operator delete(static_cast<void*>(chunk));
+    if (!pool_put(chunk)) ::operator delete(static_cast<void*>(chunk));
     chunk = next;
   }
+}
+
+Arena::ChunkHeader* Arena::pool_take(std::size_t need) {
+  std::scoped_lock lock(g_pool_mutex);
+  if (!g_recycling) return nullptr;
+  // First fit: chunk sizes only span 16K..256K, so fragmentation from
+  // taking a bigger-than-needed chunk is bounded and short-lived.
+  ChunkHeader** prev = &pool_head_;
+  for (ChunkHeader* c = pool_head_; c != nullptr; prev = &c->next, c = c->next) {
+    if (c->size >= need) {
+      *prev = c->next;
+      g_pool_bytes -= c->size;
+      g_recycled.fetch_add(1, std::memory_order_relaxed);
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+bool Arena::pool_put(ChunkHeader* chunk) {
+  std::scoped_lock lock(g_pool_mutex);
+  if (!g_recycling || chunk->size > kMaxChunk ||
+      g_pool_bytes + chunk->size > kPoolCapBytes)
+    return false;
+  chunk->next = pool_head_;
+  pool_head_ = chunk;
+  g_pool_bytes += chunk->size;
+  return true;
+}
+
+std::uint64_t Arena::total_recycled_chunks() {
+  return g_recycled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Arena::recycle_pool_bytes() {
+  std::scoped_lock lock(g_pool_mutex);
+  return g_pool_bytes;
+}
+
+std::size_t Arena::drain_recycle_pool() {
+  std::scoped_lock lock(g_pool_mutex);
+  const std::size_t freed = g_pool_bytes;
+  ChunkHeader* c = pool_head_;
+  while (c != nullptr) {
+    ChunkHeader* next = c->next;
+    ::operator delete(static_cast<void*>(c));
+    c = next;
+  }
+  pool_head_ = nullptr;
+  g_pool_bytes = 0;
+  return freed;
+}
+
+void Arena::set_chunk_recycling(bool on) {
+  {
+    std::scoped_lock lock(g_pool_mutex);
+    g_recycling = on;
+  }
+  if (!on) drain_recycle_pool();
 }
 
 }  // namespace patty::support

@@ -77,12 +77,33 @@ class Arena {
   [[nodiscard]] std::size_t chunk_count() const { return chunks_; }
 
   /// Process-wide counters (all arenas, lifetime totals) for observe.
+  /// Recycled chunks count again on reuse: the totals are "bytes/chunks
+  /// handed to arenas over the process lifetime", monotone either way.
   static std::uint64_t total_bytes_reserved() {
     return global_bytes_.load(std::memory_order_relaxed);
   }
   static std::uint64_t total_chunks() {
     return global_chunks_.load(std::memory_order_relaxed);
   }
+
+  // --- Cross-arena chunk recycling -----------------------------------------
+  // A released arena's normal-sized chunks park in a small process-wide
+  // free list instead of going back to the allocator; the next arena's
+  // first chunk misses then come from the list. The corpus pipeline builds
+  // and drops one Program arena per synthetic program, so without this
+  // every program pays the same mmap/madvise churn its predecessor just
+  // paid. Oversized (dedicated) chunks and overflow past the pool cap are
+  // freed as before.
+
+  /// Chunks ever served from the pool instead of ::operator new.
+  static std::uint64_t total_recycled_chunks();
+  /// Bytes currently parked in the pool.
+  static std::uint64_t recycle_pool_bytes();
+  /// Free every parked chunk; returns the bytes released (tests, and
+  /// leak-checker friendliness at shutdown).
+  static std::size_t drain_recycle_pool();
+  /// Toggle recycling (default on). Turning it off drains the pool.
+  static void set_chunk_recycling(bool on);
 
  private:
   static constexpr std::size_t kMinChunk = 16 * 1024;
@@ -95,6 +116,9 @@ class Arena {
 
   void* allocate_slow(std::size_t size, std::size_t align);
   void release_all();
+  static ChunkHeader* pool_take(std::size_t need);
+  static bool pool_put(ChunkHeader* chunk);
+  static ChunkHeader* pool_head_;
 
   char* ptr_ = nullptr;
   char* end_ = nullptr;

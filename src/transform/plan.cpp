@@ -12,6 +12,7 @@
 #include "runtime/parallel_for.hpp"
 #include "runtime/pipeline.hpp"
 #include "support/diagnostics.hpp"
+#include "tuning/model.hpp"
 
 namespace patty::transform {
 
@@ -224,6 +225,10 @@ struct ParallelPlanExecutor::Impl {
       : program(p), candidates(std::move(cands)), tuning(t) {
     call_graph = analysis::build_call_graph(program);
     effects = std::make_unique<analysis::EffectAnalysis>(program, call_graph);
+    // Predict each region's tuned-best speedup on this machine before any
+    // transformation runs; the reports carry it next to what actually
+    // happened (figure 4c's "estimated speedup" column).
+    tuning::annotate_predicted_speedups(candidates);
     for (const Candidate& c : candidates) build_plan(c);
     for (const auto& [id, plan] : plans) {
       (void)plan;
@@ -255,6 +260,7 @@ struct ParallelPlanExecutor::Impl {
     PlanReport& r = reports[c.anchor->id];
     r.loop_stmt_id = c.anchor->id;
     r.kind = c.kind;
+    r.predicted_speedup = c.predicted_speedup;
     return r;
   }
 
@@ -264,6 +270,7 @@ struct ParallelPlanExecutor::Impl {
     r.ran_parallel = false;
     r.note = why;
     r.runs += 1;
+    r.predicted_speedup = 1.0;  // ran sequentially: no speedup to predict
   }
 
   /// Graceful degradation after a runtime fault: record the event; the

@@ -36,6 +36,10 @@ struct PlanReport {
   std::string note;              // why, when a fallback happened
   std::uint64_t elements = 0;    // stream elements / iterations processed
   std::size_t runs = 0;          // times the loop was entered
+  /// Design-time cost-model prediction for this machine (before any run):
+  /// best tuned configuration's speedup over sequential. 1.0 for regions
+  /// that degrade to sequential; 0 when no prediction was made.
+  double predicted_speedup = 0.0;
 };
 
 class ParallelPlanExecutor : public analysis::StmtInterceptor {

@@ -1,0 +1,883 @@
+#include "tuning/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "observe/trace.hpp"
+#include "tuning/search_internal.hpp"
+
+namespace patty::tuning {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", v * 100.0);
+  return buf;
+}
+
+double clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+/// "Class.Method.pipeline@38.buffer" -> "Class.Method.pipeline@38."
+/// (including the trailing dot); bare names like the benches use -> "".
+std::string knob_prefix_of(const std::string& name) {
+  for (const char* marker : {"pipeline@", "parfor@", "masterworker@"}) {
+    const std::size_t pos = name.find(marker);
+    if (pos == std::string::npos) continue;
+    const std::size_t dot = name.find('.', pos);
+    if (dot != std::string::npos) return name.substr(0, dot + 1);
+  }
+  return "";
+}
+
+// ---- Pipeline model -------------------------------------------------------
+
+class PipelineModel final : public CostModel {
+ public:
+  explicit PipelineModel(PipelineModelParams p) : p_(std::move(p)) {}
+
+  [[nodiscard]] std::string family() const override { return "pipeline"; }
+
+  [[nodiscard]] double predict(const rt::TuningConfig& k,
+                               const Hardware& hw) const override {
+    const std::string& px = p_.knob_prefix;
+    const double n = std::max(1.0, p_.elements);
+    // Effective per-stage service: own body plus the nested region's
+    // predicted cost per outer item (TADL composition).
+    std::vector<double> svc(p_.stages.size(), 0.0);
+    double total_svc = 0.0;
+    for (std::size_t i = 0; i < p_.stages.size(); ++i) {
+      svc[i] = p_.stages[i].service_us +
+               (p_.stages[i].inner ? p_.stages[i].inner->predict(k, hw) : 0.0);
+      total_svc += svc[i];
+    }
+    if (k.get_bool_or(px + "sequential", false))
+      return p_.startup_us + n * total_svc;
+
+    // StageFusion merges adjacent stages (chains merge runs), mirroring the
+    // runtime Pipeline: service times sum, replication takes the max of the
+    // members' knobs (non-replicable members pin theirs at 1), and order
+    // preservation is ORed across replicated members.
+    struct Group {
+      double service = 0.0;
+      double replication = 1.0;
+      bool ordered = false;
+    };
+    std::vector<Group> groups;
+    for (std::size_t i = 0; i < p_.stages.size(); ++i) {
+      const StageCost& st = p_.stages[i];
+      double r = 1.0;
+      bool ordered = false;
+      if (st.replicable) {
+        r = static_cast<double>(std::max<std::int64_t>(
+            1, k.get_or(px + "stage" + st.label + ".replication", 1)));
+        ordered = r > 1.0 &&
+                  k.get_bool_or(px + "stage" + st.label + ".order", true);
+      }
+      const bool fused =
+          i > 0 && k.get_bool_or(
+                       px + "fuse" + p_.stages[i - 1].label + st.label, false);
+      if (fused && !groups.empty()) {
+        Group& g = groups.back();
+        g.service += svc[i];
+        g.replication = std::max(g.replication, r);
+        g.ordered = g.ordered || ordered;
+      } else {
+        groups.push_back({svc[i], r, ordered});
+      }
+    }
+
+    const double batch =
+        static_cast<double>(std::max<std::int64_t>(1, k.get_or(px + "batch", 1)));
+    const double buffer = static_cast<double>(
+        std::max<std::int64_t>(1, k.get_or(px + "buffer", 16)));
+    // Queue hop per item per edge: batching divides it, shallow buffers add
+    // back-pressure stalls on top.
+    const double transfer =
+        p_.transfer_us * (1.0 / batch) * (1.0 + 2.0 / buffer);
+    const double edges = static_cast<double>(groups.size() - 1);
+
+    double workers = 0.0;
+    double fill = 0.0;
+    double work = edges * transfer;  // per-item serial work
+    double bottleneck = 0.0;
+    for (const Group& g : groups) {
+      workers += g.replication;
+      fill += g.service;
+      const double reorder = g.ordered ? p_.reorder_us : 0.0;
+      work += g.service + reorder;
+      bottleneck = std::max(bottleneck, g.service / g.replication + reorder);
+    }
+    if (edges > 0.0) bottleneck += transfer;
+
+    const double c = static_cast<double>(hw.effective());
+    double per_item = std::max(bottleneck, work / c);
+    if (workers > c) per_item += p_.oversub_us * (workers - c);
+    return p_.startup_us * workers + fill + n * per_item;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::string s = "pipeline N=" + num(p_.elements) + " stages[";
+    for (std::size_t i = 0; i < p_.stages.size(); ++i) {
+      if (i) s += ' ';
+      s += p_.stages[i].label + "=" + num(p_.stages[i].service_us) + "us";
+      if (p_.stages[i].inner) s += "(+inner " + p_.stages[i].inner->family() + ")";
+    }
+    s += "] transfer=" + num(p_.transfer_us) +
+         "us reorder=" + num(p_.reorder_us) +
+         "us startup=" + num(p_.startup_us) + "us";
+    return s;
+  }
+
+ private:
+  PipelineModelParams p_;
+};
+
+// ---- Data-parallel loop model ---------------------------------------------
+
+class LoopModel final : public CostModel {
+ public:
+  explicit LoopModel(LoopModelParams p) : p_(std::move(p)) {}
+
+  [[nodiscard]] std::string family() const override { return "loop"; }
+
+  [[nodiscard]] double predict(const rt::TuningConfig& k,
+                               const Hardware& hw) const override {
+    const std::string& px = p_.knob_prefix;
+    const double n = std::max(1.0, p_.elements);
+    const double iter =
+        p_.iter_us + (p_.inner ? p_.inner->predict(k, hw) : 0.0);
+    if (k.get_bool_or(px + "sequential", false))
+      return p_.startup_us + n * iter;
+    const double c = static_cast<double>(hw.effective());
+    double t = static_cast<double>(k.get_or(px + "threads", 0));
+    if (t <= 0.0) t = c;
+    const double e = std::max(1.0, std::min(t, c));
+    if (e <= 1.0) return p_.startup_us + n * iter;
+    double g = static_cast<double>(k.get_or(px + "grain", 0));
+    // Auto grain mirrors the runtime: ~8 chunks per thread, floor 1.
+    if (g <= 0.0) g = std::max(1.0, std::floor(n / (t * 8.0)));
+    g = std::min(g, n);
+    const double chunks = std::ceil(n / g);
+    // Perfect split of the work, plus spawn/steal per chunk, plus the tail:
+    // the last chunk straggles for up to one grain while e-1 threads idle.
+    double cost = n * iter / e + chunks * p_.spawn_us +
+                  g * iter * (e - 1.0) / e + p_.startup_us * e;
+    if (t > c) cost += (t - c) * p_.spawn_us;  // oversubscription nuisance
+    return cost;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::string s = "loop N=" + num(p_.elements) + " iter=" + num(p_.iter_us) +
+                    "us spawn=" + num(p_.spawn_us) +
+                    "us startup=" + num(p_.startup_us) + "us";
+    if (p_.inner) s += " (+inner " + p_.inner->family() + ")";
+    return s;
+  }
+
+ private:
+  LoopModelParams p_;
+};
+
+// ---- Master/worker model --------------------------------------------------
+
+class MasterWorkerModel final : public CostModel {
+ public:
+  explicit MasterWorkerModel(MasterWorkerModelParams p) : p_(std::move(p)) {}
+
+  [[nodiscard]] std::string family() const override { return "master-worker"; }
+
+  [[nodiscard]] double predict(const rt::TuningConfig& k,
+                               const Hardware& hw) const override {
+    const std::string& px = p_.knob_prefix;
+    const double t = std::max(1.0, p_.tasks);
+    const double c = static_cast<double>(hw.effective());
+    double w = static_cast<double>(k.get_or(px + "workers", 0));
+    if (w <= 0.0) w = c;  // 0 = shared pool: one lane per hardware thread
+    const double e = std::max(1.0, std::min({w, c, t}));
+    if (e <= 1.0) return p_.startup_us + t * (p_.task_us + p_.dispatch_us);
+    // Service shared across e effective workers; every task still pays the
+    // injector hop, which contends harder the more workers poll it.
+    return p_.startup_us * w + t * p_.task_us / e +
+           t * p_.dispatch_us * (1.0 + p_.contention * std::max(0.0, w - 1.0));
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "master-worker tasks=" + num(p_.tasks) +
+           " task=" + num(p_.task_us) +
+           "us dispatch=" + num(p_.dispatch_us) +
+           "us contention=" + num(p_.contention);
+  }
+
+ private:
+  MasterWorkerModelParams p_;
+};
+
+// ---- Sum model ------------------------------------------------------------
+
+class SumModel final : public CostModel {
+ public:
+  explicit SumModel(std::vector<std::shared_ptr<const CostModel>> parts)
+      : parts_(std::move(parts)) {}
+
+  [[nodiscard]] std::string family() const override { return "sum"; }
+
+  [[nodiscard]] double predict(const rt::TuningConfig& k,
+                               const Hardware& hw) const override {
+    double total = 0.0;
+    for (const auto& p : parts_) total += p->predict(k, hw);
+    return total;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::string s = "sum of " + std::to_string(parts_.size()) + ": ";
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      if (i) s += "; ";
+      s += parts_[i]->describe();
+    }
+    return s;
+  }
+
+ private:
+  std::vector<std::shared_ptr<const CostModel>> parts_;
+};
+
+}  // namespace
+
+int Hardware::effective() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::unique_ptr<CostModel> make_pipeline_model(PipelineModelParams params) {
+  return std::make_unique<PipelineModel>(std::move(params));
+}
+std::unique_ptr<CostModel> make_loop_model(LoopModelParams params) {
+  return std::make_unique<LoopModel>(std::move(params));
+}
+std::unique_ptr<CostModel> make_master_worker_model(
+    MasterWorkerModelParams params) {
+  return std::make_unique<MasterWorkerModel>(std::move(params));
+}
+std::unique_ptr<CostModel> make_sum_model(
+    std::vector<std::shared_ptr<const CostModel>> parts) {
+  return std::make_unique<SumModel>(std::move(parts));
+}
+
+// ---- Fitting from observe telemetry ---------------------------------------
+
+PipelineModelParams fit_pipeline(const observe::PipelineObservation& obs,
+                                 std::string knob_prefix, Hardware hw) {
+  PipelineModelParams p;
+  p.knob_prefix = std::move(knob_prefix);
+  p.elements = std::max<double>(1.0, static_cast<double>(obs.elements));
+  double fill = 0.0;
+  double bottleneck = 0.0;
+  for (const observe::StageObservation& so : obs.stages) {
+    const double service =
+        so.items > 0
+            ? so.busy_ms * 1000.0 / static_cast<double>(so.items)
+            : 0.0;
+    p.stages.push_back({so.name, service, true, nullptr});
+    fill += service;
+    bottleneck =
+        std::max(bottleneck, service / std::max(1, so.replication));
+  }
+  // Whatever wall-clock the ideal bottleneck model cannot explain is
+  // per-item plumbing: attribute it to the queue-transfer cost.
+  const double edges = static_cast<double>(
+      p.stages.size() > 1 ? p.stages.size() - 1 : 0);
+  if (edges > 0.0 && !obs.sequential && obs.wall_ms > 0.0) {
+    const double wall_us = obs.wall_ms * 1000.0;
+    const double ideal_us = fill + p.elements * bottleneck;
+    const double residual = wall_us - ideal_us;
+    p.transfer_us = clamp(residual / (p.elements * edges), 0.05, 100.0);
+  }
+  p.reorder_us = p.transfer_us / 2.0;
+  (void)hw;
+  return p;
+}
+
+LoopModelParams fit_loop(const observe::TelemetryDelta& window,
+                         double elements, double measured_wall_us,
+                         std::string knob_prefix) {
+  LoopModelParams p;
+  p.knob_prefix = std::move(knob_prefix);
+  const std::uint64_t iterations = window.counter("parallel_for.iterations");
+  if (elements <= 0.0) elements = static_cast<double>(iterations);
+  p.elements = std::max(1.0, elements);
+  const observe::WindowStats chunks =
+      window.histogram("parallel_for.chunk_us");
+  if (iterations > 0 && chunks.count > 0) {
+    p.iter_us = chunks.sum / static_cast<double>(iterations);
+    const observe::WindowStats wait =
+        window.histogram("threadpool.queue_wait_us");
+    if (wait.count > 0) p.spawn_us = clamp(wait.mean, 0.5, 50.0);
+  } else if (measured_wall_us > 0.0) {
+    // The probe degenerated to the sequential path (e.g. 1-core host):
+    // the wall clock over the trip count is still the per-iteration cost.
+    p.iter_us = measured_wall_us / p.elements;
+  }
+  return p;
+}
+
+MasterWorkerModelParams fit_master_worker(
+    const observe::TelemetryDelta& window, std::string knob_prefix) {
+  MasterWorkerModelParams p;
+  p.knob_prefix = std::move(knob_prefix);
+  p.tasks = std::max<double>(
+      1.0, static_cast<double>(window.counter("master_worker.tasks")));
+  const observe::WindowStats task = window.histogram("master_worker.task_us");
+  if (task.count > 0) p.task_us = task.mean;
+  const observe::WindowStats wait =
+      window.histogram("threadpool.queue_wait_us");
+  if (wait.count > 0) p.dispatch_us = clamp(wait.mean, 0.5, 50.0);
+  return p;
+}
+
+double mean_relative_error(
+    const CostModel& model, const Hardware& hw,
+    const std::vector<std::pair<rt::TuningConfig, double>>& measured) {
+  // Model units are microseconds, measured units are whatever the MeasureFn
+  // returns: compare after the least-squares scale (min_s sum(s*p - m)^2).
+  double pm = 0.0, pp = 0.0;
+  std::vector<std::pair<double, double>> points;
+  for (const auto& [config, score] : measured) {
+    if (!(score > 0.0) || !std::isfinite(score)) continue;
+    const double pred = model.predict(config, hw);
+    if (!(pred > 0.0) || !std::isfinite(pred)) continue;
+    points.emplace_back(pred, score);
+    pm += pred * score;
+    pp += pred * pred;
+  }
+  if (points.empty() || pp <= 0.0) return 0.0;
+  const double s = pm / pp;
+  double err = 0.0;
+  for (const auto& [pred, meas] : points)
+    err += std::fabs(s * pred - meas) / meas;
+  return err / static_cast<double>(points.size());
+}
+
+// ---- Design-time prediction -----------------------------------------------
+
+namespace {
+
+/// Nominal units for design-time models: the profiler gives runtime SHARES,
+/// not absolute times, so one loop-body item is normalized to 100us and the
+/// stream to 256 items. Speedup is a ratio, so only the balance between
+/// modeled work and the fixed overhead constants depends on this choice.
+constexpr double kNominalBodyUs = 100.0;
+constexpr double kNominalElements = 256.0;
+
+std::string candidate_prefix(const patterns::Candidate& c) {
+  return c.tuning.empty() ? "" : knob_prefix_of(c.tuning.front().name);
+}
+
+/// Design-time model with per-stage service discounts (1.0 = undiscounted):
+/// annotate_predicted_speedups shrinks the share of a stage that contains an
+/// already-predicted nested candidate.
+std::shared_ptr<const CostModel> candidate_model_scaled(
+    const patterns::Candidate& c, const std::vector<double>& stage_scale,
+    double body_scale) {
+  const std::string prefix = candidate_prefix(c);
+  switch (c.kind) {
+    case patterns::PatternKind::Pipeline: {
+      PipelineModelParams p;
+      p.knob_prefix = prefix;
+      p.elements = kNominalElements;
+      for (std::size_t i = 0; i < c.stages.size(); ++i) {
+        const patterns::StageSpec& s = c.stages[i];
+        const double scale =
+            i < stage_scale.size() ? stage_scale[i] : 1.0;
+        p.stages.push_back(
+            {s.label,
+             std::max(0.01, s.runtime_share) * kNominalBodyUs * scale,
+             s.replicable && !s.writes_io, nullptr});
+      }
+      return std::shared_ptr<const CostModel>(
+          make_pipeline_model(std::move(p)));
+    }
+    case patterns::PatternKind::DataParallelLoop: {
+      LoopModelParams p;
+      p.knob_prefix = prefix;
+      p.elements = kNominalElements;
+      p.iter_us = kNominalBodyUs * body_scale;
+      return std::shared_ptr<const CostModel>(make_loop_model(std::move(p)));
+    }
+    case patterns::PatternKind::MasterWorker: {
+      MasterWorkerModelParams p;
+      p.knob_prefix = prefix;
+      p.tasks = std::max<double>(2.0, static_cast<double>(
+                                          c.task_stmt_ids.size()));
+      p.task_us = kNominalBodyUs * body_scale;
+      return std::shared_ptr<const CostModel>(
+          make_master_worker_model(std::move(p)));
+    }
+  }
+  return nullptr;
+}
+
+/// Enumerate (or coordinate-descend, for huge spaces) the config's domain
+/// under `model` and report the predicted best against the sequential cost.
+SpeedupPrediction predict_over_space(
+    const std::shared_ptr<const CostModel>& model, rt::TuningConfig config,
+    const std::string& prefix, const Hardware& hw) {
+  SpeedupPrediction out;
+  if (!model) return out;
+  // Sequential reference: the pattern's own escape hatch (the sequential
+  // knob, or a single worker for master/worker).
+  rt::TuningConfig seq = config;
+  if (seq.has(prefix + "sequential")) seq.set(prefix + "sequential", 1);
+  if (seq.has(prefix + "workers")) seq.set(prefix + "workers", 1);
+  if (seq.has(prefix + "threads")) seq.set(prefix + "threads", 1);
+  out.sequential_cost = model->predict(seq, hw);
+
+  const detail::Space space(config);
+  rt::TuningConfig scratch = config;
+  auto predict_idx = [&](const std::vector<std::size_t>& idx) {
+    space.apply(idx, &scratch);
+    return model->predict(scratch, hw);
+  };
+  std::vector<std::size_t> best = space.indices_of(config);
+  double best_cost = predict_idx(best);
+  const std::uint64_t total = space.size();
+  if (space.dims() > 0 && total <= 4096) {
+    std::vector<std::size_t> idx(space.dims(), 0);
+    while (true) {
+      const double cost = predict_idx(idx);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = idx;
+      }
+      std::size_t d = 0;
+      while (d < space.dims() && ++idx[d] == space.domains[d].size()) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == space.dims()) break;
+    }
+  } else if (space.dims() > 0) {
+    // Prediction-only coordinate descent: free, so sweep until fixpoint.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t d = 0; d < space.dims(); ++d) {
+        std::size_t best_i = best[d];
+        for (std::size_t i = 0; i < space.domains[d].size(); ++i) {
+          if (i == best[d]) continue;
+          std::vector<std::size_t> probe = best;
+          probe[d] = i;
+          const double cost = predict_idx(probe);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_i = i;
+          }
+        }
+        if (best_i != best[d]) {
+          best[d] = best_i;
+          improved = true;
+        }
+      }
+    }
+  }
+  space.apply(best, &config);
+  out.best = config;
+  out.best_cost = best_cost;
+  out.speedup =
+      best_cost > 0.0 ? std::max(1.0, out.sequential_cost / best_cost) : 1.0;
+  out.summary = model->family() + ": predicted " + num(out.speedup) +
+                "x on " + std::to_string(hw.effective()) + " threads (" +
+                num(out.sequential_cost) + "us -> " + num(best_cost) + "us)";
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const CostModel> model_for_candidate(
+    const patterns::Candidate& candidate) {
+  return candidate_model_scaled(candidate, {}, 1.0);
+}
+
+SpeedupPrediction predict_candidate_speedup(const patterns::Candidate& c,
+                                            Hardware hw) {
+  rt::TuningConfig config;
+  for (const rt::TuningParameter& p : c.tuning) config.define(p);
+  return predict_over_space(model_for_candidate(c), std::move(config),
+                            candidate_prefix(c), hw);
+}
+
+void annotate_predicted_speedups(std::vector<patterns::Candidate>& candidates,
+                                 Hardware hw) {
+  // Innermost first (shortest source range), so an outer region composes
+  // over its nested candidates' already-computed predictions.
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto span_lines = [&](std::size_t i) {
+    const lang::Stmt* a = candidates[i].anchor;
+    return a ? static_cast<long>(a->range.end.line) -
+                   static_cast<long>(a->range.begin.line)
+             : 0L;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return span_lines(a) < span_lines(b);
+                   });
+
+  auto contains = [](const patterns::Candidate& outer,
+                     const patterns::Candidate& inner) {
+    if (!outer.anchor || !inner.anchor || outer.anchor == inner.anchor)
+      return false;
+    return outer.anchor->range.begin <= inner.anchor->range.begin &&
+           inner.anchor->range.end <= outer.anchor->range.end;
+  };
+
+  for (std::size_t oi : order) {
+    patterns::Candidate& c = candidates[oi];
+    // Discount work a nested, already-predicted candidate will absorb:
+    // profiler shares are inclusive, so the inner region's share of the
+    // enclosing stage shrinks by its own predicted speedup.
+    std::vector<double> stage_scale(c.stages.size(), 1.0);
+    double body_scale = 1.0;
+    for (std::size_t ii = 0; ii < candidates.size(); ++ii) {
+      const patterns::Candidate& in = candidates[ii];
+      if (ii == oi || in.predicted_speedup <= 0.0 || !contains(c, in))
+        continue;
+      const double f =
+          c.runtime_share > 0.0
+              ? clamp(in.runtime_share / c.runtime_share, 0.0, 1.0)
+              : 0.0;
+      if (f <= 0.0) continue;
+      const double spd = std::max(1.0, in.predicted_speedup);
+      if (c.kind == patterns::PatternKind::Pipeline && in.anchor) {
+        for (std::size_t s = 0; s < c.stages.size(); ++s) {
+          const auto& ids = c.stages[s].stmt_ids;
+          if (std::find(ids.begin(), ids.end(), in.anchor->id) == ids.end())
+            continue;
+          const double share = std::max(0.01, c.stages[s].runtime_share);
+          const double frac = std::min(f, share) / share;
+          stage_scale[s] = std::max(
+              0.05, stage_scale[s] * (1.0 - frac + frac / spd));
+        }
+      } else {
+        body_scale = std::max(0.05, body_scale * (1.0 - f + f / spd));
+      }
+    }
+    rt::TuningConfig config;
+    for (const rt::TuningParameter& p : c.tuning) config.define(p);
+    const SpeedupPrediction pred = predict_over_space(
+        candidate_model_scaled(c, stage_scale, body_scale), std::move(config),
+        candidate_prefix(c), hw);
+    c.predicted_speedup = pred.speedup;
+  }
+}
+
+// ---- Model-guided tuner ---------------------------------------------------
+
+namespace {
+
+/// Which pattern family a knob space belongs to, judged by the tails the
+/// detector emits. Empty = unrecognizable (generic objective): no model.
+std::string classify_space(const std::vector<std::string>& names,
+                           std::string* prefix_out,
+                           std::vector<std::string>* labels_out) {
+  std::string prefix;
+  for (const std::string& n : names) {
+    prefix = knob_prefix_of(n);
+    if (!prefix.empty()) break;
+  }
+  bool pipeline = false, loop = false, mw = false;
+  std::vector<std::string> labels;
+  for (const std::string& n : names) {
+    std::string tail =
+        n.rfind(prefix, 0) == 0 ? n.substr(prefix.size()) : n;
+    if (tail == "buffer" || tail == "batch" || tail.rfind("fuse", 0) == 0)
+      pipeline = true;
+    if (tail.rfind("stage", 0) == 0) {
+      pipeline = true;
+      const std::size_t dot = tail.find('.');
+      if (dot != std::string::npos && dot > 5)
+        labels.push_back(tail.substr(5, dot - 5));
+    }
+    if (tail == "grain" || tail == "threads") loop = true;
+    if (tail == "workers") mw = true;
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  *prefix_out = prefix;
+  *labels_out = labels;
+  if (pipeline) return "pipeline";
+  if (loop) return "loop";
+  if (mw) return "master-worker";
+  return "";
+}
+
+/// The most recent telemetry-published pipeline observation whose stage
+/// names cover the knob space's stage labels.
+std::optional<observe::PipelineObservation> matching_observation(
+    const std::vector<std::string>& labels) {
+  const std::vector<observe::PipelineObservation> recent =
+      observe::recent_pipelines();
+  for (auto it = recent.rbegin(); it != recent.rend(); ++it) {
+    std::set<std::string> names;
+    for (const observe::StageObservation& so : it->stages)
+      names.insert(so.name);
+    bool all = !it->stages.empty();
+    for (const std::string& l : labels)
+      if (!names.count(l)) all = false;
+    if (all) return *it;
+  }
+  if (!recent.empty()) return recent.back();
+  return std::nullopt;
+}
+
+class ModelGuidedTuner final : public Tuner {
+ public:
+  explicit ModelGuidedTuner(ModelGuidedOptions opts)
+      : opts_(std::move(opts)) {}
+
+  [[nodiscard]] std::string name() const override { return "model-guided"; }
+
+  TuningRun tune(rt::TuningConfig config, const MeasureFn& measure,
+                 std::size_t budget) override {
+    const detail::Space space(config);
+    detail::Evaluator ev(space, config, measure, budget, options_);
+    const std::vector<std::size_t> start = space.indices_of(config);
+    ModelFitInfo& info = ev.run.model;
+    const Hardware hw = opts_.hardware;
+
+    auto fallback = [&](std::string why) {
+      info.used = false;
+      info.family = "fallback-linear";
+      info.description = std::move(why);
+      detail::linear_descend(ev, space, start);
+      return std::move(ev.run);
+    };
+
+    std::shared_ptr<const CostModel> model = opts_.model;
+    std::string family = model ? "injected" : "";
+    std::string prefix;
+    std::vector<std::string> labels;
+    if (!model) {
+      family = classify_space(space.names, &prefix, &labels);
+      if (family.empty())
+        return fallback("no pattern knobs recognized in the search space");
+    }
+
+    // One probe of the starting configuration. Without an injected model it
+    // runs with telemetry forced on and fits the model from the window; with
+    // one it still calibrates the score scale.
+    double probe_score = 0.0;
+    if (!model) {
+      const bool was = observe::enabled();
+      observe::set_enabled(true);
+      if (family == "pipeline") observe::clear_pipelines();
+      const observe::MetricsSnapshot before = observe::capture();
+      const std::uint64_t t0 = observe::now_us();
+      probe_score = ev.eval(start);
+      const double wall_us = static_cast<double>(observe::now_us() - t0);
+      const observe::TelemetryDelta window = observe::delta_since(before);
+      observe::set_enabled(was);
+      if (!std::isfinite(probe_score))
+        return fallback("probe evaluation failed");
+      if (family == "pipeline") {
+        const std::optional<observe::PipelineObservation> obs =
+            matching_observation(labels);
+        if (!obs)
+          return fallback("probe published no pipeline observation");
+        model = std::shared_ptr<const CostModel>(
+            make_pipeline_model(fit_pipeline(*obs, prefix, hw)));
+      } else if (family == "loop") {
+        const LoopModelParams p = fit_loop(window, 0.0, wall_us, prefix);
+        if (p.iter_us <= 0.0)
+          return fallback("probe produced no loop telemetry");
+        model = std::shared_ptr<const CostModel>(make_loop_model(p));
+      } else {
+        const MasterWorkerModelParams p = fit_master_worker(window, prefix);
+        if (p.task_us <= 0.0)
+          return fallback("probe produced no master/worker telemetry");
+        model =
+            std::shared_ptr<const CostModel>(make_master_worker_model(p));
+      }
+    } else {
+      probe_score = ev.eval(start);
+      if (!std::isfinite(probe_score))
+        return fallback("probe evaluation failed");
+    }
+    info.probe_evaluations = 1;
+
+    // Rank the WHOLE space by prediction (no measurements), then validate
+    // one representative per distinct predicted score, best first.
+    rt::TuningConfig scratch = config;
+    auto predict_idx = [&](const std::vector<std::size_t>& idx) {
+      space.apply(idx, &scratch);
+      return model->predict(scratch, hw);
+    };
+    const double pred_start = predict_idx(start);
+    info.scale = pred_start > 0.0 ? probe_score / pred_start : 1.0;
+    info.predicted_default = info.scale * pred_start;
+
+    std::vector<std::pair<double, std::vector<std::size_t>>> ranked;
+    const std::uint64_t total = space.size();
+    if (space.dims() > 0 && total <= opts_.max_enumeration) {
+      ranked.reserve(static_cast<std::size_t>(total));
+      std::vector<std::size_t> idx(space.dims(), 0);
+      while (true) {
+        ranked.emplace_back(predict_idx(idx), idx);
+        std::size_t d = 0;
+        while (d < space.dims() && ++idx[d] == space.domains[d].size()) {
+          idx[d] = 0;
+          ++d;
+        }
+        if (d == space.dims()) break;
+      }
+    } else {
+      // Too big to enumerate: prediction-only coordinate descent from the
+      // start, ranking every point the descent visits.
+      std::set<std::vector<std::size_t>> visited;
+      std::vector<std::size_t> cur = start;
+      double cur_pred = pred_start;
+      visited.insert(cur);
+      ranked.emplace_back(cur_pred, cur);
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        for (std::size_t d = 0; d < space.dims(); ++d) {
+          std::size_t best_i = cur[d];
+          for (std::size_t i = 0; i < space.domains[d].size(); ++i) {
+            if (i == cur[d]) continue;
+            std::vector<std::size_t> probe = cur;
+            probe[d] = i;
+            if (!visited.insert(probe).second) continue;
+            const double pred = predict_idx(probe);
+            ranked.emplace_back(pred, probe);
+            if (pred < cur_pred) {
+              cur_pred = pred;
+              best_i = i;
+            }
+          }
+          if (best_i != cur[d]) {
+            cur[d] = best_i;
+            improved = true;
+          }
+        }
+      }
+    }
+    std::sort(ranked.begin(), ranked.end());
+
+    info.predicted_best = info.scale * ranked.front().first;
+    info.predicted_speedup = ranked.front().first > 0.0
+                                 ? pred_start / ranked.front().first
+                                 : 1.0;
+
+    // Validate: ties in the prediction need only one measurement (on a
+    // host where the model says "sequential wins", the whole sequential
+    // slice collapses into one run).
+    double prev_pred = std::numeric_limits<double>::quiet_NaN();
+    std::size_t validated = 0;
+    for (const auto& [pred, idx] : ranked) {
+      if (validated >= opts_.top_k || ev.exhausted()) break;
+      if (!std::isnan(prev_pred) &&
+          std::fabs(pred - prev_pred) <=
+              1e-9 * std::max(1.0, std::fabs(prev_pred)))
+        continue;
+      prev_pred = pred;
+      ++validated;
+      if (idx == start) {
+        info.validations.emplace_back(info.scale * pred, probe_score);
+        continue;  // already measured by the probe
+      }
+      const std::size_t before_evals = ev.run.evaluations;
+      const double measured = ev.eval(idx);
+      if (!std::isfinite(measured)) continue;
+      info.validations.emplace_back(info.scale * pred, measured);
+      info.validation_evaluations += ev.run.evaluations - before_evals;
+    }
+
+    // Prediction quality over the validated points, least-squares scaled
+    // (same convention as mean_relative_error).
+    double pm = 0.0, pp = 0.0;
+    for (const auto& [pred, meas] : info.validations) {
+      if (!(meas > 0.0)) continue;
+      pm += pred * meas;
+      pp += pred * pred;
+    }
+    if (pp > 0.0) {
+      const double s = pm / pp;
+      double err = 0.0;
+      std::size_t n = 0;
+      for (const auto& [pred, meas] : info.validations) {
+        if (!(meas > 0.0)) continue;
+        err += std::fabs(s * pred - meas) / meas;
+        ++n;
+      }
+      if (n > 0) info.fit_error = err / static_cast<double>(n);
+    }
+
+    info.used = true;
+    info.family = family;
+    info.description = model->describe();
+    return std::move(ev.run);
+  }
+
+ private:
+  ModelGuidedOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Tuner> make_model_guided_tuner(ModelGuidedOptions opts) {
+  return std::make_unique<ModelGuidedTuner>(std::move(opts));
+}
+
+std::string explain_model(const TuningRun& run) {
+  const ModelFitInfo& m = run.model;
+  std::string out = "model-guided tuning report\n";
+  if (!m.used) {
+    out += "  no model used (" +
+           (m.description.empty() ? std::string("search-based run")
+                                  : m.description) +
+           ")\n";
+    out += "  evaluations: " + std::to_string(run.evaluations) +
+           ", best score: " + num(run.best_score) + "\n";
+    return out;
+  }
+  out += "  family: " + m.family + "\n";
+  out += "  model:  " + m.description + "\n";
+  out += "  calibration: " + num(m.scale) + " score units/us; predicted " +
+         num(m.predicted_default) + " (default) -> " + num(m.predicted_best) +
+         " (best), " + num(m.predicted_speedup) + "x predicted speedup\n";
+  out += "  evaluations: " + std::to_string(run.evaluations) + " (" +
+         std::to_string(m.probe_evaluations) + " probe + " +
+         std::to_string(m.validation_evaluations) + " validation), " +
+         std::to_string(run.cache_hits) + " cache hits\n";
+  if (!m.validations.empty()) {
+    out += "  validation (predicted vs measured):\n";
+    for (std::size_t i = 0; i < m.validations.size(); ++i) {
+      const auto& [pred, meas] = m.validations[i];
+      out += "    #" + std::to_string(i + 1) + "  pred=" + num(pred) +
+             "  meas=" + num(meas);
+      if (meas > 0.0)
+        out += "  (" + pct(std::fabs(pred - meas) / meas) + " off)";
+      out += "\n";
+    }
+    out += "  mean relative prediction error: " + pct(m.fit_error) + "\n";
+  }
+  out += "  best measured score: " + num(run.best_score) + "\n";
+  return out;
+}
+
+}  // namespace patty::tuning

@@ -1,174 +1,19 @@
 #include "tuning/tuner.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <deque>
-#include <limits>
-#include <map>
-#include <optional>
+#include <utility>
 
-#include "observe/metrics.hpp"
-#include "observe/trace.hpp"
-#include "runtime/cancellation.hpp"
 #include "support/diagnostics.hpp"
+#include "tuning/search_internal.hpp"
 
 namespace patty::tuning {
 
 namespace {
 
-/// Flattened view of a TuningConfig: name-sorted parameters with their
-/// admissible value lists. Tuners work on index vectors into the domains.
-struct Space {
-  std::vector<std::string> names;
-  std::vector<std::vector<std::int64_t>> domains;
-
-  explicit Space(const rt::TuningConfig& config) {
-    for (const auto& [name, p] : config.params()) {
-      names.push_back(name);
-      domains.push_back(p.domain());
-    }
-  }
-
-  [[nodiscard]] std::size_t dims() const { return names.size(); }
-
-  [[nodiscard]] std::vector<std::size_t> indices_of(
-      const rt::TuningConfig& config) const {
-    std::vector<std::size_t> idx(dims(), 0);
-    for (std::size_t d = 0; d < dims(); ++d) {
-      const std::int64_t v = config.get_or(names[d], domains[d].front());
-      auto it = std::find(domains[d].begin(), domains[d].end(), v);
-      idx[d] = it == domains[d].end()
-                   ? 0
-                   : static_cast<std::size_t>(it - domains[d].begin());
-    }
-    return idx;
-  }
-
-  void apply(const std::vector<std::size_t>& idx,
-             rt::TuningConfig* config) const {
-    for (std::size_t d = 0; d < dims(); ++d)
-      config->set(names[d], domains[d][idx[d]]);
-  }
-
-  [[nodiscard]] std::vector<std::int64_t> values(
-      const std::vector<std::size_t>& idx) const {
-    std::vector<std::int64_t> out(dims());
-    for (std::size_t d = 0; d < dims(); ++d) out[d] = domains[d][idx[d]];
-    return out;
-  }
-};
-
-/// Shared evaluation bookkeeping: caching, budget, history, and candidate
-/// hardening — a measurement that throws or outruns the deadline becomes a
-/// failed evaluation (score +inf) instead of aborting the search.
-struct Evaluator {
-  const Space& space;
-  rt::TuningConfig config;
-  const MeasureFn& measure;
-  std::size_t budget;
-  TunerOptions options;
-  TuningRun run;
-  std::map<std::vector<std::size_t>, double> cache;
-
-  Evaluator(const Space& s, rt::TuningConfig c, const MeasureFn& m,
-            std::size_t b, TunerOptions o = {})
-      : space(s), config(std::move(c)), measure(m), budget(b), options(o) {}
-
-  [[nodiscard]] bool exhausted() const { return run.evaluations >= budget; }
-
-  double eval(const std::vector<std::size_t>& idx) {
-    auto it = cache.find(idx);
-    if (it != cache.end()) return it->second;
-    space.apply(idx, &config);
-    // One trace span per MeasureFn call, with the probed configuration
-    // (and afterwards the score) attached: the tuning cycle becomes a row
-    // of "tuner.eval" slices in the Chrome trace.
-    const bool telemetry = observe::enabled();
-    observe::Span span("tuner.eval", "tuning");
-    // Candidate watchdog: on deadline expiry the StopSource installed as
-    // the ambient token fires, every region the measurement runs (they all
-    // read current_stop_token()) cancels cooperatively, and the resulting
-    // OperationCancelled lands in the catch below.
-    double score = 0.0;
-    bool failed = false;
-    std::string failure;
-    {
-      rt::StopSource stop;
-      std::optional<rt::Watchdog> watchdog;
-      if (options.candidate_deadline_ms > 0)
-        watchdog.emplace(
-            std::chrono::milliseconds(options.candidate_deadline_ms),
-            [&stop] { stop.request_stop(); });
-      rt::StopScope ambient(stop.token());
-      try {
-        score = measure(config);
-      } catch (const std::exception& e) {
-        failed = true;
-        failure = e.what();
-      } catch (...) {
-        failed = true;
-        failure = "unknown exception";
-      }
-      if (watchdog) {
-        watchdog->disarm();
-        if (watchdog->fired()) {
-          failed = true;
-          failure = "deadline exceeded";
-        }
-      }
-    }
-    if (failed) {
-      score = std::numeric_limits<double>::infinity();
-      ++run.failed_evaluations;
-      if (telemetry)
-        observe::Registry::global().counter("tuner.failed_evaluations").add();
-    }
-    if (telemetry) {
-      // Score first (it must survive the detail cap), then the probed
-      // values with the shared qualifier prefix stripped — parameter names
-      // like "VideoApp.Process.pipeline@38.buffer" would otherwise crowd
-      // the whole configuration out of the span.
-      std::size_t prefix = 0;
-      if (space.dims() > 1) {
-        const std::string& first = space.names.front();
-        std::size_t common = first.size();
-        for (const std::string& n : space.names)
-          common = std::min(
-              common,
-              static_cast<std::size_t>(
-                  std::mismatch(first.begin(),
-                                first.begin() +
-                                    static_cast<std::ptrdiff_t>(
-                                        std::min(common, n.size())),
-                                n.begin())
-                      .first -
-                  first.begin()));
-        const std::size_t dot = first.rfind('.', common);
-        if (dot != std::string::npos) prefix = dot + 1;
-      }
-      std::string detail = "score=" + std::to_string(score);
-      for (std::size_t d = 0; d < space.dims(); ++d) {
-        detail += ' ';
-        detail += space.names[d].substr(prefix) + "=" +
-                  std::to_string(space.domains[d][idx[d]]);
-      }
-      span.set_detail(detail);
-      observe::Registry::global().counter("tuner.evaluations").add();
-      observe::Registry::global().histogram("tuner.score").record(score);
-    }
-    ++run.evaluations;
-    cache[idx] = score;
-    run.history.push_back({space.values(idx), score, failed, failure});
-    // A failed candidate (score +inf) can only become "best" as the very
-    // first entry, and any finite score later replaces it.
-    if (run.history.size() == 1 || score < run.best_score) {
-      run.best_score = score;
-      run.best = config;
-    }
-    return score;
-  }
-};
+using detail::Evaluator;
+using detail::Space;
 
 class LinearTuner final : public Tuner {
  public:
@@ -178,31 +23,7 @@ class LinearTuner final : public Tuner {
                  std::size_t budget) override {
     const Space space(config);
     Evaluator ev(space, config, measure, budget, options_);
-    std::vector<std::size_t> current = space.indices_of(config);
-    double current_score = ev.eval(current);
-
-    bool improved = true;
-    while (improved && !ev.exhausted()) {
-      improved = false;
-      for (std::size_t d = 0; d < space.dims() && !ev.exhausted(); ++d) {
-        std::size_t best_i = current[d];
-        for (std::size_t i = 0; i < space.domains[d].size(); ++i) {
-          if (i == current[d]) continue;
-          if (ev.exhausted()) break;
-          std::vector<std::size_t> probe = current;
-          probe[d] = i;
-          const double score = ev.eval(probe);
-          if (score < current_score) {
-            current_score = score;
-            best_i = i;
-          }
-        }
-        if (best_i != current[d]) {
-          current[d] = best_i;
-          improved = true;
-        }
-      }
-    }
+    detail::linear_descend(ev, space, space.indices_of(config));
     return std::move(ev.run);
   }
 };
@@ -219,16 +40,14 @@ class RandomTuner final : public Tuner {
     Rng rng(seed_);
     ev.eval(space.indices_of(config));  // include the starting point
     // The whole space may be smaller than the budget: stop once every
-    // point has been evaluated (duplicates cost no budget).
-    std::uint64_t total = 1;
-    for (std::size_t d = 0; d < space.dims(); ++d)
-      total *= static_cast<std::uint64_t>(space.domains[d].size());
-    while (!ev.exhausted() && ev.cache.size() < total) {
+    // point has been visited (duplicates cost no budget).
+    const std::uint64_t total = space.size();
+    while (!ev.exhausted() && ev.seen.size() < total) {
       std::vector<std::size_t> idx(space.dims());
       for (std::size_t d = 0; d < space.dims(); ++d)
         idx[d] = static_cast<std::size_t>(
             rng.next_below(space.domains[d].size()));
-      if (ev.cache.count(idx)) continue;  // free; try another point
+      if (ev.seen.count(idx)) continue;  // free; try another point
       ev.eval(idx);
     }
     return std::move(ev.run);

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/tuning.hpp"
@@ -31,12 +33,44 @@ struct Evaluation {
   std::string failure;  // exception message or "deadline exceeded"
 };
 
+/// Measured scores keyed by the name-sorted value vector. Every tuner
+/// dedups its own evaluations through one of these; handing the SAME cache
+/// to several tuners (TunerOptions::shared_cache) makes cross-tuner
+/// comparisons reuse each other's measurements, so an already-visited point
+/// costs neither budget nor wall-clock in any later run.
+struct EvalCache {
+  std::map<std::vector<std::int64_t>, double> scores;
+};
+
+/// What the model-guided tuner fit and how well it predicted (empty /
+/// used == false for the search-based tuners).
+struct ModelFitInfo {
+  bool used = false;
+  /// "pipeline" | "loop" | "master-worker" | "injected" | "fallback-linear".
+  std::string family;
+  std::string description;  // fitted parameters, human-readable
+  /// Score units per predicted microsecond, calibrated on the probe run.
+  double scale = 0.0;
+  /// Mean relative |predicted - measured| / measured over the validations.
+  double fit_error = 0.0;
+  double predicted_best = 0.0;     // calibrated score of the ranked-best point
+  double predicted_default = 0.0;  // calibrated score of the starting point
+  double predicted_speedup = 1.0;  // predicted_default / predicted_best
+  std::size_t probe_evaluations = 0;
+  std::size_t validation_evaluations = 0;
+  std::vector<std::pair<double, double>> validations;  // (predicted, measured)
+};
+
 struct TuningRun {
   rt::TuningConfig best;
   double best_score = 0.0;
   std::size_t evaluations = 0;
   std::size_t failed_evaluations = 0;
+  /// Evaluations answered from a pre-populated shared cache (never counted
+  /// in `evaluations` and absent from `history`).
+  std::size_t cache_hits = 0;
   std::vector<Evaluation> history;  // in evaluation order
+  ModelFitInfo model;               // model-guided tuner only
 };
 
 /// Hardening knobs shared by all tuners.
@@ -45,6 +79,10 @@ struct TunerOptions {
   /// cancelled (its region's StopToken fires, cooperative) and scored as a
   /// failed evaluation with reason "deadline exceeded".
   std::int64_t candidate_deadline_ms = 0;
+  /// Optional cross-run memo: measured points land here and pre-existing
+  /// entries are served without measuring (or spending budget). Null keeps
+  /// the classic per-run private cache.
+  std::shared_ptr<EvalCache> shared_cache;
 };
 
 class Tuner {

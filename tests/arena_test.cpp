@@ -107,6 +107,66 @@ TEST(ArenaTest, GlobalCountersGrowMonotonically) {
   EXPECT_GT(Arena::total_chunks(), chunks_before);
 }
 
+// --- Cross-arena chunk recycling ---------------------------------------------
+
+TEST(ArenaTest, ReleasedChunksAreRecycledByTheNextArena) {
+  Arena::set_chunk_recycling(true);
+  Arena::drain_recycle_pool();  // isolate from earlier tests
+  {
+    Arena first;
+    for (int i = 0; i < 1000; ++i) first.allocate(256, 8);
+  }  // chunks park in the pool
+  EXPECT_GT(Arena::recycle_pool_bytes(), 0u);
+  const std::uint64_t recycled_before = Arena::total_recycled_chunks();
+  {
+    Arena second;
+    for (int i = 0; i < 1000; ++i) second.allocate(256, 8);
+  }
+  EXPECT_GT(Arena::total_recycled_chunks(), recycled_before);
+  Arena::drain_recycle_pool();
+}
+
+TEST(ArenaTest, RecycledChunksStillBumpTheGlobalCounters) {
+  // The process-wide totals mean "handed to arenas over the lifetime", so
+  // a reused chunk counts again — monitoring stays monotone.
+  Arena::set_chunk_recycling(true);
+  { Arena seed; seed.allocate(64, 8); }  // ensure the pool has a chunk
+  const std::uint64_t bytes_before = Arena::total_bytes_reserved();
+  const std::uint64_t chunks_before = Arena::total_chunks();
+  {
+    Arena arena;
+    arena.allocate(64, 8);
+  }
+  EXPECT_GT(Arena::total_bytes_reserved(), bytes_before);
+  EXPECT_GT(Arena::total_chunks(), chunks_before);
+  Arena::drain_recycle_pool();
+}
+
+TEST(ArenaTest, DrainEmptiesThePoolAndReportsBytes) {
+  Arena::set_chunk_recycling(true);
+  Arena::drain_recycle_pool();
+  { Arena arena; arena.allocate(64, 8); }
+  const std::uint64_t parked = Arena::recycle_pool_bytes();
+  EXPECT_GT(parked, 0u);
+  EXPECT_EQ(Arena::drain_recycle_pool(), parked);
+  EXPECT_EQ(Arena::recycle_pool_bytes(), 0u);
+}
+
+TEST(ArenaTest, RecyclingCanBeDisabled) {
+  Arena::set_chunk_recycling(false);  // also drains
+  EXPECT_EQ(Arena::recycle_pool_bytes(), 0u);
+  { Arena arena; arena.allocate(64, 8); }
+  EXPECT_EQ(Arena::recycle_pool_bytes(), 0u);  // nothing parked while off
+  Arena::set_chunk_recycling(true);
+}
+
+TEST(ArenaTest, OversizedChunksAreNeverPooled) {
+  Arena::set_chunk_recycling(true);
+  Arena::drain_recycle_pool();
+  { Arena arena; arena.allocate(1 << 20, 8); }  // 1 MB > kMaxChunk
+  EXPECT_EQ(Arena::recycle_pool_bytes(), 0u);
+}
+
 TEST(ArenaTest, ArenaPtrConvertsToBasePointer) {
   struct Base {
     virtual ~Base() = default;

@@ -14,6 +14,7 @@
 
 #include "observe/explain.hpp"
 #include "observe/metrics.hpp"
+#include "observe/snapshot.hpp"
 #include "observe/trace.hpp"
 #include "support/arena.hpp"
 #include "support/intern.hpp"
@@ -135,6 +136,27 @@ TEST_F(ObserveTest, SnapshotListsRecordedInstruments) {
   const std::string text = snap.str();
   EXPECT_NE(text.find("test.snapshot.counter"), std::string::npos);
   EXPECT_NE(text.find("test.snapshot.gauge"), std::string::npos);
+}
+
+TEST_F(ObserveTest, TelemetryDeltaIsolatesOneWindowsTraffic) {
+  // The window API the model-guided tuner fits from: pre-existing traffic
+  // must not leak into the delta, and absent names read as zero.
+  Registry::global().counter("test.window.counter").add(5);
+  Registry::global().histogram("test.window.hist").record(10.0);
+  const MetricsSnapshot before = capture();
+  Registry::global().counter("test.window.counter").add(2);
+  Registry::global().histogram("test.window.hist").record(4.0);
+  Registry::global().histogram("test.window.hist").record(6.0);
+  const TelemetryDelta window = delta_since(before);
+  EXPECT_EQ(window.counter("test.window.counter"), 2u);
+  const WindowStats hist = window.histogram("test.window.hist");
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_DOUBLE_EQ(hist.sum, 10.0);
+  EXPECT_DOUBLE_EQ(hist.mean, 5.0);
+  EXPECT_EQ(window.counter("test.window.never_recorded"), 0u);
+  EXPECT_EQ(window.histogram("test.window.never_recorded").count, 0u);
+  // A quiet window is empty even though the registry holds old totals.
+  EXPECT_TRUE(delta_since(capture()).empty());
 }
 
 TEST_F(ObserveTest, DisabledPathRecordsNothing) {
