@@ -1,0 +1,113 @@
+// Patty-as-a-service walkthrough: start the resident daemon in-process,
+// speak its wire protocol through the blocking client, and exercise the
+// request surface the way an IDE or CI integration would:
+//
+//   1. parse    — fast syntax/sema gate
+//   2. detect   — full front-end; repeated with the same source to show the
+//                 semantic-model cache answering (cached:true, same
+//                 fingerprint byte for byte)
+//   3. certify  — MHP certification of the detected regions
+//   4. tune     — autotune the top candidate's tuning space
+//   5. health   — load, cache and fault counters from one source of truth
+//
+// A production deployment runs the standalone `patty-serve` binary instead
+// (see README "Resident daemon"); the protocol is identical.
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+const char* kSource = R"(class Main {
+  int main() {
+    int sum = 0;
+    for (int i = 0; i < 64; i = i + 1) {
+      sum = sum + i * i;
+    }
+    int product = 1;
+    for (int j = 1; j < 10; j = j + 1) {
+      product = product * j;
+    }
+    return sum + product;
+  }
+})";
+
+patty::service::Request make(std::int64_t id, patty::service::RequestKind kind) {
+  patty::service::Request req;
+  req.id = id;
+  req.kind = kind;
+  req.source = kSource;
+  req.max_evals = 6;
+  return req;
+}
+
+void show(const char* label,
+          const std::optional<patty::service::Response>& resp,
+          const std::string& error) {
+  if (!resp) {
+    std::printf("%-8s transport error: %s\n", label, error.c_str());
+    return;
+  }
+  if (!resp->ok) {
+    std::printf("%-8s error: %s\n", label, resp->error_message.c_str());
+    return;
+  }
+  std::printf("%-8s ok%s: %s\n", label, resp->cached ? " (cached)" : "",
+              resp->result.dump().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace patty::service;
+
+  ServerOptions options;
+  options.socket_path =
+      "/tmp/patty-demo-" + std::to_string(::getpid()) + ".sock";
+  options.workers = 2;
+  Server server(options);
+  server.start();
+  std::printf("daemon listening on %s\n\n", options.socket_path.c_str());
+
+  Client client;
+  std::string error;
+  if (!client.connect(options.socket_path, &error)) {
+    std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  show("parse", client.call(make(1, RequestKind::Parse), &error), error);
+
+  // First detect builds the semantic model; the second is answered from the
+  // content-hash cache with the identical frozen fingerprint.
+  const auto first = client.call(make(2, RequestKind::Detect), &error);
+  show("detect", first, error);
+  const auto second = client.call(make(3, RequestKind::Detect), &error);
+  show("detect", second, error);
+  if (first && second && first->ok && second->ok) {
+    const bool same = first->result.at("fingerprint").as_string() ==
+                      second->result.at("fingerprint").as_string();
+    std::printf("         cache fingerprint %s\n\n",
+                same ? "identical (frozen model)" : "DIVERGED");
+  }
+
+  show("certify", client.call(make(4, RequestKind::Certify), &error), error);
+  show("tune", client.call(make(5, RequestKind::Tune), &error), error);
+
+  std::printf("\n");
+  show("health", client.call(make(6, RequestKind::Health), &error), error);
+
+  Request bye;
+  bye.id = 7;
+  bye.kind = RequestKind::Shutdown;
+  show("shutdown", client.call(bye, &error), error);
+
+  server.wait_for_shutdown(std::chrono::milliseconds(5000));
+  server.stop();
+  return 0;
+}

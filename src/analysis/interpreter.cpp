@@ -4,6 +4,7 @@
 #include <cmath>
 #include <thread>
 
+#include "runtime/cancellation.hpp"
 #include "support/diagnostics.hpp"
 
 namespace patty::analysis {
@@ -519,6 +520,12 @@ Value Interpreter::eval_builtin(const lang::Call& c, Frame& frame) {
       }
       cost_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
       if (tracer_) tracer_->on_work(static_cast<std::uint64_t>(n));
+      // work() is the natural yield point of a long-running program: honor
+      // the ambient stop token here so a deadline or shutdown can cancel a
+      // sequential interpreter run mid-execution (the service layer relies
+      // on this; parallel regions already check at split points).
+      if (rt::current_stop_token().stop_requested())
+        throw rt::OperationCancelled("work()");
       return Value::of_int(n);
     }
     case Builtin::Sqrt: return Value::of_double(std::sqrt(arg(0).to_double()));

@@ -78,6 +78,14 @@ class SemanticModel {
   /// The method whose body (transitively) contains the statement.
   const lang::MethodDecl* method_of(const lang::Stmt& st) const;
 
+  /// Bytes the model's side-structure arena has reserved (CFG cache +
+  /// dependence memo). Grows monotonically as lazy caches fill; the
+  /// service model cache samples it for footprint accounting.
+  [[nodiscard]] std::size_t side_bytes_reserved() const {
+    std::scoped_lock lock(cfg_mutex_, dep_cache_mutex_);
+    return arena_.bytes_reserved();
+  }
+
  private:
   SemanticModel() = default;
   void collect_loops();

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -149,6 +150,13 @@ struct FrontendConfig {
   /// threads, possibly concurrently: it must be thread-safe. Never called
   /// for programs whose front-end failed (see ProgramReport::error).
   std::function<void(const struct ProgramInspection&)> inspect;
+  /// Like inspect, but receives OWNERSHIP of the artifacts instead of a
+  /// borrowed view (fires after inspect, same threading contract). This is
+  /// how the service layer's model cache keeps the frozen semantic model
+  /// alive past the evaluation: the front-end built it once, the adopter
+  /// files it under the source's content hash. A program whose front-end
+  /// failed is never adopted.
+  std::function<void(struct ProgramArtifacts&&)> adopt;
 };
 
 /// Front-end artifacts for one successfully analyzed corpus program,
@@ -160,6 +168,24 @@ struct ProgramInspection {
   const lang::Program* parsed = nullptr;
   const analysis::SemanticModel* model = nullptr;
   const patterns::DetectionResult* detection = nullptr;
+};
+
+/// Owned front-end artifacts for one successfully analyzed program, handed
+/// to FrontendConfig::adopt. `model` holds internal references into
+/// `parsed`, so the trio must stay together for its lifetime. (Special
+/// members are out of line: the pointees are forward-declared here.)
+struct ProgramArtifacts {
+  std::size_t index = 0;  // corpus position
+  const CorpusProgram* program = nullptr;
+  std::unique_ptr<lang::Program> parsed;
+  std::unique_ptr<analysis::SemanticModel> model;
+  std::unique_ptr<patterns::DetectionResult> detection;
+  std::string fingerprint;  // patterns::detection_fingerprint(detection)
+
+  ProgramArtifacts();
+  ProgramArtifacts(ProgramArtifacts&&) noexcept;
+  ProgramArtifacts& operator=(ProgramArtifacts&&) noexcept;
+  ~ProgramArtifacts();
 };
 
 /// The batch size the parallel front-end will use for a corpus of

@@ -9,9 +9,16 @@
 #include "observe/explain.hpp"
 #include "observe/trace.hpp"
 #include "patterns/detector.hpp"
+#include "runtime/cancellation.hpp"
 #include "runtime/pipeline.hpp"
 
 namespace patty::corpus {
+
+ProgramArtifacts::ProgramArtifacts() = default;
+ProgramArtifacts::ProgramArtifacts(ProgramArtifacts&&) noexcept = default;
+ProgramArtifacts& ProgramArtifacts::operator=(ProgramArtifacts&&) noexcept =
+    default;
+ProgramArtifacts::~ProgramArtifacts() = default;
 
 namespace {
 
@@ -43,8 +50,19 @@ void stage_parse(ProgramTask& item) {
     item.error = item.program->name + ": " + diags.to_string();
 }
 
+/// Cooperative cancellation between front-end stages: a service request's
+/// deadline flips the thread-ambient stop token (rt::StopScope installed by
+/// the caller); the remaining stages for the item short-circuit with an
+/// in-item error, the front-end's error convention. Granularity is the
+/// stage boundary — a stage already running finishes on its own.
+bool stop_requested(ProgramTask& item) {
+  if (item.error.empty() && rt::current_stop_token().stop_requested())
+    item.error = item.program->name + ": cancelled (stop requested)";
+  return !item.error.empty();
+}
+
 void stage_model(ProgramTask& item, const FrontendConfig& config) {
-  if (!item.error.empty()) return;
+  if (stop_requested(item)) return;
   analysis::SemanticModelOptions options;
   options.parallel = config.parallel;
   options.interp.work_sleeps = config.work_sleeps;
@@ -57,7 +75,7 @@ void stage_model(ProgramTask& item, const FrontendConfig& config) {
 }
 
 void stage_detect(ProgramTask& item, const FrontendConfig& config) {
-  if (!item.error.empty()) return;
+  if (stop_requested(item)) return;
   patterns::DetectionOptions options;
   options.optimistic = config.optimistic;
   options.parallel = config.parallel;
@@ -100,6 +118,17 @@ ProgramReport report_for(ProgramTask& item, const FrontendConfig& config) {
       inspection.model = item.model.get();
       inspection.detection = &item.detection;
       config.inspect(inspection);
+    }
+    if (config.adopt) {
+      ProgramArtifacts artifacts;
+      artifacts.index = item.index;
+      artifacts.program = item.program;
+      artifacts.parsed = std::move(item.parsed);
+      artifacts.model = std::move(item.model);
+      artifacts.detection =
+          std::make_unique<patterns::DetectionResult>(std::move(item.detection));
+      artifacts.fingerprint = report.fingerprint;
+      config.adopt(std::move(artifacts));
     }
   }
   return report;

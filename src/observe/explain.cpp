@@ -63,9 +63,21 @@ std::string memory_summary() {
     auto it = snap.gauges.find(name);
     return it == snap.gauges.end() ? 0 : it->second.value;
   };
+  auto gauge_max = [&snap](const char* name) -> std::int64_t {
+    auto it = snap.gauges.find(name);
+    return it == snap.gauges.end() ? 0 : it->second.max;
+  };
   const std::int64_t arena_bytes = gauge("frontend.arena.bytes");
   const std::int64_t symbols = gauge("frontend.intern.symbols");
-  if (arena_bytes == 0 && symbols == 0) return "";
+  // The service layer publishes its cache and admission-queue gauges into
+  // the same registry (src/service): the daemon's `health` response and
+  // this report deliberately read one source of truth.
+  const std::int64_t cache_entries = gauge("service.cache.entries");
+  const std::int64_t cache_bytes = gauge("service.cache.bytes");
+  const std::int64_t queue_high = gauge_max("service.queue.depth");
+  if (arena_bytes == 0 && symbols == 0 && cache_entries == 0 &&
+      queue_high == 0)
+    return "";
   std::string out = "front-end memory: arenas ";
   out += fmt_bytes(static_cast<std::uint64_t>(arena_bytes));
   out += " in " + std::to_string(gauge("frontend.arena.chunks")) + " chunks";
@@ -73,6 +85,15 @@ std::string memory_summary() {
   if (recycled > 0) out += " (" + std::to_string(recycled) + " recycled)";
   out += "; interner " + std::to_string(symbols) + " symbols, ";
   out += fmt_bytes(static_cast<std::uint64_t>(gauge("frontend.intern.bytes")));
+  if (cache_entries > 0 || cache_bytes > 0) {
+    out += "; service cache " + std::to_string(cache_entries) + " models, ";
+    out += fmt_bytes(static_cast<std::uint64_t>(cache_bytes));
+  }
+  if (queue_high > 0) {
+    out += "; service queue depth " +
+           std::to_string(gauge("service.queue.depth")) + " (high-water " +
+           std::to_string(queue_high) + ")";
+  }
   return out;
 }
 

@@ -73,7 +73,10 @@ void publish_frontend_memory();
 
 /// One-line rendering of the frontend.* memory gauges ("arenas: 12.3 MB in
 /// 87 chunks; interner: 4821 symbols, 61.2 KB"), or "" when nothing has
-/// been published yet. render() appends it to pipeline reports.
+/// been published yet. When the service daemon is live its cache and
+/// admission-queue gauges (service.cache.*, service.queue.depth) are
+/// appended, so this report and the daemon's `health` response agree on
+/// one source of truth. render() appends it to pipeline reports.
 [[nodiscard]] std::string memory_summary();
 
 /// Global ring of the most recent pipeline observations (telemetry-enabled

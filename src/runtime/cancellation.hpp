@@ -19,11 +19,13 @@
 #include <condition_variable>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 namespace patty::rt {
 
@@ -130,6 +132,12 @@ class ExceptionSlot {
 /// from a dedicated thread once `deadline` elapses, unless disarmed first.
 /// The destructor disarms and joins, so `on_expire` never outlives the
 /// objects it captures as long as the Watchdog is declared after them.
+///
+/// Watchdog spends one thread per instance — fine for the handful of
+/// long-lived region/tuner deadlines it was built for, wrong for the
+/// many-concurrent-requests regime (a daemon with 100 in-flight deadlined
+/// requests must not run 100 timer threads). That regime routes through
+/// DeadlineScheduler below instead.
 class Watchdog {
  public:
   Watchdog(std::chrono::milliseconds deadline, std::function<void()> on_expire);
@@ -150,6 +158,84 @@ class Watchdog {
   bool disarmed_ = false;
   std::atomic<bool> fired_{false};
   std::thread thread_;
+};
+
+/// Shared deadline thread: any number of concurrent deadlines, one timer
+/// thread for the whole process. Entries are kept in a time-ordered map;
+/// the thread sleeps until the earliest expiry, fires its callback, and
+/// moves on. This is the scheduler the service layer arms one entry per
+/// in-flight request on — 100 concurrent deadlined requests cost 100 map
+/// nodes, not 100 threads (tests/service_test.cpp pins that bound).
+///
+/// Callback contract: `on_expire` runs on the scheduler thread, must not
+/// throw (escapes are swallowed and counted nowhere — keep callbacks
+/// trivial), must not block, and must OWN everything it touches (capture a
+/// StopSource by value, not a reference to stack state): cancel() does not
+/// wait for an in-flight callback, it only reports whether it lost the
+/// race. ScopedDeadline below packages the safe idiom.
+class DeadlineScheduler {
+ public:
+  using Handle = std::uint64_t;
+
+  /// Process-global scheduler (lazily started, immortal).
+  static DeadlineScheduler& global();
+
+  /// Arm `on_expire` to run once `delay` from now elapses.
+  Handle schedule(std::chrono::milliseconds delay,
+                  std::function<void()> on_expire);
+
+  /// Disarm. True when the entry was still pending (the callback will not
+  /// run); false when it already fired or is firing right now.
+  bool cancel(Handle handle);
+
+  /// Currently armed entries (tests).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  DeadlineScheduler();
+  void run();
+
+  using Clock = std::chrono::steady_clock;
+  struct Entry {
+    Handle id = 0;
+    std::function<void()> fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<Clock::time_point, Entry> queue_;
+  std::unordered_map<Handle, std::multimap<Clock::time_point, Entry>::iterator>
+      index_;
+  Handle next_id_ = 1;
+};
+
+/// RAII deadline on the shared scheduler: requests stop on `source` when
+/// the budget expires, cancels on destruction. The callback captures the
+/// StopSource (shared state) by value, so it stays safe even if it fires
+/// after this object is gone.
+class ScopedDeadline {
+ public:
+  ScopedDeadline(StopSource source, std::chrono::milliseconds delay);
+  ~ScopedDeadline();
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+  /// Movable: the moved-from deadline forgets its handle and cancels
+  /// nothing on destruction.
+  ScopedDeadline(ScopedDeadline&& other) noexcept
+      : fired_(std::move(other.fired_)), handle_(other.handle_) {
+    other.handle_ = 0;
+    other.fired_ = std::make_shared<std::atomic<bool>>(false);
+  }
+  ScopedDeadline& operator=(ScopedDeadline&&) = delete;
+
+  /// True once the deadline fired (and stop was requested on the source).
+  [[nodiscard]] bool expired() const {
+    return fired_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> fired_;
+  DeadlineScheduler::Handle handle_ = 0;
 };
 
 }  // namespace patty::rt

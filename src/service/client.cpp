@@ -1,0 +1,105 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace patty::service {
+
+namespace {
+void set_error(std::string* error, std::string message) {
+  if (error) *error = std::move(message);
+}
+}  // namespace
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    set_error(error, "bad socket path '" + socket_path + "'");
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    set_error(error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    set_error(error, "connect '" + socket_path + "': " + std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Response> Client::call(const Request& request,
+                                     std::string* error) {
+  if (!send(request, error)) return std::nullopt;
+  return recv(error);
+}
+
+bool Client::send(const Request& request, std::string* error) {
+  return send_raw(request.to_json().dump(), error);
+}
+
+std::optional<Response> Client::recv(std::string* error) {
+  std::string payload;
+  const int got = recv_raw(&payload, error);
+  if (got == 0) {
+    set_error(error, "connection closed by daemon");
+    return std::nullopt;
+  }
+  if (got < 0) return std::nullopt;
+  std::string parse_error;
+  const auto doc = json::Value::parse(payload, &parse_error);
+  if (!doc) {
+    set_error(error, "bad response JSON: " + parse_error);
+    return std::nullopt;
+  }
+  auto resp = Response::from_json(*doc, &parse_error);
+  if (!resp) {
+    set_error(error, "bad response: " + parse_error);
+    return std::nullopt;
+  }
+  return resp;
+}
+
+bool Client::send_raw(std::string_view payload, std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return false;
+  }
+  return write_frame(fd_, payload, error);
+}
+
+int Client::recv_raw(std::string* payload, std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return -1;
+  }
+  return read_frame(fd_, payload, error);
+}
+
+}  // namespace patty::service

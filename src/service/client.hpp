@@ -1,0 +1,52 @@
+#pragma once
+// Blocking client for the patty-serve daemon: connects to the Unix-domain
+// socket and exchanges length-prefixed JSON frames (service/protocol.hpp).
+// One Client is one connection; it is NOT thread-safe — callers wanting
+// concurrency open one Client per thread (the daemon handles any number of
+// connections). call() is the synchronous request/response helper; the
+// split send()/recv() pair lets tests and the soak bench pipeline several
+// requests down one connection and collect completion-ordered responses.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace patty::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to the daemon's socket. False + *error on failure.
+  bool connect(const std::string& socket_path, std::string* error = nullptr);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Synchronous round-trip: send one request, wait for one response.
+  /// nullopt + *error on transport failure (the daemon itself answers
+  /// request-level failures with a structured Response, ok = false).
+  std::optional<Response> call(const Request& request,
+                               std::string* error = nullptr);
+
+  /// Pipelining half-ops. recv() returns responses in completion order —
+  /// match them to requests by Response::id.
+  bool send(const Request& request, std::string* error = nullptr);
+  std::optional<Response> recv(std::string* error = nullptr);
+
+  /// Raw frame access for protocol tests (malformed payload injection).
+  bool send_raw(std::string_view payload, std::string* error = nullptr);
+  /// 1 = frame, 0 = clean EOF, -1 = error.
+  int recv_raw(std::string* payload, std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace patty::service

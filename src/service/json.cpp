@@ -1,0 +1,355 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace patty::service::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const Member& m : object_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  static const Value null_value;
+  const Value* v = find(key);
+  return v ? *v : null_value;
+}
+
+void Value::set(std::string key, Value value) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Value::push_back(Value value) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  array_.push_back(std::move(value));
+}
+
+std::string quote(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out += '"';
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Value::dump() const {
+  switch (kind_) {
+    case Kind::Null:
+      return "null";
+    case Kind::Bool:
+      return bool_ ? "true" : "false";
+    case Kind::Int:
+      return std::to_string(int_);
+    case Kind::Double: {
+      if (!std::isfinite(double_)) return "null";  // JSON has no inf/nan
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      return buf;
+    }
+    case Kind::String:
+      return quote(string_);
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        out += array_[i].dump();
+      }
+      out += ']';
+      return out;
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        out += quote(object_[i].first);
+        out += ':';
+        out += object_[i].second.dump();
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& why) {
+    if (error.empty())
+      error = why + " at byte " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos;
+      else
+        break;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    while (pos < text.size()) {
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (pos >= text.size()) return fail("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — the protocol never emits
+          // them, and round-tripping unknown input must not crash).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+      ++pos;
+    bool is_double = false;
+    if (pos < text.size() && text[pos] == '.') {
+      is_double = true;
+      ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      is_double = true;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    const std::string_view span = text.substr(start, pos - start);
+    if (span.empty() || span == "-") return fail("bad number");
+    // Strict JSON: no leading zeros ("01" is two tokens, i.e. garbage).
+    const std::string_view digits =
+        span[0] == '-' ? span.substr(1) : span;
+    if (digits.size() > 1 && digits[0] == '0' &&
+        std::isdigit(static_cast<unsigned char>(digits[1])))
+      return fail("leading zero");
+    if (!is_double) {
+      std::int64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(span.data(), span.data() + span.size(), v);
+      if (ec == std::errc() && ptr == span.data() + span.size()) {
+        *out = Value(v);
+        return true;
+      }
+      // Overflows a 64-bit int: fall through to double.
+    }
+    double d = 0;
+    const auto [ptr, ec] =
+        std::from_chars(span.data(), span.data() + span.size(), d);
+    if (ec != std::errc() || ptr != span.data() + span.size())
+      return fail("bad number");
+    *out = Value(d);
+    return true;
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > Value::kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    switch (c) {
+      case '{': {
+        ++pos;
+        Value::Object members;
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          *out = Value(std::move(members));
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (!consume(':')) return false;
+          Value v;
+          if (!parse_value(&v, depth + 1)) return false;
+          members.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (!consume('}')) return false;
+          *out = Value(std::move(members));
+          return true;
+        }
+      }
+      case '[': {
+        ++pos;
+        Value::Array items;
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          *out = Value(std::move(items));
+          return true;
+        }
+        for (;;) {
+          Value v;
+          if (!parse_value(&v, depth + 1)) return false;
+          items.push_back(std::move(v));
+          skip_ws();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (!consume(']')) return false;
+          *out = Value(std::move(items));
+          return true;
+        }
+      }
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        *out = Value(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = Value(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        *out = Value(nullptr);
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Value> Value::parse(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  Value v;
+  if (!p.parse_value(&v, 0)) {
+    if (error) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error)
+      *error = "trailing garbage at byte " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace patty::service::json

@@ -1,0 +1,119 @@
+// patty-serve: the resident analysis daemon.
+//
+//   patty-serve --socket /tmp/patty.sock [--workers N] [--queue-limit N]
+//               [--degrade-depth N] [--cache-mb N] [--deadline-ms N]
+//               [--frontend-threads N]
+//
+// Serves parse/detect/certify/tune requests over a Unix-domain socket
+// (wire format: service/protocol.hpp; client: service/client.hpp). Runs
+// until SIGINT/SIGTERM or a `shutdown` request, then drains the pending
+// queue — every admitted request still gets its response — and exits 0.
+// With PATTY_FAULTS set, the failpoint harness arms fault injection on the
+// daemon's own paths (see DESIGN.md §14).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+
+namespace {
+
+patty::service::Server* g_server = nullptr;
+
+void on_signal(int) {
+  // Async-signal-safe: request_shutdown only takes a mutex owned by
+  // waiters, never by the signal'd thread's own locks.
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: %s --socket PATH [options]\n"
+      "  --socket PATH         Unix-domain socket to bind (required)\n"
+      "  --workers N           request-executor threads (default 2)\n"
+      "  --queue-limit N       admission high-water mark (default 64)\n"
+      "  --degrade-depth N     sequential-fallback depth (default: limit/2)\n"
+      "  --cache-mb N          semantic-model cache budget (default 64)\n"
+      "  --deadline-ms N       default per-request deadline, 0 = none\n"
+      "  --frontend-threads N  workers inside a parallel front-end request\n",
+      argv0);
+  std::exit(code);
+}
+
+long parse_long(const char* argv0, const char* flag, const char* text) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "%s: bad value '%s' for %s\n", argv0, text, flag);
+    usage(argv0, 2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  patty::service::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg);
+        usage(argv[0], 2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--socket") == 0) {
+      options.socket_path = value();
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      options.workers = static_cast<int>(parse_long(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--queue-limit") == 0) {
+      options.queue_limit =
+          static_cast<std::size_t>(parse_long(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--degrade-depth") == 0) {
+      options.degrade_depth =
+          static_cast<std::size_t>(parse_long(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--cache-mb") == 0) {
+      options.cache_bytes =
+          static_cast<std::size_t>(parse_long(argv[0], arg, value())) << 20;
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      options.default_deadline_ms = parse_long(argv[0], arg, value());
+    } else if (std::strcmp(arg, "--frontend-threads") == 0) {
+      options.frontend_threads =
+          static_cast<int>(parse_long(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg);
+      usage(argv[0], 2);
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "%s: --socket is required\n", argv[0]);
+    usage(argv[0], 2);
+  }
+
+  // PATTY_FAULTS (if set) was parsed by the failpoint harness before main.
+  patty::service::Server server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "patty-serve: %s\n", e.what());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::fprintf(stderr, "patty-serve: listening on %s (%d workers)\n",
+               options.socket_path.c_str(), options.workers);
+  server.wait_for_shutdown();
+  std::fprintf(stderr, "patty-serve: draining\n");
+  g_server = nullptr;
+  server.stop();
+  return 0;
+}
