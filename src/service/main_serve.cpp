@@ -11,22 +11,30 @@
 // With PATTY_FAULTS set, the failpoint harness arms fault injection on the
 // daemon's own paths (see DESIGN.md §14).
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "service/server.hpp"
 
 namespace {
 
-patty::service::Server* g_server = nullptr;
+// Self-pipe: the handler's only action is one write(), which is
+// async-signal-safe. Taking the server's shutdown mutex here would
+// self-deadlock if the signal lands while this thread holds it inside
+// wait_for_shutdown(); a watcher thread translates the byte into
+// request_shutdown() from normal thread context instead.
+int g_signal_pipe[2] = {-1, -1};
 
 void on_signal(int) {
-  // Async-signal-safe: request_shutdown only takes a mutex owned by
-  // waiters, never by the signal'd thread's own locks.
-  if (g_server != nullptr) g_server->request_shutdown();
+  const unsigned char byte = 1;
+  (void)!::write(g_signal_pipe[1], &byte, 1);
 }
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -39,6 +47,7 @@ void on_signal(int) {
       "  --degrade-depth N     sequential-fallback depth (default: limit/2)\n"
       "  --cache-mb N          semantic-model cache budget (default 64)\n"
       "  --deadline-ms N       default per-request deadline, 0 = none\n"
+      "  --write-timeout-ms N  per-write send timeout, 0 = block forever\n"
       "  --frontend-threads N  workers inside a parallel front-end request\n",
       argv0);
   std::exit(code);
@@ -82,6 +91,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(parse_long(argv[0], arg, value())) << 20;
     } else if (std::strcmp(arg, "--deadline-ms") == 0) {
       options.default_deadline_ms = parse_long(argv[0], arg, value());
+    } else if (std::strcmp(arg, "--write-timeout-ms") == 0) {
+      options.write_timeout_ms = parse_long(argv[0], arg, value());
     } else if (std::strcmp(arg, "--frontend-threads") == 0) {
       options.frontend_threads =
           static_cast<int>(parse_long(argv[0], arg, value()));
@@ -105,7 +116,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "patty-serve: %s\n", e.what());
     return 1;
   }
-  g_server = &server;
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "patty-serve: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::thread signal_watcher([&server] {
+    unsigned char byte;
+    ssize_t n;
+    do {
+      n = ::read(g_signal_pipe[0], &byte, 1);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) server.request_shutdown();
+  });
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
@@ -113,7 +135,16 @@ int main(int argc, char** argv) {
                options.socket_path.c_str(), options.workers);
   server.wait_for_shutdown();
   std::fprintf(stderr, "patty-serve: draining\n");
-  g_server = nullptr;
+  // Wake the watcher from normal context (request_shutdown is idempotent),
+  // join it, and only then tear the pipe down — with signals ignored first,
+  // so a late handler can never write into a recycled fd.
+  const unsigned char wake = 0;
+  (void)!::write(g_signal_pipe[1], &wake, 1);
+  signal_watcher.join();
+  std::signal(SIGINT, SIG_IGN);
+  std::signal(SIGTERM, SIG_IGN);
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
   server.stop();
   return 0;
 }

@@ -20,7 +20,13 @@ bool write_all(int fd, const void* data, std::size_t len, std::string* error) {
     if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p, len);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (error) *error = std::string("write: ") + std::strerror(errno);
+      if (error) {
+        // EAGAIN on a blocking socket means SO_SNDTIMEO expired: the peer
+        // stopped reading and the send buffer stayed full.
+        *error = (errno == EAGAIN || errno == EWOULDBLOCK)
+                     ? std::string("write: timed out (peer not reading)")
+                     : std::string("write: ") + std::strerror(errno);
+      }
       return false;
     }
     p += n;

@@ -1,6 +1,7 @@
 #include "service/server.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -76,6 +77,14 @@ struct Server::Conn {
   std::atomic<bool> open{true};
   std::atomic<bool> done{false};  // reader thread exited; reapable
   std::thread thread;
+  // The fd is closed here, not at hangup: workers hold shared_ptr<Conn>
+  // through Pending, so the fd number stays reserved until the last
+  // response is written. A late respond() after hangup hits a shut-down
+  // socket (harmless EPIPE) — never a recycled fd now owned by a newly
+  // accepted client.
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
 };
 
 Server::Server(ServerOptions options)
@@ -105,6 +114,21 @@ void Server::start() {
   if (listen_fd < 0)
     throw std::runtime_error(std::string("service: socket: ") +
                              std::strerror(errno));
+  // Reclaim only a *stale* socket: if something still accepts on the path,
+  // unlinking would silently steal a live daemon's endpoint. ENOENT and
+  // ECONNREFUSED both mean no one is serving it.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    const bool live =
+        ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0;
+    ::close(probe);
+    if (live) {
+      ::close(listen_fd);
+      throw std::runtime_error("service: '" + options_.socket_path +
+                               "' is already served by a live daemon");
+    }
+  }
   ::unlink(options_.socket_path.c_str());  // stale socket from a past run
   if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
@@ -138,13 +162,14 @@ void Server::stop() {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     accepting_ = false;
   }
-  // 2. Kill the listener; the accept loop unblocks and exits.
+  // 2. Kill the listener; the accept loop unblocks and exits. shutdown()
+  //    here, close() only after the join: the accept thread may already
+  //    have loaded the fd value, and accept() must hit a shut-down
+  //    listener, not a closed (or by then recycled) descriptor.
   const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
-  if (listen_fd >= 0) {
-    ::shutdown(listen_fd, SHUT_RDWR);
-    ::close(listen_fd);
-  }
+  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd >= 0) ::close(listen_fd);
   // 3. Drain: workers finish the queued requests (every one of them still
   //    gets its response), then exit on the quit flag.
   {
@@ -210,6 +235,17 @@ void Server::accept_loop() {
       ::close(fd);
       continue;
     }
+    // Bound every response write: a client that stops reading makes send()
+    // fail with EAGAIN after the timeout instead of blocking a worker (and
+    // stop()'s drain, which joins workers before hanging up connections)
+    // forever.
+    if (options_.write_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.write_timeout_ms / 1000;
+      tv.tv_usec =
+          static_cast<suseconds_t>(options_.write_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     reap_connections(/*all=*/false);
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
@@ -258,8 +294,10 @@ void Server::connection_loop(const std::shared_ptr<Conn>& conn) {
     handle_frame(conn, std::move(payload));
     if (!conn->open.load(std::memory_order_acquire)) break;
   }
+  // Hang up but do NOT close: the fd stays reserved until the last
+  // shared_ptr<Conn> holder (a worker mid-respond, possibly) drops it —
+  // see ~Conn.
   if (conn->open.exchange(false)) ::shutdown(conn->fd, SHUT_RDWR);
-  ::close(conn->fd);
   metrics().connections.add(-1);
   conn->done.store(true, std::memory_order_release);
 }

@@ -79,6 +79,11 @@ struct ServerOptions {
   std::int64_t max_deadline_ms = 60'000;
   /// Per-frame byte ceiling for this server.
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Ceiling on any single blocking response write (SO_SNDTIMEO on
+  /// accepted sockets): a client that stops reading cannot wedge a worker
+  /// — or stop()'s drain — indefinitely; a timed-out write fails the
+  /// connection instead. 0 = block without bound.
+  long write_timeout_ms = 5'000;
   /// Worker budget inside a parallel-front-end request (0 = resolve via
   /// PATTY_FRONTEND_THREADS / hardware).
   int frontend_threads = 0;

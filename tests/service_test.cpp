@@ -23,12 +23,15 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <optional>
@@ -494,6 +497,28 @@ TEST(ModelCacheTest, ConcurrentStressHoldsInvariants) {
   EXPECT_LE(cache.stats().bytes, 64u * 1024u);
 }
 
+TEST(ServiceFrameTest, SendTimeoutBoundsABlockedWrite) {
+  // SO_SNDTIMEO — set by the daemon on every accepted connection — turns a
+  // peer that stopped reading into a bounded write failure instead of a
+  // worker (or stop()'s drain) blocked in send() forever.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  timeval tv{};
+  tv.tv_usec = 100 * 1000;  // 100 ms
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)),
+            0);
+  const int small = 1;  // kernel clamps to its floor; keeps buffering small
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  const std::string payload(4u << 20, 'x');  // far past any socket buffering
+  std::string error;
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_FALSE(write_frame(fds[0], payload, &error));
+  EXPECT_LT(std::chrono::steady_clock::now() - begin, 30s);
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 // --- daemon basics -----------------------------------------------------------
 
 TEST_F(ServiceTest, ParseAndDetectBasics) {
@@ -517,6 +542,63 @@ TEST_F(ServiceTest, ParseAndDetectBasics) {
   ASSERT_GE(resp.result.at("candidates").items().size(), 1u);
   EXPECT_EQ(resp.result.at("candidates").items()[0].at("pattern").as_string(),
             "data-parallel loop");
+}
+
+TEST_F(ServiceTest, StartRefusesToStealALiveDaemonsSocket) {
+  start();
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  Server second(options);
+  EXPECT_THROW(second.start(), std::runtime_error);
+  // The live daemon kept its endpoint: its socket was not unlinked.
+  Client client = connect();
+  Request req;
+  req.id = 1;
+  req.kind = RequestKind::Health;
+  EXPECT_TRUE(must_call(client, req).ok);
+}
+
+TEST_F(ServiceTest, StartReclaimsAStaleSocket) {
+  // A daemon that died without cleanup leaves a bound-but-dead socket file
+  // behind: bind without listening, then close the fd.
+  const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(socket_path_.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(stale);
+  start();  // probe-connect gets ECONNREFUSED → stale → reclaimed
+  Client client = connect();
+  Request req;
+  req.id = 1;
+  req.kind = RequestKind::Health;
+  EXPECT_TRUE(must_call(client, req).ok);
+}
+
+TEST_F(ServiceTest, LateResponseAfterClientHangupIsHarmless) {
+  // A worker may finish a request after its client hung up. The hung-up
+  // connection's fd stays reserved until that response is written (~Conn
+  // closes it), so the late write can never land in a fd recycled for a
+  // newly accepted sibling.
+  start();
+  {
+    Client doomed = connect();
+    std::string error;
+    ASSERT_TRUE(doomed.send(slow_request(1, /*iters=*/150), &error)) << error;
+  }  // ~Client closes the socket with the response still being computed
+  // Siblings connected while the slow response is in flight are unaffected.
+  Client client = connect();
+  Request req;
+  req.id = 2;
+  req.kind = RequestKind::Detect;
+  req.source = kSumSource;
+  const Response resp = must_call(client, req);
+  EXPECT_TRUE(resp.ok) << resp.error_message;
+  // stop() drains the slow request; its write failure is counted, the
+  // daemon survives (TearDown stops cleanly).
 }
 
 TEST_F(ServiceTest, DetectFingerprintMatchesDirectFrontend) {
